@@ -1,0 +1,198 @@
+//! AdaBoost (SAMME) over decision trees — the paper's attack model (§5.4).
+
+use crate::tree::{DecisionTree, TreeParams};
+
+/// A multiclass AdaBoost ensemble (the SAMME algorithm of Zhu et al.,
+/// matching scikit-learn's `AdaBoostClassifier` that the paper uses with 50
+/// estimators).
+///
+/// # Examples
+///
+/// ```
+/// use age_attack::AdaBoost;
+///
+/// let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 3) as f64 * 10.0]).collect();
+/// let y: Vec<usize> = (0..60).map(|i| i % 3).collect();
+/// let model = AdaBoost::fit(&x, &y, 3, 10);
+/// assert_eq!(model.predict(&[20.0]), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    estimators: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// Default weak-learner depth (scikit-learn uses stumps; a small depth
+    /// works better for the four summary features).
+    const WEAK_DEPTH: usize = 3;
+
+    /// Fits `n_estimators` boosted trees on rows `x` with labels `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched, or labels exceed
+    /// `n_classes`.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, n_estimators: usize) -> Self {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let n = x.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut estimators = Vec::with_capacity(n_estimators);
+        let params = TreeParams {
+            max_depth: Self::WEAK_DEPTH,
+            ..Default::default()
+        };
+        let k = n_classes.max(2) as f64;
+
+        for _ in 0..n_estimators {
+            let tree = DecisionTree::fit(x, y, &weights, n_classes, params);
+            let mut err = 0.0;
+            let misses: Vec<bool> = x
+                .iter()
+                .zip(y)
+                .map(|(row, &label)| tree.predict(row) != label)
+                .collect();
+            for (w, &miss) in weights.iter().zip(&misses) {
+                if miss {
+                    err += w;
+                }
+            }
+            if err <= 1e-12 {
+                // Perfect learner: give it a large, finite say and stop.
+                estimators.push((tree, 10.0 + (k - 1.0).ln()));
+                break;
+            }
+            // SAMME requires better-than-random: err < 1 - 1/K.
+            if err >= 1.0 - 1.0 / k {
+                break;
+            }
+            let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+            for (w, &miss) in weights.iter_mut().zip(&misses) {
+                if miss {
+                    *w *= alpha.exp();
+                }
+            }
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            estimators.push((tree, alpha));
+        }
+        if estimators.is_empty() {
+            // Fall back to a single unweighted tree so predict() works.
+            let tree = DecisionTree::fit(x, y, &vec![1.0 / n as f64; n], n_classes, params);
+            estimators.push((tree, 1.0));
+        }
+        AdaBoost {
+            estimators,
+            n_classes,
+        }
+    }
+
+    /// Weighted-vote prediction for one feature row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0.0f64; self.n_classes];
+        for (tree, alpha) in &self.estimators {
+            votes[tree.predict(row)] += alpha;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("votes are never NaN"))
+            .map(|(i, _)| i)
+            .expect("n_classes > 0")
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+
+    /// Number of fitted weak learners.
+    pub fn len(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// `true` if no estimators were fitted (never the case after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.estimators.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_three_class(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 3;
+            let jitter = ((i * 7919) % 100) as f64 / 100.0 - 0.5;
+            // Overlapping clusters at 0, 2, 4.
+            x.push(vec![class as f64 * 2.0 + jitter, jitter * 0.3]);
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn boosting_learns_noisy_clusters() {
+        let (x, y) = noisy_three_class(300);
+        let model = AdaBoost::fit(&x, &y, 3, 25);
+        assert!(model.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn boosting_beats_a_single_stump_on_xor() {
+        // XOR needs an ensemble (or depth); boost stumps of depth 1.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = f64::from(i % 2 == 0);
+            let b = f64::from((i / 2) % 2 == 0);
+            let jit = ((i * 31) % 17) as f64 * 0.001;
+            x.push(vec![a + jit, b - jit]);
+            y.push(usize::from((a > 0.5) != (b > 0.5)));
+        }
+        let model = AdaBoost::fit(&x, &y, 2, 30);
+        assert!(model.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn perfect_data_terminates_early() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i < 25)]).collect();
+        let y: Vec<usize> = (0..50).map(|i| usize::from(i < 25)).collect();
+        let model = AdaBoost::fit(&x, &y, 2, 50);
+        assert!(model.len() < 50, "stopped after {} learners", model.len());
+        assert_eq!(model.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn uninformative_features_degrade_to_majority() {
+        // Constant features: the model can only predict one class.
+        let x = vec![vec![1.0]; 90];
+        let y: Vec<usize> = (0..90).map(|i| usize::from(i % 3 == 0)).collect();
+        let model = AdaBoost::fit(&x, &y, 2, 10);
+        // Majority class is 0 (60 of 90).
+        assert_eq!(model.predict(&[1.0]), 0);
+        assert!((model.accuracy(&x, &y) - 60.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_never_empty() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let model = AdaBoost::fit(&x, &y, 2, 1);
+        assert!(!model.is_empty());
+    }
+}

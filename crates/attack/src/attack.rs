@@ -1,0 +1,563 @@
+//! The end-to-end classifier attack (§5.4): feature extraction from message
+//! sizes, stratified cross-validation, and confusion matrices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::adaboost::AdaBoost;
+use crate::knn::Knn;
+use crate::logistic::Logistic;
+
+/// One attack sample: summary statistics of the sizes of ten same-event
+/// messages, plus the (ground-truth) event label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSample {
+    /// `[average, median, standard deviation, IQR]` of the message sizes.
+    pub features: [f64; 4],
+    /// The event all ten messages belong to.
+    pub label: usize,
+}
+
+impl AttackSample {
+    /// Builds a sample from a window of same-event message sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty.
+    pub fn from_sizes(sizes: &[usize], label: usize) -> Self {
+        assert!(!sizes.is_empty(), "need at least one message size");
+        let mut sorted: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("sizes are finite"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let quantile = |p: f64| -> f64 {
+            let pos = p * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        let iqr = quantile(0.75) - quantile(0.25);
+        AttackSample {
+            features: [mean, median, var.sqrt(), iqr],
+            label,
+        }
+    }
+}
+
+/// Accuracy of always predicting the most frequent label — the best an
+/// attacker can do against a leak-free channel.
+pub fn most_frequent_rate(labels: &[usize]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let max_label = labels.iter().max().expect("non-empty");
+    let mut counts = vec![0usize; max_label + 1];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    *counts.iter().max().expect("non-empty") as f64 / labels.len() as f64
+}
+
+/// A confusion matrix: `matrix[truth][predicted]` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `n_classes × n_classes` matrix.
+    pub fn new(n_classes: usize) -> Self {
+        ConfusionMatrix {
+            counts: vec![vec![0; n_classes]; n_classes],
+        }
+    }
+
+    /// Records one (truth, prediction) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        self.counts[truth][predicted] += 1;
+    }
+
+    /// Count at `(truth, predicted)`.
+    pub fn get(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision for one class (1.0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = self.counts.iter().map(|row| row[class]).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            self.counts[class][class] as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for one class (1.0 when the class never occurs).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            1.0
+        } else {
+            self.counts[class][class] as f64 / actual as f64
+        }
+    }
+
+    /// Merges another matrix into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes(), other.n_classes(), "class count mismatch");
+        for (row, other_row) in self.counts.iter_mut().zip(&other.counts) {
+            for (c, &o) in row.iter_mut().zip(other_row) {
+                *c += o;
+            }
+        }
+    }
+}
+
+/// Result of running the classifier attack.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Per-fold test accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// Confusion matrix pooled over all folds' test predictions.
+    pub confusion: ConfusionMatrix,
+    /// The most-frequent-label baseline on the same samples.
+    pub baseline: f64,
+}
+
+impl AttackOutcome {
+    /// Mean test accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            0.0
+        } else {
+            self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+        }
+    }
+
+    /// How much better than blind guessing the attack is (1.0 = no better).
+    pub fn advantage(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            0.0
+        } else {
+            self.mean_accuracy() / self.baseline
+        }
+    }
+}
+
+/// Which classifier the attacker fits on the message-size features.
+///
+/// The paper uses AdaBoost and calls its result "a lower bound for what an
+/// adversary may uncover"; the extra models probe different inductive
+/// biases on the same observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackModel {
+    /// AdaBoost (SAMME) over decision trees — the paper's model.
+    #[default]
+    AdaBoost,
+    /// k-nearest neighbours (k = 7) over standardized features.
+    Knn,
+    /// Multinomial logistic regression.
+    Logistic,
+}
+
+impl AttackModel {
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackModel::AdaBoost => "AdaBoost",
+            AttackModel::Knn => "kNN",
+            AttackModel::Logistic => "Logistic",
+        }
+    }
+}
+
+/// Configuration and runner for the paper's §5.4 attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifierAttack {
+    /// Messages aggregated per sample (paper: 10).
+    pub window: usize,
+    /// Total samples to draw (paper: 10,000 → 8,000 train / 2,000 test).
+    pub total_samples: usize,
+    /// Boosted trees in the ensemble (paper: 50).
+    pub n_estimators: usize,
+    /// Cross-validation folds (paper: 5, stratified).
+    pub folds: usize,
+    /// RNG seed for sample windows and fold assignment.
+    pub seed: u64,
+    /// Classifier family to fit.
+    pub model: AttackModel,
+}
+
+impl Default for ClassifierAttack {
+    fn default() -> Self {
+        ClassifierAttack {
+            window: 10,
+            total_samples: 10_000,
+            n_estimators: 50,
+            folds: 5,
+            seed: 0xA6E,
+            model: AttackModel::AdaBoost,
+        }
+    }
+}
+
+impl ClassifierAttack {
+    /// Draws attack samples from observed `(label, message size)` pairs:
+    /// each sample summarizes `window` sizes drawn (with replacement) from
+    /// one event's messages. Labels are sampled proportionally to their
+    /// frequency, mirroring an attacker sniffing the deployed system.
+    ///
+    /// Returns an empty vector if `observations` is empty.
+    pub fn build_samples(&self, observations: &[(usize, usize)]) -> Vec<AttackSample> {
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        let n_labels = observations
+            .iter()
+            .map(|&(l, _)| l)
+            .max()
+            .expect("non-empty")
+            + 1;
+        let mut by_label: Vec<Vec<usize>> = vec![Vec::new(); n_labels];
+        for &(l, s) in observations {
+            by_label[l].push(s);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut samples = Vec::with_capacity(self.total_samples);
+        for _ in 0..self.total_samples {
+            // Pick a random observation; its label sets the event.
+            let (label, _) = observations[rng.gen_range(0..observations.len())];
+            let pool = &by_label[label];
+            let sizes: Vec<usize> = (0..self.window)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
+            samples.push(AttackSample::from_sizes(&sizes, label));
+        }
+        samples
+    }
+
+    /// Runs stratified k-fold cross-validation of the AdaBoost attack on
+    /// pre-built samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `folds < 2`.
+    pub fn evaluate(&self, samples: &[AttackSample]) -> AttackOutcome {
+        assert!(!samples.is_empty(), "no attack samples");
+        assert!(self.folds >= 2, "need at least two folds");
+        let n_classes = samples.iter().map(|s| s.label).max().expect("non-empty") + 1;
+        let assignment = stratified_fold_assignment(samples, self.folds, self.seed ^ 0x5EED);
+
+        let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
+        let baseline = most_frequent_rate(&labels);
+
+        let mut fold_accuracies = Vec::with_capacity(self.folds);
+        let mut confusion = ConfusionMatrix::new(n_classes);
+        for fold in 0..self.folds {
+            let mut train_x = Vec::new();
+            let mut train_y = Vec::new();
+            let mut test = Vec::new();
+            for (s, &f) in samples.iter().zip(&assignment) {
+                if f == fold {
+                    test.push(s);
+                } else {
+                    train_x.push(s.features.to_vec());
+                    train_y.push(s.label);
+                }
+            }
+            if train_x.is_empty() || test.is_empty() {
+                continue;
+            }
+            type Predictor = Box<dyn Fn(&[f64]) -> usize>;
+            let predict: Predictor = match self.model {
+                AttackModel::AdaBoost => {
+                    let m = AdaBoost::fit(&train_x, &train_y, n_classes, self.n_estimators);
+                    Box::new(move |row| m.predict(row))
+                }
+                AttackModel::Knn => {
+                    let m = Knn::fit(&train_x, &train_y, 7);
+                    Box::new(move |row| m.predict(row))
+                }
+                AttackModel::Logistic => {
+                    let m = Logistic::fit(&train_x, &train_y, n_classes, 150);
+                    Box::new(move |row| m.predict(row))
+                }
+            };
+            let mut correct = 0usize;
+            for s in &test {
+                let pred = predict(&s.features);
+                confusion.record(s.label, pred);
+                if pred == s.label {
+                    correct += 1;
+                }
+            }
+            fold_accuracies.push(correct as f64 / test.len() as f64);
+        }
+        AttackOutcome {
+            fold_accuracies,
+            confusion,
+            baseline,
+        }
+    }
+
+    /// Convenience: build samples from observations, then evaluate.
+    pub fn run(&self, observations: &[(usize, usize)]) -> AttackOutcome {
+        let samples = self.build_samples(observations);
+        self.evaluate(&samples)
+    }
+}
+
+/// Permutation feature importance of the attack features: how much test
+/// accuracy drops when one feature column is shuffled, averaged over
+/// `rounds` shuffles. Large drops mean the attacker leans on that feature —
+/// interpretability for the §5.4 attack (average, median, std, IQR of
+/// message sizes).
+///
+/// Returns one importance per feature, in feature order.
+pub fn permutation_importance(
+    samples: &[AttackSample],
+    attack: &ClassifierAttack,
+    rounds: usize,
+) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    if samples.len() < 4 {
+        return vec![0.0; 4];
+    }
+    let n_classes = samples.iter().map(|s| s.label).max().expect("non-empty") + 1;
+    // Simple holdout: first 3/4 train, last 1/4 test.
+    let cut = samples.len() * 3 / 4;
+    let train_x: Vec<Vec<f64>> = samples[..cut].iter().map(|s| s.features.to_vec()).collect();
+    let train_y: Vec<usize> = samples[..cut].iter().map(|s| s.label).collect();
+    let model = AdaBoost::fit(&train_x, &train_y, n_classes, attack.n_estimators);
+    let test = &samples[cut..];
+    let accuracy = |rows: &[Vec<f64>]| -> f64 {
+        rows.iter()
+            .zip(test)
+            .filter(|(row, s)| model.predict(row) == s.label)
+            .count() as f64
+            / test.len() as f64
+    };
+    let baseline_rows: Vec<Vec<f64>> = test.iter().map(|s| s.features.to_vec()).collect();
+    let baseline = accuracy(&baseline_rows);
+
+    let mut rng = StdRng::seed_from_u64(attack.seed ^ 0x1397);
+    (0..4)
+        .map(|feature| {
+            let mut drop_total = 0.0;
+            for _ in 0..rounds.max(1) {
+                let mut column: Vec<f64> = test.iter().map(|s| s.features[feature]).collect();
+                column.shuffle(&mut rng);
+                let mut rows = baseline_rows.clone();
+                for (row, v) in rows.iter_mut().zip(&column) {
+                    row[feature] = *v;
+                }
+                drop_total += baseline - accuracy(&rows);
+            }
+            drop_total / rounds.max(1) as f64
+        })
+        .collect()
+}
+
+/// Assigns each sample a fold in `0..folds`, stratified by label: within
+/// each label the (shuffled) samples are dealt round-robin.
+fn stratified_fold_assignment(samples: &[AttackSample], folds: usize, seed: u64) -> Vec<usize> {
+    let n_labels = samples.iter().map(|s| s.label).max().map_or(0, |m| m + 1);
+    let mut per_label: Vec<Vec<usize>> = vec![Vec::new(); n_labels];
+    for (i, s) in samples.iter().enumerate() {
+        per_label[s.label].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assignment = vec![0usize; samples.len()];
+    for indices in &mut per_label {
+        indices.shuffle(&mut rng);
+        for (pos, &i) in indices.iter().enumerate() {
+            assignment[i] = pos % folds;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_features_are_correct() {
+        let s = AttackSample::from_sizes(&[10, 20, 30, 40], 2);
+        assert_eq!(s.label, 2);
+        assert_eq!(s.features[0], 25.0); // mean
+        assert_eq!(s.features[1], 25.0); // median
+        assert!((s.features[2] - 11.1803).abs() < 1e-3); // std
+        assert_eq!(s.features[3], 15.0); // IQR: q75=32.5, q25=17.5
+    }
+
+    #[test]
+    fn most_frequent_rate_basics() {
+        assert_eq!(most_frequent_rate(&[]), 0.0);
+        assert_eq!(most_frequent_rate(&[1, 1, 1, 0]), 0.75);
+        assert_eq!(most_frequent_rate(&[0, 1, 2, 3]), 0.25);
+    }
+
+    #[test]
+    fn confusion_matrix_metrics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.accuracy(), 0.75);
+        assert_eq!(m.recall(0), 2.0 / 3.0);
+        assert_eq!(m.precision(1), 0.5);
+        let mut other = ConfusionMatrix::new(2);
+        other.record(1, 0);
+        m.merge(&other);
+        assert_eq!(m.get(1, 0), 1);
+    }
+
+    #[test]
+    fn stratified_folds_balance_labels() {
+        let samples: Vec<AttackSample> = (0..100)
+            .map(|i| AttackSample {
+                features: [0.0; 4],
+                label: i % 4,
+            })
+            .collect();
+        let assignment = stratified_fold_assignment(&samples, 5, 1);
+        for fold in 0..5 {
+            for label in 0..4 {
+                let count = samples
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(s, &f)| s.label == label && f == fold)
+                    .count();
+                assert_eq!(count, 5, "fold {fold} label {label}");
+            }
+        }
+    }
+
+    /// A leaky channel (size = f(label) + noise) is broken by the attack.
+    #[test]
+    fn attack_succeeds_on_leaky_sizes() {
+        let observations: Vec<(usize, usize)> = (0..600)
+            .map(|i| {
+                let label = i % 3;
+                let noise = (i * 37) % 20;
+                (label, 200 + label * 60 + noise)
+            })
+            .collect();
+        let attack = ClassifierAttack {
+            total_samples: 600,
+            n_estimators: 15,
+            ..Default::default()
+        };
+        let outcome = attack.run(&observations);
+        assert!(
+            outcome.mean_accuracy() > 0.95,
+            "accuracy {}",
+            outcome.mean_accuracy()
+        );
+        assert!(outcome.advantage() > 2.0);
+    }
+
+    /// Fixed-length messages reduce the attack to the baseline.
+    #[test]
+    fn attack_fails_on_fixed_sizes() {
+        let observations: Vec<(usize, usize)> = (0..600).map(|i| (i % 3, 220)).collect();
+        let attack = ClassifierAttack {
+            total_samples: 600,
+            n_estimators: 15,
+            ..Default::default()
+        };
+        let outcome = attack.run(&observations);
+        // Everything collapses to one predicted class: accuracy equals the
+        // most frequent label's share.
+        assert!(
+            (outcome.mean_accuracy() - outcome.baseline).abs() < 0.05,
+            "accuracy {} vs baseline {}",
+            outcome.mean_accuracy(),
+            outcome.baseline
+        );
+    }
+
+    #[test]
+    fn importance_identifies_the_informative_feature() {
+        // Means separate the classes; the other statistics are constant.
+        let samples: Vec<AttackSample> = (0..400)
+            .map(|i| {
+                let label = i % 2;
+                let noise = ((i * 13) % 7) as f64;
+                AttackSample {
+                    features: [200.0 + label as f64 * 50.0 + noise, 5.0, 5.0, 5.0],
+                    label,
+                }
+            })
+            .collect();
+        let attack = ClassifierAttack {
+            n_estimators: 10,
+            ..Default::default()
+        };
+        let importance = permutation_importance(&samples, &attack, 3);
+        assert!(importance[0] > 0.2, "mean importance {importance:?}");
+        for &other in &importance[1..] {
+            assert!(
+                other.abs() < 0.05,
+                "constant features must not matter: {importance:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn importance_is_flat_for_fixed_sizes() {
+        let samples: Vec<AttackSample> = (0..200)
+            .map(|i| AttackSample {
+                features: [220.0, 220.0, 0.0, 0.0],
+                label: i % 3,
+            })
+            .collect();
+        let attack = ClassifierAttack {
+            n_estimators: 5,
+            ..Default::default()
+        };
+        let importance = permutation_importance(&samples, &attack, 2);
+        assert!(importance.iter().all(|v| v.abs() < 1e-9), "{importance:?}");
+    }
+
+    #[test]
+    fn empty_observations_give_no_samples() {
+        let attack = ClassifierAttack::default();
+        assert!(attack.build_samples(&[]).is_empty());
+    }
+}

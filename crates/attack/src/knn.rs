@@ -1,0 +1,173 @@
+//! k-nearest-neighbours classifier — an alternative attack model.
+//!
+//! The paper's AdaBoost attack is "a lower bound for what an adversary may
+//! uncover" (§5.4). This model probes the same observations from a
+//! different inductive bias: distance in the (standardized) feature space
+//! of message-size statistics.
+
+/// A k-NN classifier over dense feature rows with z-score standardization.
+///
+/// # Examples
+///
+/// ```
+/// use age_attack::Knn;
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// let y = vec![0, 0, 1, 1];
+/// let model = Knn::fit(&x, &y, 3);
+/// assert_eq!(model.predict(&[0.5]), 0);
+/// assert_eq!(model.predict(&[10.5]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Knn {
+    /// Stores the training set with per-feature standardization parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched, or `k` is zero.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], k: usize) -> Self {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert!(k > 0, "k must be positive");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for row in x {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let mut scale = vec![0.0; dim];
+        for row in x {
+            for ((s, &v), &m) in scale.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m).powi(2) / n;
+            }
+        }
+        for s in &mut scale {
+            *s = s.sqrt().max(1e-12);
+        }
+        let features = x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&mean)
+                    .zip(&scale)
+                    .map(|((&v, &m), &s)| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        Knn {
+            k: k.min(x.len()),
+            features,
+            labels: y.to_vec(),
+            mean,
+            scale,
+        }
+    }
+
+    /// Majority vote among the `k` nearest standardized neighbours.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let std_row: Vec<f64> = row
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.scale)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect();
+        let mut dists: Vec<(f64, usize)> = self
+            .features
+            .iter()
+            .zip(&self.labels)
+            .map(|(f, &l)| {
+                let d: f64 = f.iter().zip(&std_row).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, l)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are never NaN"));
+        let max_label = self.labels.iter().max().copied().unwrap_or(0);
+        let mut votes = vec![0usize; max_label + 1];
+        for &(_, l) in dists.iter().take(self.k) {
+            votes[l] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("votes vector is non-empty")
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_clusters_classified() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            let c = i % 3;
+            x.push(vec![
+                c as f64 * 5.0 + (i % 5) as f64 * 0.1,
+                (i % 7) as f64 * 0.05,
+            ]);
+            y.push(c);
+        }
+        let model = Knn::fit(&x, &y, 5);
+        assert!(model.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn standardization_makes_scales_comparable() {
+        // Feature 1 is 1000x larger but uninformative; without
+        // standardization it would dominate the distance.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let c = i % 2;
+            x.push(vec![
+                c as f64 + (i % 3) as f64 * 0.01,
+                ((i * 37) % 100) as f64 * 100.0,
+            ]);
+            y.push(c);
+        }
+        let model = Knn::fit(&x, &y, 3);
+        assert!(model.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn k_is_clamped_to_training_size() {
+        let model = Knn::fit(&[vec![0.0], vec![1.0]], &[0, 1], 50);
+        // Ties fall to the lowest label; no panic.
+        let _ = model.predict(&[0.5]);
+    }
+
+    #[test]
+    fn constant_features_fall_back_to_majority_vote() {
+        let x = vec![vec![2.0]; 9];
+        let y = vec![0, 1, 1, 1, 0, 1, 1, 0, 1];
+        let model = Knn::fit(&x, &y, 9);
+        assert_eq!(model.predict(&[2.0]), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The attacker's toolkit: information-theoretic leakage estimation and a
+//! practical message-size classifier (paper §5.3–§5.4).
+//!
+//! The threat model (§3.1): a passive adversary sniffs the encrypted link,
+//! observes only message *lengths*, can group messages by (unknown) event,
+//! and fits a model offline. This crate implements both of the paper's
+//! leakage analyses:
+//!
+//! - **Theoretical** ([`nmi`]): empirical normalized mutual information
+//!   between event labels and message sizes, with an approximate
+//!   [`permutation_test`] for significance (15,000 permutations in the
+//!   paper).
+//! - **Practical** ([`ClassifierAttack`]): an AdaBoost ensemble of 50
+//!   decision trees over summary features (average, median, standard
+//!   deviation, IQR) of ten same-event message sizes, scored with
+//!   stratified five-fold cross-validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use age_attack::nmi;
+//!
+//! // Sizes that perfectly identify labels: maximal NMI.
+//! let labels = [0, 0, 1, 1];
+//! let sizes = [100, 100, 200, 200];
+//! assert!((nmi(&labels, &sizes) - 1.0).abs() < 1e-12);
+//!
+//! // Constant sizes leak nothing.
+//! assert_eq!(nmi(&labels, &[64, 64, 64, 64]), 0.0);
+//! ```
+
+mod adaboost;
+mod attack;
+mod knn;
+mod logistic;
+mod nmi;
+mod tree;
+mod welch;
+
+pub use adaboost::AdaBoost;
+pub use attack::{
+    most_frequent_rate, permutation_importance, AttackModel, AttackOutcome, AttackSample,
+    ClassifierAttack, ConfusionMatrix,
+};
+pub use knn::Knn;
+pub use logistic::Logistic;
+pub use nmi::{entropy, nmi, permutation_test};
+pub use tree::{DecisionTree, TreeParams};
+pub use welch::{welch_t_test, WelchTest};

@@ -1,0 +1,182 @@
+//! Multinomial logistic regression — a linear attack model.
+//!
+//! Completes the attacker family (tree ensemble, instance-based, linear):
+//! if AGE's fixed-length messages defeat all three inductive biases, the
+//! claim that "an attacker can do no better than the most frequent event"
+//! is not an artifact of one model class.
+
+/// Softmax regression trained by batch gradient descent with L2 weight
+/// decay and z-score feature standardization.
+///
+/// # Examples
+///
+/// ```
+/// use age_attack::Logistic;
+///
+/// let x = vec![vec![0.0], vec![0.5], vec![9.5], vec![10.0]];
+/// let y = vec![0, 0, 1, 1];
+/// let model = Logistic::fit(&x, &y, 2, 200);
+/// assert_eq!(model.predict(&[0.2]), 0);
+/// assert_eq!(model.predict(&[9.8]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    /// `n_classes × (dim + 1)` weights, last column the bias.
+    weights: Vec<Vec<f64>>,
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Logistic {
+    /// Trains for `epochs` full-batch gradient steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched, or labels exceed
+    /// `n_classes`.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, epochs: usize) -> Self {
+        assert!(!x.is_empty(), "cannot fit on no samples");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert!(y.iter().all(|&l| l < n_classes), "label out of range");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+
+        let mut mean = vec![0.0; dim];
+        for row in x {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let mut scale = vec![0.0; dim];
+        for row in x {
+            for ((s, &v), &m) in scale.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m).powi(2) / n;
+            }
+        }
+        for s in &mut scale {
+            *s = s.sqrt().max(1e-12);
+        }
+        let std_x: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&mean)
+                    .zip(&scale)
+                    .map(|((&v, &m), &s)| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        let mut weights = vec![vec![0.0; dim + 1]; n_classes];
+        let lr = 0.5;
+        let decay = 1e-4;
+        for _ in 0..epochs {
+            let mut grad = vec![vec![0.0; dim + 1]; n_classes];
+            for (row, &label) in std_x.iter().zip(y) {
+                let probs = Self::softmax_scores(&weights, row);
+                for (c, g) in grad.iter_mut().enumerate() {
+                    let err = probs[c] - f64::from(u8::from(c == label));
+                    for (gj, &xj) in g.iter_mut().zip(row) {
+                        *gj += err * xj / n;
+                    }
+                    g[dim] += err / n;
+                }
+            }
+            for (w, g) in weights.iter_mut().zip(&grad) {
+                for (wj, &gj) in w.iter_mut().zip(g) {
+                    *wj -= lr * (gj + decay * *wj);
+                }
+            }
+        }
+        Logistic {
+            weights,
+            mean,
+            scale,
+        }
+    }
+
+    fn softmax_scores(weights: &[Vec<f64>], std_row: &[f64]) -> Vec<f64> {
+        let dim = std_row.len();
+        let logits: Vec<f64> = weights
+            .iter()
+            .map(|w| w[dim] + w.iter().zip(std_row).map(|(a, b)| a * b).sum::<f64>())
+            .collect();
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / total).collect()
+    }
+
+    /// Predicted class for one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let std_row: Vec<f64> = row
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.scale)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect();
+        let probs = Self::softmax_scores(&self.weights, &std_row);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are never NaN"))
+            .map(|(i, _)| i)
+            .expect("n_classes > 0")
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearly_separable_three_class() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            x.push(vec![
+                c as f64 * 4.0 + (i % 5) as f64 * 0.2,
+                (i % 7) as f64 * 0.1,
+            ]);
+            y.push(c);
+        }
+        let model = Logistic::fit(&x, &y, 3, 300);
+        assert!(model.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn constant_features_predict_majority() {
+        let x = vec![vec![1.0]; 30];
+        let y: Vec<usize> = (0..30).map(|i| usize::from(i % 3 == 0)).collect();
+        let model = Logistic::fit(&x, &y, 2, 100);
+        assert_eq!(model.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let weights = vec![vec![1.0, 0.0], vec![-1.0, 0.0]];
+        let probs = Logistic::softmax_scores(&weights, &[2.0]);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs[0] > probs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let _ = Logistic::fit(&[vec![0.0]], &[3], 2, 10);
+    }
+}

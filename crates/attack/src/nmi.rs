@@ -1,0 +1,163 @@
+//! Empirical mutual information between labels and message sizes (§5.3).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shannon entropy (bits) of a discrete empirical distribution given by
+/// occurrence counts.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Empirical normalized mutual information between event labels and message
+/// sizes (paper Eq. 3): `2·I(L, M) / (H(L) + H(M))`, using maximum
+/// likelihood estimators of the entropies. Zero means sizes carry no
+/// information about the label; returns 0 when either marginal is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn nmi(labels: &[usize], sizes: &[usize]) -> f64 {
+    assert_eq!(labels.len(), sizes.len(), "labels/sizes length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut label_counts: HashMap<usize, usize> = HashMap::new();
+    let mut size_counts: HashMap<usize, usize> = HashMap::new();
+    let mut joint_counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for (&l, &m) in labels.iter().zip(sizes) {
+        *label_counts.entry(l).or_default() += 1;
+        *size_counts.entry(m).or_default() += 1;
+        *joint_counts.entry((l, m)).or_default() += 1;
+    }
+    let h_l = entropy(&label_counts.values().copied().collect::<Vec<_>>());
+    let h_m = entropy(&size_counts.values().copied().collect::<Vec<_>>());
+    if h_l + h_m == 0.0 {
+        return 0.0;
+    }
+    let n = labels.len() as f64;
+    let mut mi = 0.0;
+    for (&(l, m), &c) in &joint_counts {
+        let p_joint = c as f64 / n;
+        let p_l = label_counts[&l] as f64 / n;
+        let p_m = size_counts[&m] as f64 / n;
+        mi += p_joint * (p_joint / (p_l * p_m)).log2();
+    }
+    (2.0 * mi / (h_l + h_m)).max(0.0)
+}
+
+/// Approximate permutation test for the significance of an observed NMI
+/// (paper §5.3, following Ojala & Garriga): shuffles the sizes
+/// `permutations` times and returns the estimated p-value — the fraction of
+/// shuffles whose NMI is at least the observed value (with the +1
+/// correction for an unbiased estimator).
+///
+/// The null hypothesis is that sizes and labels are independent; a small
+/// p-value means the observed NMI reflects real leakage.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn permutation_test(labels: &[usize], sizes: &[usize], permutations: usize, seed: u64) -> f64 {
+    assert_eq!(labels.len(), sizes.len(), "labels/sizes length mismatch");
+    let observed = nmi(labels, sizes);
+    let mut shuffled = sizes.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at_least = 0usize;
+    for _ in 0..permutations {
+        shuffled.shuffle(&mut rng);
+        if nmi(labels, &shuffled) >= observed - 1e-12 {
+            at_least += 1;
+        }
+    }
+    (at_least + 1) as f64 / (permutations + 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[10]), 0.0);
+        assert!((entropy(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        // Zero counts are ignored.
+        assert!((entropy(&[5, 0, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_perfect_dependence_is_one() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let sizes: Vec<usize> = labels.iter().map(|&l| 100 + l * 50).collect();
+        assert!((nmi(&labels, &sizes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_constant_sizes_is_zero() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let sizes = vec![220usize; 100];
+        assert_eq!(nmi(&labels, &sizes), 0.0);
+    }
+
+    #[test]
+    fn nmi_independent_variables_is_near_zero() {
+        // Independent but not constant: NMI is small (sampling noise only).
+        let labels: Vec<usize> = (0..2000).map(|i| i % 2).collect();
+        let sizes: Vec<usize> = (0..2000).map(|i| 100 + (i / 2) % 2).collect();
+        assert!(nmi(&labels, &sizes) < 0.01);
+    }
+
+    #[test]
+    fn nmi_partial_dependence_is_intermediate() {
+        // Half the mass is informative, half is noise.
+        let labels: Vec<usize> = (0..400).map(|i| i % 2).collect();
+        let sizes: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if (i / 2) % 2 == 0 { 100 + l } else { 300 })
+            .collect();
+        let v = nmi(&labels, &sizes);
+        assert!(v > 0.1 && v < 0.9, "v={v}");
+    }
+
+    #[test]
+    fn permutation_test_detects_real_leakage() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let sizes: Vec<usize> = labels.iter().map(|&l| 100 + l * 80).collect();
+        let p = permutation_test(&labels, &sizes, 200, 42);
+        assert!(p < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn permutation_test_accepts_null_for_constant_sizes() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let sizes = vec![128usize; 200];
+        let p = permutation_test(&labels, &sizes, 100, 42);
+        assert!(p > 0.9, "p={p}");
+    }
+
+    #[test]
+    fn nmi_is_symmetric_under_relabeling() {
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        let sizes = [9usize, 8, 7, 9, 8, 7];
+        let relabeled: Vec<usize> = labels.iter().map(|&l| 2 - l).collect();
+        assert!((nmi(&labels, &sizes) - nmi(&relabeled, &sizes)).abs() < 1e-12);
+    }
+}

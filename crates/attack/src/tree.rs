@@ -1,0 +1,337 @@
+//! Weighted CART decision trees — the weak learner for AdaBoost (§5.4).
+
+/// Hyperparameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (1 = a decision stump).
+    pub max_depth: usize,
+    /// Minimum weighted fraction of samples needed to split a node.
+    pub min_split_weight: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 3,
+            min_split_weight: 1e-6,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Child index when `x[feature] <= threshold`.
+        left: usize,
+        /// Child index otherwise.
+        right: usize,
+    },
+}
+
+/// A CART classification tree trained with per-sample weights and Gini
+/// impurity — the paper's attack uses an ensemble of 50 of these fit with
+/// AdaBoost.
+///
+/// # Examples
+///
+/// ```
+/// use age_attack::{DecisionTree, TreeParams};
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// let y = vec![0, 0, 1, 1];
+/// let w = vec![1.0; 4];
+/// let tree = DecisionTree::fit(&x, &y, &w, 2, TreeParams::default());
+/// assert_eq!(tree.predict(&[0.5]), 0);
+/// assert_eq!(tree.predict(&[12.0]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on feature rows `x`, labels `y` (in `0..n_classes`), and
+    /// non-negative sample weights `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty, have mismatched lengths, or contain
+    /// labels at or above `n_classes`.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        w: &[f64],
+        n_classes: usize,
+        params: TreeParams,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on no samples");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert_eq!(x.len(), w.len(), "feature/weight length mismatch");
+        assert!(y.iter().all(|&l| l < n_classes), "label out of range");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+        };
+        let all: Vec<usize> = (0..x.len()).collect();
+        tree.build(x, y, w, &all, params.max_depth, params);
+        tree
+    }
+
+    /// Builds a subtree over `rows` and returns its node index.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        w: &[f64],
+        rows: &[usize],
+        depth_left: usize,
+        params: TreeParams,
+    ) -> usize {
+        let class_weights = self.class_weights(y, w, rows);
+        let majority = argmax(&class_weights);
+        let total: f64 = class_weights.iter().sum();
+        let pure = class_weights.iter().filter(|&&cw| cw > 0.0).count() <= 1;
+
+        if depth_left == 0 || pure || total < params.min_split_weight {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+
+        match self.best_split(x, y, w, rows) {
+            None => {
+                self.nodes.push(Node::Leaf { class: majority });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (lhs, rhs): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| x[r][feature] <= threshold);
+                if lhs.is_empty() || rhs.is_empty() {
+                    self.nodes.push(Node::Leaf { class: majority });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve this node's slot, then build children.
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { class: majority });
+                let left = self.build(x, y, w, &lhs, depth_left - 1, params);
+                let right = self.build(x, y, w, &rhs, depth_left - 1, params);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+        }
+    }
+
+    fn class_weights(&self, y: &[usize], w: &[f64], rows: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_classes];
+        for &r in rows {
+            out[y[r]] += w[r];
+        }
+        out
+    }
+
+    /// Finds the (feature, threshold) pair minimizing weighted Gini impurity,
+    /// scanning midpoints of consecutive distinct sorted values.
+    #[allow(clippy::needless_range_loop)] // `feature` indexes every row of `x`
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        w: &[f64],
+        rows: &[usize],
+    ) -> Option<(usize, f64)> {
+        let n_features = x[rows[0]].len();
+        let total_weights = self.class_weights(y, w, rows);
+        let total: f64 = total_weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let parent_gini = gini(&total_weights, total);
+        let mut best: Option<(f64, usize, f64)> = None;
+
+        for feature in 0..n_features {
+            let mut sorted: Vec<usize> = rows.to_vec();
+            sorted.sort_by(|&a, &b| {
+                x[a][feature]
+                    .partial_cmp(&x[b][feature])
+                    .expect("features are never NaN")
+            });
+            let mut left = vec![0.0; self.n_classes];
+            let mut left_total = 0.0;
+            for i in 0..sorted.len() - 1 {
+                let r = sorted[i];
+                left[y[r]] += w[r];
+                left_total += w[r];
+                let (a, b) = (x[sorted[i]][feature], x[sorted[i + 1]][feature]);
+                if a == b {
+                    continue;
+                }
+                let right_total = total - left_total;
+                if left_total <= 0.0 || right_total <= 0.0 {
+                    continue;
+                }
+                let right: Vec<f64> = total_weights
+                    .iter()
+                    .zip(&left)
+                    .map(|(t, l)| t - l)
+                    .collect();
+                let score = (left_total / total) * gini(&left, left_total)
+                    + (right_total / total) * gini(&right, right_total);
+                if score < parent_gini - 1e-12 && best.is_none_or(|(s, _, _)| score < s) {
+                    best = Some((score, feature, 0.5 * (a + b)));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Predicted class for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the features the tree was fit on.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn gini(class_weights: &[f64], total: f64) -> f64 {
+    1.0 - class_weights
+        .iter()
+        .map(|&cw| (cw / total).powi(2))
+        .sum::<f64>()
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are never NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_data_is_classified_perfectly() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i < 20 { i as f64 } else { 100.0 + i as f64 }, 0.0])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let w = vec![1.0; 40];
+        let tree = DecisionTree::fit(&x, &y, &w, 2, TreeParams::default());
+        for (row, &label) in x.iter().zip(&y) {
+            assert_eq!(tree.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![0, 0, 0, 1, 1, 1, 0, 0, 1, 1];
+        let w = vec![1.0; 10];
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            &w,
+            2,
+            TreeParams {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        // A stump has at most 3 nodes (root + two leaves).
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn weights_steer_the_split() {
+        // Same features, conflicting labels; weight decides the leaf class.
+        let x = vec![vec![1.0], vec![1.0]];
+        let y = vec![0, 1];
+        let heavy_one = DecisionTree::fit(&x, &y, &[0.1, 5.0], 2, TreeParams::default());
+        assert_eq!(heavy_one.predict(&[1.0]), 1);
+        let heavy_zero = DecisionTree::fit(&x, &y, &[5.0, 0.1], 2, TreeParams::default());
+        assert_eq!(heavy_zero.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn multiclass_splits_on_multiple_features() {
+        // Class determined by quadrant of (f0, f1).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let a = (i % 10) as f64;
+            let b = (i / 10) as f64;
+            x.push(vec![a, b]);
+            y.push(usize::from(a >= 5.0) * 2 + usize::from(b >= 5.0));
+        }
+        let w = vec![1.0; x.len()];
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            &w,
+            4,
+            TreeParams {
+                max_depth: 3,
+                ..Default::default()
+            },
+        );
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &l)| tree.predict(row) == l)
+            .count();
+        assert!(correct >= 95, "correct={correct}");
+    }
+
+    #[test]
+    fn constant_features_yield_a_leaf() {
+        let x = vec![vec![2.0]; 6];
+        let y = vec![0, 1, 0, 1, 1, 1];
+        let w = vec![1.0; 6];
+        let tree = DecisionTree::fit(&x, &y, &w, 2, TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[2.0]), 1); // majority
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = DecisionTree::fit(&[vec![0.0]], &[5], &[1.0], 2, TreeParams::default());
+    }
+}

@@ -1,0 +1,254 @@
+//! Welch's t-test for unequal-variance samples.
+//!
+//! The paper uses it twice: §3.2 shows the pairwise differences between
+//! per-event message-size distributions are significant at α = 0.01, and
+//! §5.7 flags MCU budget violations with a one-sided test at α = 0.05.
+//! The p-value comes from the Student-t CDF, evaluated through the
+//! regularized incomplete beta function (continued-fraction expansion).
+
+/// Result of a Welch's t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchTest {
+    /// The t statistic (sign follows `mean(a) - mean(b)`).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+}
+
+impl WelchTest {
+    /// One-sided p-value for the alternative `mean(a) > mean(b)`.
+    pub fn p_greater(&self) -> f64 {
+        if self.t >= 0.0 {
+            self.p_two_sided / 2.0
+        } else {
+            1.0 - self.p_two_sided / 2.0
+        }
+    }
+
+    /// Convenience significance check on the two-sided p-value.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Runs Welch's unequal-variances t-test on two samples.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both variances are zero (the statistic is undefined; equal constant
+/// samples are trivially indistinguishable).
+///
+/// # Examples
+///
+/// ```
+/// use age_attack::welch_t_test;
+///
+/// let walking = [564.0, 560.0, 570.0, 566.0, 559.0];
+/// let running = [1127.0, 1130.0, 1121.0, 1135.0, 1124.0];
+/// let test = welch_t_test(&walking, &running).expect("valid samples");
+/// assert!(test.significant(0.01));
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<WelchTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = |xs: &[f64], m: f64| {
+        xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    let p_two_sided = 2.0 * student_t_sf(t.abs(), df);
+    Some(WelchTest {
+        t,
+        df,
+        p_two_sided: p_two_sided.clamp(0.0, 1.0),
+    })
+}
+
+/// Survival function `P(T > t)` of the Student-t distribution with `df`
+/// degrees of freedom, for `t >= 0`.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    // P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2.
+    let x = df / (df + t * t);
+    0.5 * regularized_incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` via the Lentz continued fraction
+/// (Numerical Recipes `betai`/`betacf`).
+fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction kernel of the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0f64;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015f64;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_edges_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.5)] {
+            let lhs = regularized_incomplete_beta(a, b, x);
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} b={b} x={x}");
+        }
+        // I_x(1,1) = x (uniform CDF).
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_sf_matches_reference_values() {
+        // P(T>1.96, df=∞→large) ≈ 0.025; with df=1000 ≈ 0.0251.
+        let p = student_t_sf(1.96, 1000.0);
+        assert!((p - 0.025).abs() < 0.001, "p={p}");
+        // df=1 (Cauchy): P(T>1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "p={p}");
+        // t=0: one half.
+        assert!((student_t_sf(0.0, 7.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| 100.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| 100.0 + ((i + 3) % 7) as f64).collect();
+        let test = welch_t_test(&a, &b).unwrap();
+        assert!(!test.significant(0.01), "p={}", test.p_two_sided);
+    }
+
+    #[test]
+    fn separated_distributions_are_significant() {
+        // The paper's Table 1 situation: walking vs running message sizes.
+        let walking: Vec<f64> = (0..30).map(|i| 564.0 + (i % 9) as f64 * 7.5).collect();
+        let running: Vec<f64> = (0..30).map(|i| 1127.0 + (i % 9) as f64 * 7.3).collect();
+        let test = welch_t_test(&walking, &running).unwrap();
+        assert!(test.significant(0.01));
+        assert!(test.t < 0.0, "walking mean is smaller");
+        assert!(test.p_greater() > 0.5, "one-sided in the other direction");
+    }
+
+    #[test]
+    fn one_sided_budget_violation_check() {
+        // §5.7: flag a policy whose energy is significantly above Uniform's.
+        let uniform: Vec<f64> = (0..75).map(|i| 37.8 + (i % 5) as f64 * 0.1).collect();
+        let padded: Vec<f64> = (0..75).map(|i| 45.4 + (i % 5) as f64 * 0.1).collect();
+        let test = welch_t_test(&padded, &uniform).unwrap();
+        assert!(test.p_greater() < 0.05, "padded energy must flag as higher");
+        let ok: Vec<f64> = (0..75).map(|i| 37.7 + (i % 5) as f64 * 0.1).collect();
+        let test = welch_t_test(&ok, &uniform).unwrap();
+        assert!(test.p_greater() > 0.05, "matching energy must not flag");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none()); // zero variances
+    }
+}

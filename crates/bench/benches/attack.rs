@@ -1,0 +1,66 @@
+//! Attacker-side costs: NMI estimation, permutation testing, AdaBoost.
+
+use age_attack::{nmi, permutation_test, AdaBoost, ClassifierAttack};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn observations(n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .map(|i| (i % 4, 200 + (i % 4) * 40 + (i * 31) % 25))
+        .collect()
+}
+
+fn bench_nmi(c: &mut Criterion) {
+    let obs = observations(1000);
+    let labels: Vec<usize> = obs.iter().map(|&(l, _)| l).collect();
+    let sizes: Vec<usize> = obs.iter().map(|&(_, s)| s).collect();
+    c.bench_function("nmi/1000_messages", |b| {
+        b.iter(|| black_box(nmi(black_box(&labels), black_box(&sizes))));
+    });
+    c.bench_function("permutation_test/100_perms", |b| {
+        b.iter(|| {
+            black_box(permutation_test(
+                black_box(&labels),
+                black_box(&sizes),
+                100,
+                7,
+            ))
+        });
+    });
+}
+
+fn bench_adaboost(c: &mut Criterion) {
+    let x: Vec<Vec<f64>> = (0..800)
+        .map(|i| {
+            let l = (i % 4) as f64;
+            vec![l * 10.0 + (i % 7) as f64, l * 5.0, (i % 13) as f64, l]
+        })
+        .collect();
+    let y: Vec<usize> = (0..800).map(|i| i % 4).collect();
+    c.bench_function("adaboost/fit_20x800", |b| {
+        b.iter(|| black_box(AdaBoost::fit(black_box(&x), black_box(&y), 4, 20)));
+    });
+    let model = AdaBoost::fit(&x, &y, 4, 20);
+    c.bench_function("adaboost/predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(&x[13]))));
+    });
+}
+
+fn bench_full_attack(c: &mut Criterion) {
+    let obs = observations(400);
+    let attack = ClassifierAttack {
+        total_samples: 300,
+        n_estimators: 10,
+        ..Default::default()
+    };
+    c.bench_function("classifier_attack/5fold_300", |b| {
+        b.iter(|| black_box(attack.run(black_box(&obs))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_nmi, bench_adaboost, bench_full_attack
+}
+criterion_main!(benches);

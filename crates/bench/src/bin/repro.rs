@@ -1,0 +1,56 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p age-bench --release --bin repro -- all
+//! cargo run -p age-bench --release --bin repro -- table4 fig6
+//! cargo run -p age-bench --release --bin repro -- --quick all
+//! cargo run -p age-bench --release --bin repro -- --full table6
+//! ```
+
+use std::time::Instant;
+
+use age_bench::{run_experiment, run_extension, Settings, EXPERIMENTS, EXTENSIONS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut settings = Settings::standard();
+    let mut ids: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => settings = Settings::quick(),
+            "--full" => settings = Settings::full(),
+            "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "extensions" => ids.extend(EXTENSIONS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--quick|--full] <experiment...|all|extensions>");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        eprintln!("extensions:  {}", EXTENSIONS.join(" "));
+        std::process::exit(2);
+    }
+    ids.dedup();
+
+    for id in &ids {
+        let start = Instant::now();
+        match run_experiment(id, &settings).or_else(|| run_extension(id, &settings)) {
+            Some(output) => {
+                println!("{output}");
+                println!(
+                    "[{} completed in {:.1}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}'; known: {} | extensions: {}",
+                    EXPERIMENTS.join(" "),
+                    EXTENSIONS.join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Baseline encoders: the leaky standard encoding and BuFLO-style padding.
+
+use age_fixed::{BitReader, BitWriter};
+
+use crate::batch::{Batch, BatchConfig};
+use crate::error::{DecodeError, EncodeError};
+use crate::Encoder;
+
+pub(crate) fn encode_standard(batch: &Batch, cfg: &BatchConfig) -> Result<BitWriter, EncodeError> {
+    if batch.len() > cfg.max_len() {
+        return Err(EncodeError::BatchTooLarge {
+            len: batch.len(),
+            max: cfg.max_len(),
+        });
+    }
+    if let Some(&last) = batch.indices().last() {
+        if last >= cfg.max_len() {
+            return Err(EncodeError::IndexOutOfRange {
+                index: last,
+                max: cfg.max_len(),
+            });
+        }
+    }
+    if !batch.is_empty() && batch.features() != cfg.features() {
+        return Err(EncodeError::FeatureMismatch {
+            got: batch.features(),
+            expected: cfg.features(),
+        });
+    }
+    let fmt = cfg.format();
+    let mut w = BitWriter::with_capacity(cfg.standard_message_bytes(batch.len()));
+    w.write_u16(batch.len() as u16);
+    for t in 0..batch.len() {
+        w.write_bits(batch.indices()[t] as u64, cfg.index_bits());
+        for &x in batch.measurement(t) {
+            w.write_bits(fmt.to_bits(fmt.quantize(x)), fmt.width());
+        }
+    }
+    Ok(w)
+}
+
+pub(crate) fn decode_standard(message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+    let fmt = cfg.format();
+    let mut r = BitReader::new(message);
+    let k = usize::from(r.read_u16()?);
+    if k > cfg.max_len() {
+        return Err(DecodeError::Corrupt(
+            "measurement count exceeds batch maximum",
+        ));
+    }
+    let mut indices = Vec::with_capacity(k);
+    let mut values = Vec::with_capacity(k * cfg.features());
+    for _ in 0..k {
+        indices.push(r.read_bits(cfg.index_bits())? as usize);
+        for _ in 0..cfg.features() {
+            values.push(fmt.dequantize(fmt.from_bits(r.read_bits(fmt.width())?)));
+        }
+    }
+    Batch::new(indices, values).map_err(|_| DecodeError::Corrupt("decoded indices not increasing"))
+}
+
+/// The standard adaptive-sampling message: a count, then each collected
+/// index with its full-width values. Message length is proportional to the
+/// number of collected measurements — this is the side-channel.
+///
+/// # Examples
+///
+/// ```
+/// use age_core::{Batch, BatchConfig, Encoder, StandardEncoder};
+/// use age_fixed::Format;
+///
+/// let cfg = BatchConfig::new(50, 6, Format::new(16, 13)?)?;
+/// let enc = StandardEncoder;
+/// let small = enc.encode(&Batch::new(vec![0], vec![0.0; 6])?, &cfg)?;
+/// let large = enc.encode(&Batch::new((0..40).collect(), vec![0.0; 240])?, &cfg)?;
+/// assert!(large.len() > small.len()); // leaks the collection rate
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardEncoder;
+
+impl Encoder for StandardEncoder {
+    fn name(&self) -> &'static str {
+        "Standard"
+    }
+
+    fn is_fixed_length(&self) -> bool {
+        false
+    }
+
+    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+        Ok(encode_standard(batch, cfg)?.into_bytes())
+    }
+
+    fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        decode_standard(message, cfg)
+    }
+}
+
+/// The padding defense (BuFLO-style, §5.1): standard encoding padded with
+/// zero bytes up to a fixed length — by default the size of a full batch.
+/// Lossless and leak-free, but the extra communication violates energy
+/// budgets on low-power sensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaddedEncoder {
+    pad_to: usize,
+}
+
+impl PaddedEncoder {
+    /// Pads to `pad_to` bytes — the paper's minimal padding uses the largest
+    /// batch observed in the evaluation data.
+    pub fn new(pad_to: usize) -> Self {
+        PaddedEncoder { pad_to }
+    }
+
+    /// Pads to the worst case for the configuration: a full batch of
+    /// `max_len` measurements.
+    pub fn for_config(cfg: &BatchConfig) -> Self {
+        PaddedEncoder {
+            pad_to: cfg.standard_message_bytes(cfg.max_len()),
+        }
+    }
+
+    /// The fixed message length in bytes.
+    pub fn pad_to(&self) -> usize {
+        self.pad_to
+    }
+}
+
+impl Encoder for PaddedEncoder {
+    fn name(&self) -> &'static str {
+        "Padded"
+    }
+
+    fn is_fixed_length(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+        let mut w = encode_standard(batch, cfg)?;
+        if w.byte_len() > self.pad_to {
+            return Err(EncodeError::TargetTooSmall {
+                target: self.pad_to,
+                min: w.byte_len(),
+            });
+        }
+        w.pad_to_bytes(self.pad_to);
+        Ok(w.into_bytes())
+    }
+
+    fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        decode_standard(message, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use age_fixed::Format;
+
+    fn cfg() -> BatchConfig {
+        BatchConfig::new(50, 6, Format::new(16, 13).unwrap()).unwrap()
+    }
+
+    fn batch(k: usize) -> Batch {
+        let values: Vec<f64> = (0..k * 6).map(|i| (i as f64) * 0.25 - 2.0).collect();
+        Batch::new((0..k).collect(), values).unwrap()
+    }
+
+    #[test]
+    fn standard_length_tracks_collection_count() {
+        let c = cfg();
+        let enc = StandardEncoder;
+        let sizes: Vec<usize> = [1usize, 10, 25, 50]
+            .iter()
+            .map(|&k| enc.encode(&batch(k), &c).unwrap().len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sizes[3], c.standard_message_bytes(50));
+    }
+
+    #[test]
+    fn standard_roundtrip_is_lossless_for_representable_values() {
+        let c = cfg();
+        let enc = StandardEncoder;
+        let fmt = c.format();
+        let values: Vec<f64> = (0..60)
+            .map(|i| fmt.round_trip(i as f64 * 0.03 - 1.0))
+            .collect();
+        let b = Batch::new((0..10).map(|i| i * 5).collect(), values.clone()).unwrap();
+        let out = enc.decode(&enc.encode(&b, &c).unwrap(), &c).unwrap();
+        assert_eq!(out.indices(), b.indices());
+        assert_eq!(out.values(), values.as_slice());
+    }
+
+    #[test]
+    fn padded_messages_have_constant_length() {
+        let c = cfg();
+        let enc = PaddedEncoder::for_config(&c);
+        let a = enc.encode(&batch(1), &c).unwrap();
+        let b = enc.encode(&batch(50), &c).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.standard_message_bytes(50));
+    }
+
+    #[test]
+    fn padded_roundtrip_ignores_padding() {
+        let c = cfg();
+        let enc = PaddedEncoder::for_config(&c);
+        let b = batch(7);
+        let out = enc.decode(&enc.encode(&b, &c).unwrap(), &c).unwrap();
+        assert_eq!(out.indices(), b.indices());
+    }
+
+    #[test]
+    fn padded_rejects_undersized_pad() {
+        let c = cfg();
+        let enc = PaddedEncoder::new(10);
+        assert!(matches!(
+            enc.encode(&batch(20), &c),
+            Err(EncodeError::TargetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batches_are_supported() {
+        let c = cfg();
+        let out = StandardEncoder
+            .decode(&StandardEncoder.encode(&Batch::empty(), &c).unwrap(), &c)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! The AGE encoder (paper §4).
+
+use age_fixed::{BitReader, BitWriter, Format};
+
+use crate::batch::{Batch, BatchConfig};
+use crate::error::{DecodeError, EncodeError};
+use crate::group::{
+    assign_widths, form_groups, measurement_exponents, merge_groups, merge_groups_rescoring,
+    optimize_partition, select_max_groups, Group,
+};
+use crate::prune::{prune, prune_count, prune_incremental};
+
+/// Bits used to store a group's exponent in the directory.
+pub(crate) const EXP_BITS: u8 = 6;
+/// Bits used to store a group's width in the directory.
+pub(crate) const WIDTH_BITS: u8 = 6;
+/// Bits of the `k` header field.
+pub(crate) const K_BITS: usize = 16;
+/// Bits of the group-count header field.
+pub(crate) const GROUP_COUNT_BITS: usize = 8;
+/// Maximum representable group count (8-bit header field).
+pub(crate) const MAX_GROUPS: usize = 255;
+
+/// Encodes every batch into a message of exactly the configured byte length
+/// (paper §4): pruning, exponent-aware grouping, and per-group quantization
+/// with round-robin width assignment.
+///
+/// The target length is the full message-body size; callers derive it from
+/// the energy budget via [`crate::target`] and subtract cipher framing.
+///
+/// # Examples
+///
+/// ```
+/// use age_core::{AgeEncoder, Batch, BatchConfig, Encoder};
+/// use age_fixed::Format;
+///
+/// let cfg = BatchConfig::new(50, 6, Format::new(16, 13)?)?;
+/// let enc = AgeEncoder::new(220);
+/// // An over-full batch and a tiny one produce identical lengths.
+/// let big = Batch::new((0..50).collect(), vec![0.25; 300])?;
+/// let small = Batch::new(vec![7], vec![0.25; 6])?;
+/// assert_eq!(enc.encode(&big, &cfg)?.len(), 220);
+/// assert_eq!(enc.encode(&small, &cfg)?.len(), 220);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgeEncoder {
+    target_bytes: usize,
+    min_width: u8,
+    min_groups: usize,
+    refined: bool,
+    split_groups: bool,
+}
+
+impl AgeEncoder {
+    /// Default minimum bits per value retained by pruning (`w_min`, §4.2).
+    pub const MIN_WIDTH: u8 = 5;
+    /// Default minimum number of groups (`G0`, §4.3).
+    pub const MIN_GROUPS: usize = 6;
+
+    /// Creates an encoder that emits messages of exactly `target_bytes`.
+    pub fn new(target_bytes: usize) -> Self {
+        AgeEncoder {
+            target_bytes,
+            min_width: Self::MIN_WIDTH,
+            min_groups: Self::MIN_GROUPS,
+            refined: false,
+            split_groups: true,
+        }
+    }
+
+    /// Enables or disables the group-split utilization pass (§4.3's
+    /// "expanding the number of groups when possible"). On by default;
+    /// turning it off reproduces a plain RLE+merge grouping for ablation.
+    pub fn with_group_splitting(mut self, split_groups: bool) -> Self {
+        self.split_groups = split_groups;
+        self
+    }
+
+    /// Enables the refinements the paper evaluates but rejects for MCU
+    /// deployment (§4.2/§4.3): incremental prune rescoring and per-merge
+    /// group rescoring. Slightly lower error at higher compute cost.
+    pub fn with_refinement(mut self, refined: bool) -> Self {
+        self.refined = refined;
+        self
+    }
+
+    /// Overrides the pruning width floor `w_min`.
+    pub fn with_min_width(mut self, min_width: u8) -> Self {
+        self.min_width = min_width.max(1);
+        self
+    }
+
+    /// Overrides the group floor `G0`.
+    pub fn with_min_groups(mut self, min_groups: usize) -> Self {
+        self.min_groups = min_groups.clamp(1, MAX_GROUPS);
+        self
+    }
+
+    /// The fixed message length in bytes.
+    pub fn target_bytes(&self) -> usize {
+        self.target_bytes
+    }
+
+    /// The pruning width floor `w_min`.
+    pub fn min_width(&self) -> u8 {
+        self.min_width
+    }
+
+    /// The group floor `G0`.
+    pub fn min_groups(&self) -> usize {
+        self.min_groups
+    }
+
+    /// Header + bitmask + group-count bits for a configuration.
+    fn fixed_bits(cfg: &BatchConfig) -> usize {
+        K_BITS + cfg.max_len() + GROUP_COUNT_BITS
+    }
+
+    /// Directory bits per group for a configuration.
+    fn entry_bits(cfg: &BatchConfig) -> usize {
+        usize::from(cfg.count_bits()) + usize::from(EXP_BITS) + usize::from(WIDTH_BITS)
+    }
+
+    /// Smallest feasible target in bytes for `cfg` (framing plus one group
+    /// directory entry).
+    pub fn min_target_bytes(cfg: &BatchConfig) -> usize {
+        (Self::fixed_bits(cfg) + Self::entry_bits(cfg)).div_ceil(8)
+    }
+
+    fn validate(&self, batch: &Batch, cfg: &BatchConfig) -> Result<(), EncodeError> {
+        if batch.len() > cfg.max_len() {
+            return Err(EncodeError::BatchTooLarge {
+                len: batch.len(),
+                max: cfg.max_len(),
+            });
+        }
+        if let Some(&last) = batch.indices().last() {
+            if last >= cfg.max_len() {
+                return Err(EncodeError::IndexOutOfRange {
+                    index: last,
+                    max: cfg.max_len(),
+                });
+            }
+        }
+        if !batch.is_empty() && batch.features() != cfg.features() {
+            return Err(EncodeError::FeatureMismatch {
+                got: batch.features(),
+                expected: cfg.features(),
+            });
+        }
+        let min = Self::min_target_bytes(cfg);
+        if self.target_bytes < min {
+            return Err(EncodeError::TargetTooSmall {
+                target: self.target_bytes,
+                min,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl crate::Encoder for AgeEncoder {
+    fn name(&self) -> &'static str {
+        "AGE"
+    }
+
+    fn is_fixed_length(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+        self.validate(batch, cfg)?;
+        let d = cfg.features();
+        let w0 = cfg.format().width();
+        let target_bits = self.target_bytes * 8;
+        let fixed_bits = Self::fixed_bits(cfg);
+        let entry_bits = Self::entry_bits(cfg);
+
+        // §4.2: prune so every survivor gets at least `min_width` bits, with
+        // directory space reserved for `G0` groups.
+        let prune_budget = target_bits
+            .saturating_sub(fixed_bits)
+            .saturating_sub(entry_bits * self.min_groups);
+        let drop = prune_count(batch.len(), d, self.min_width, prune_budget);
+        let pruned;
+        let batch = if drop > 0 {
+            pruned = if self.refined {
+                prune_incremental(batch, drop)
+            } else {
+                prune(batch, drop)
+            };
+            &pruned
+        } else {
+            batch
+        };
+        let k = batch.len();
+
+        // §4.3: exponent-aware groups, merged down to at most G.
+        let exponents = measurement_exponents(batch, cfg.format().integer_bits());
+        let groups = form_groups(&exponents);
+        let max_groups = select_max_groups(
+            target_bits.saturating_sub(fixed_bits),
+            k * d * usize::from(w0),
+            entry_bits,
+            self.min_groups,
+        )
+        .min(MAX_GROUPS);
+        let groups = if self.refined {
+            merge_groups_rescoring(groups, max_groups)
+        } else {
+            merge_groups(groups, max_groups)
+        };
+        // §4.3's utilization expansion: split homogeneous runs when a
+        // directory entry buys back more padding than it costs.
+        let groups = if self.split_groups {
+            optimize_partition(
+                groups,
+                d,
+                w0,
+                target_bits.saturating_sub(fixed_bits),
+                entry_bits,
+                max_groups,
+            )
+        } else {
+            groups
+        };
+
+        // §4.4: per-group widths under the remaining budget.
+        let data_budget = target_bits
+            .saturating_sub(fixed_bits)
+            .saturating_sub(entry_bits * groups.len());
+        let widths = assign_widths(&groups, d, w0, data_budget);
+
+        // Assemble the message.
+        let mut w = BitWriter::with_capacity(self.target_bytes);
+        w.write_u16(k as u16);
+        let mut mask_iter = batch.indices().iter().peekable();
+        for t in 0..cfg.max_len() {
+            let collected = matches!(mask_iter.peek(), Some(&&idx) if idx == t);
+            if collected {
+                mask_iter.next();
+            }
+            w.write_bits(u64::from(collected), 1);
+        }
+        w.write_u8(groups.len() as u8);
+        for (g, &width) in groups.iter().zip(&widths) {
+            w.write_bits(g.count as u64, cfg.count_bits());
+            w.write_bits(u64::from(g.exponent), EXP_BITS);
+            w.write_bits(u64::from(width), WIDTH_BITS);
+        }
+        let mut t = 0usize;
+        for (g, &width) in groups.iter().zip(&widths) {
+            if width == 0 {
+                t += g.count;
+                continue;
+            }
+            let fmt = Format::new(width, i16::from(width) - i16::from(g.exponent))
+                .expect("group widths and exponents always form a valid format");
+            for _ in 0..g.count {
+                for &x in batch.measurement(t) {
+                    w.write_bits(fmt.to_bits(fmt.quantize(x)), width);
+                }
+                t += 1;
+            }
+        }
+        debug_assert_eq!(t, k);
+        w.pad_to_bytes(self.target_bytes);
+        let bytes = w.into_bytes();
+        debug_assert_eq!(bytes.len(), self.target_bytes);
+        Ok(bytes)
+    }
+
+    fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        let d = cfg.features();
+        let mut r = BitReader::new(message);
+        let k = usize::from(r.read_u16()?);
+        if k > cfg.max_len() {
+            return Err(DecodeError::Corrupt(
+                "measurement count exceeds batch maximum",
+            ));
+        }
+        let mut indices = Vec::with_capacity(k);
+        for t in 0..cfg.max_len() {
+            if r.read_bits(1)? == 1 {
+                indices.push(t);
+            }
+        }
+        if indices.len() != k {
+            return Err(DecodeError::Corrupt(
+                "bitmask population differs from header count",
+            ));
+        }
+        let num_groups = usize::from(r.read_u8()?);
+        let mut groups = Vec::with_capacity(num_groups);
+        let mut widths = Vec::with_capacity(num_groups);
+        let mut total = 0usize;
+        for _ in 0..num_groups {
+            let count = r.read_bits(cfg.count_bits())? as usize;
+            let exponent = r.read_bits(EXP_BITS)? as u8;
+            let width = r.read_bits(WIDTH_BITS)? as u8;
+            if exponent == 0 {
+                return Err(DecodeError::Corrupt("group exponent of zero"));
+            }
+            if width > Format::MAX_WIDTH {
+                return Err(DecodeError::Corrupt("group width exceeds format maximum"));
+            }
+            total += count;
+            groups.push(Group { count, exponent });
+            widths.push(width);
+        }
+        if total != k {
+            return Err(DecodeError::Corrupt(
+                "group counts disagree with measurement count",
+            ));
+        }
+        let mut values = Vec::with_capacity(k * d);
+        for (g, &width) in groups.iter().zip(&widths) {
+            if width == 0 {
+                values.extend(std::iter::repeat_n(0.0, g.count * d));
+                continue;
+            }
+            let fmt = Format::new(width, i16::from(width) - i16::from(g.exponent))
+                .map_err(|_| DecodeError::Corrupt("group width/exponent pair is invalid"))?;
+            for _ in 0..g.count * d {
+                let bits = r.read_bits(width)?;
+                values.push(fmt.dequantize(fmt.from_bits(bits)));
+            }
+        }
+        Batch::new(indices, values)
+            .map_err(|_| DecodeError::Corrupt("decoded batch failed validation"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoder;
+
+    fn cfg() -> BatchConfig {
+        BatchConfig::new(50, 6, Format::new(16, 13).unwrap()).unwrap()
+    }
+
+    fn ramp_batch(k: usize, d: usize) -> Batch {
+        let indices: Vec<usize> = (0..k).collect();
+        let values: Vec<f64> = (0..k * d).map(|i| (i as f64 * 0.01) % 3.0 - 1.5).collect();
+        Batch::new(indices, values).unwrap()
+    }
+
+    #[test]
+    fn messages_are_always_target_sized() {
+        let enc = AgeEncoder::new(220);
+        let c = cfg();
+        for k in [0usize, 1, 5, 25, 50] {
+            let batch = ramp_batch(k, 6);
+            let msg = enc.encode(&batch, &c).unwrap();
+            assert_eq!(msg.len(), 220, "k={k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_indices_exactly() {
+        let enc = AgeEncoder::new(220);
+        let c = cfg();
+        let batch = Batch::new(vec![0, 3, 17, 42, 49], vec![0.5; 30]).unwrap();
+        let out = enc.decode(&enc.encode(&batch, &c).unwrap(), &c).unwrap();
+        assert_eq!(out.indices(), batch.indices());
+    }
+
+    #[test]
+    fn roundtrip_error_is_small_under_generous_budget() {
+        let enc = AgeEncoder::new(400);
+        let c = cfg();
+        let batch = ramp_batch(30, 6);
+        let out = enc.decode(&enc.encode(&batch, &c).unwrap(), &c).unwrap();
+        for (a, b) in batch.values().iter().zip(out.values()) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn full_width_roundtrip_is_exact_for_representable_values() {
+        // Under-sampling: few measurements, generous budget => full width.
+        let enc = AgeEncoder::new(220);
+        let c = cfg();
+        let fmt = c.format();
+        let values: Vec<f64> = (0..18)
+            .map(|i| fmt.round_trip(i as f64 * 0.17 - 1.0))
+            .collect();
+        let batch = Batch::new((0..3).map(|i| i * 10).collect(), values.clone()).unwrap();
+        let out = enc.decode(&enc.encode(&batch, &c).unwrap(), &c).unwrap();
+        for (a, b) in values.iter().zip(out.values()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn extreme_oversampling_prunes_instead_of_dropping_all() {
+        // Target that cannot hold 50×6 values even at 1 bit each: AGE should
+        // keep a pruned subset, not return an empty batch.
+        let c = cfg();
+        let enc = AgeEncoder::new(35);
+        let batch = ramp_batch(50, 6);
+        let out = enc.decode(&enc.encode(&batch, &c).unwrap(), &c).unwrap();
+        assert!(!out.is_empty());
+        assert!(out.len() < 50);
+        // Every survivor got at least MIN_WIDTH bits, so error is bounded.
+        assert_eq!(enc.encode(&batch, &c).unwrap().len(), 35);
+    }
+
+    #[test]
+    fn dynamic_range_beats_static_exponent() {
+        // Values needing n=1 get quantized much better than a static n0=3
+        // would allow at small widths.
+        let c = cfg();
+        let enc = AgeEncoder::new(60);
+        let k = 30;
+        let values: Vec<f64> = (0..k * 6).map(|i| 0.1 + 0.001 * (i as f64)).collect();
+        let batch = Batch::new((0..k).collect(), values.clone()).unwrap();
+        let out = enc.decode(&enc.encode(&batch, &c).unwrap(), &c).unwrap();
+        let mae: f64 = out
+            .values()
+            .iter()
+            .zip(&values)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / values.len() as f64;
+        assert!(mae < 0.05, "mae={mae}");
+    }
+
+    #[test]
+    fn rejects_invalid_batches() {
+        let c = cfg();
+        let enc = AgeEncoder::new(220);
+        let too_big = Batch::new((0..51).collect(), vec![0.0; 51 * 6]).unwrap();
+        assert!(matches!(
+            enc.encode(&too_big, &BatchConfig::new(50, 6, c.format()).unwrap()),
+            Err(EncodeError::BatchTooLarge { .. })
+        ));
+        let out_of_range = Batch::new(vec![50], vec![0.0; 6]).unwrap();
+        assert!(matches!(
+            enc.encode(&out_of_range, &c),
+            Err(EncodeError::IndexOutOfRange { .. })
+        ));
+        let wrong_d = Batch::new(vec![0], vec![0.0; 3]).unwrap();
+        assert!(matches!(
+            enc.encode(&wrong_d, &c),
+            Err(EncodeError::FeatureMismatch { .. })
+        ));
+        let tiny = AgeEncoder::new(2);
+        assert!(matches!(
+            tiny.encode(&Batch::empty(), &c),
+            Err(EncodeError::TargetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_messages() {
+        let c = cfg();
+        let enc = AgeEncoder::new(220);
+        let msg = enc.encode(&ramp_batch(10, 6), &c).unwrap();
+        // Claim more measurements than the bitmask carries.
+        let mut bad = msg.clone();
+        bad[0] = 0xFF;
+        bad[1] = 0xFF;
+        assert!(enc.decode(&bad, &c).is_err());
+        // Truncated message.
+        assert!(matches!(
+            enc.decode(&msg[..4], &c),
+            Err(DecodeError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let c = cfg();
+        let enc = AgeEncoder::new(220);
+        let msg = enc.encode(&Batch::empty(), &c).unwrap();
+        assert_eq!(msg.len(), 220);
+        let out = enc.decode(&msg, &c).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn width_assignment_mimics_fractional_bits() {
+        // Paper §4.4 example: M_B=220, k=50, d=6 with 5 groups of 10 should
+        // give one group 5 bits and four groups 6 bits (218 data bytes).
+        let groups = vec![
+            Group {
+                count: 10,
+                exponent: 3
+            };
+            5
+        ];
+        let widths = assign_widths(&groups, 6, 16, 220 * 8 - 16 - 50 - 8 - 5 * 18);
+        let total_bits: usize = groups
+            .iter()
+            .zip(&widths)
+            .map(|(g, &w)| g.count * 6 * usize::from(w))
+            .sum();
+        assert!(total_bits <= 220 * 8);
+        // Better utilization than the uniform width of 5 bits (1500 bits).
+        assert!(
+            total_bits > 1500,
+            "round robin should exceed uniform packing"
+        );
+        let max = *widths.iter().max().unwrap();
+        let min = *widths.iter().min().unwrap();
+        assert!(max - min <= 1, "round robin keeps widths within one bit");
+    }
+
+    #[test]
+    fn min_target_accounts_for_framing() {
+        let c = cfg();
+        // 16 (k) + 50 (bitmask) + 8 (count) + 18 (one entry) bits = 12 bytes.
+        assert_eq!(AgeEncoder::min_target_bytes(&c), 12);
+    }
+}

@@ -1,0 +1,573 @@
+//! Exponent-aware group formation (paper §4.3).
+//!
+//! Fixed-point quantization with a static exponent wastes precision when the
+//! data range varies. AGE computes the required exponent (non-fractional
+//! width, including the sign bit) for each measurement, run-length encodes
+//! the exponent sequence into groups of adjacent measurements, and — because
+//! RLE has no worst-case guarantee — greedily merges adjacent groups until
+//! at most `G` remain, scoring a candidate merge of `g1, g2` as
+//!
+//! ```text
+//! Score(g1, g2) = Count(g1) + Count(g2) + 2·|n1 − n2|
+//! ```
+//!
+//! Merged groups adopt `max(n1, n2)` to avoid saturating large values. The
+//! factor of two is implementable with a bit shift on an MCU. Scores are
+//! computed once, and merges applied in ascending initial-score order (the
+//! paper notes rescoring after each merge is not worth the MCU overhead).
+
+use age_fixed::required_integer_bits;
+
+use crate::batch::Batch;
+
+/// A run of adjacent measurements sharing an exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// Number of measurements in the group.
+    pub count: usize,
+    /// Non-fractional bits (including sign) for every value in the group.
+    pub exponent: u8,
+}
+
+/// Per-measurement exponent: the widest exponent needed by any of the
+/// measurement's features, clamped to `max_n`.
+pub fn measurement_exponents(batch: &Batch, max_n: u8) -> Vec<u8> {
+    (0..batch.len())
+        .map(|t| {
+            batch
+                .measurement(t)
+                .iter()
+                .map(|&x| required_integer_bits(x, max_n))
+                .max()
+                .unwrap_or(1)
+        })
+        .collect()
+}
+
+/// Run-length encodes an exponent sequence into maximal groups.
+pub fn form_groups(exponents: &[u8]) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    for &n in exponents {
+        match groups.last_mut() {
+            Some(g) if g.exponent == n => g.count += 1,
+            _ => groups.push(Group {
+                count: 1,
+                exponent: n,
+            }),
+        }
+    }
+    groups
+}
+
+/// Greedily merges adjacent groups (ascending initial score) until at most
+/// `max_groups` remain. Skipped entirely when already within the cap.
+pub fn merge_groups(groups: Vec<Group>, max_groups: usize) -> Vec<Group> {
+    let max_groups = max_groups.max(1);
+    if groups.len() <= max_groups {
+        return groups;
+    }
+    // Initial scores of each adjacent pair (i, i+1), fixed up-front.
+    let initial_score = |a: &Group, b: &Group| -> i64 {
+        a.count as i64 + b.count as i64 + 2 * (i64::from(a.exponent) - i64::from(b.exponent)).abs()
+    };
+    let mut order: Vec<usize> = (0..groups.len() - 1).collect();
+    let scores: Vec<i64> = order
+        .iter()
+        .map(|&i| initial_score(&groups[i], &groups[i + 1]))
+        .collect();
+    order.sort_by_key(|&i| (scores[i], i));
+
+    // Union-find over original group slots; each merge joins slot i+1 into
+    // the set containing slot i.
+    let mut parent: Vec<usize> = (0..groups.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut remaining = groups.len();
+    for &i in &order {
+        if remaining <= max_groups {
+            break;
+        }
+        let left = find(&mut parent, i);
+        let right = find(&mut parent, i + 1);
+        if left != right {
+            parent[right] = left;
+            remaining -= 1;
+        }
+    }
+
+    // Collapse to final groups, preserving order; each set is a contiguous
+    // span because only adjacent pairs merge.
+    let mut merged: Vec<Group> = Vec::with_capacity(remaining);
+    let mut last_root: Option<usize> = None;
+    for (i, g) in groups.iter().enumerate() {
+        let root = find(&mut parent, i);
+        match last_root {
+            Some(r) if r == root => {
+                let tail = merged.last_mut().expect("root seen implies a group exists");
+                tail.count += g.count;
+                tail.exponent = tail.exponent.max(g.exponent);
+            }
+            _ => {
+                merged.push(*g);
+                last_root = Some(root);
+            }
+        }
+    }
+    merged
+}
+
+/// Merging with score recomputation after every merge — the refinement the
+/// paper mentions and rejects for MCU deployment (§4.3: "an algorithm that
+/// updates scores after each merge yields a better approximation" but "the
+/// benefits … are not worth the overhead on an MCU").
+///
+/// Worst-case `O(g²)` versus the one-shot version's `O(g log g)`.
+pub fn merge_groups_rescoring(mut groups: Vec<Group>, max_groups: usize) -> Vec<Group> {
+    let max_groups = max_groups.max(1);
+    while groups.len() > max_groups {
+        let (best, _) = groups
+            .windows(2)
+            .enumerate()
+            .map(|(i, pair)| {
+                let score = pair[0].count as i64
+                    + pair[1].count as i64
+                    + 2 * (i64::from(pair[0].exponent) - i64::from(pair[1].exponent)).abs();
+                (i, score)
+            })
+            .min_by_key(|&(i, score)| (score, i))
+            .expect("len > max_groups >= 1 implies an adjacent pair");
+        groups[best] = Group {
+            count: groups[best].count + groups[best + 1].count,
+            exponent: groups[best].exponent.max(groups[best + 1].exponent),
+        };
+        groups.remove(best + 1);
+    }
+    groups
+}
+
+/// Selects the maximum group count `G` (paper §4.3): the greatest number of
+/// groups whose metadata fits in the bytes left after reserving space for
+/// every value at the full original width, but never fewer than `min_groups`
+/// (`G0`).
+///
+/// * `target_bits`: space available for the group directory plus data.
+/// * `full_width_bits`: `k · d · w0`, the data size with no compression.
+/// * `entry_bits`: directory bits per group (count + exponent + width).
+pub fn select_max_groups(
+    target_bits: usize,
+    full_width_bits: usize,
+    entry_bits: usize,
+    min_groups: usize,
+) -> usize {
+    let spare = target_bits.saturating_sub(full_width_bits);
+    let by_space = spare.checked_div(entry_bits).unwrap_or(0);
+    by_space.max(min_groups)
+}
+
+/// Round-robin width assignment (§4.4): every group starts at the widest
+/// uniform feasible base, then groups take single-bit increments while the
+/// data budget allows, mimicking fractional widths.
+pub fn assign_widths(
+    groups: &[Group],
+    features: usize,
+    full_width: u8,
+    data_budget_bits: usize,
+) -> Vec<u8> {
+    let total_values: usize = groups.iter().map(|g| g.count * features).sum();
+    if total_values == 0 {
+        return Vec::new();
+    }
+    let base = (data_budget_bits / total_values).min(usize::from(full_width)) as u8;
+    let mut widths = vec![base; groups.len()];
+    let mut used: usize = total_values * usize::from(base);
+    loop {
+        let mut changed = false;
+        for (i, g) in groups.iter().enumerate() {
+            let cost = g.count * features;
+            if widths[i] < full_width && used + cost <= data_budget_bits {
+                widths[i] += 1;
+                used += cost;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    widths
+}
+
+/// Splits groups to improve byte utilization (§4.3: "by expanding the
+/// number of groups when possible, AGE reduces space wasted on padding").
+///
+/// A single homogeneous-exponent group gives the round-robin assignment no
+/// granularity: its bump unit is the whole batch, so up to one bit per
+/// value can go to padding. Splitting a run costs one directory entry
+/// (`entry_bits`) but shrinks the bump unit. This routine simulates the
+/// §4.4 assignment for each candidate group count up to `max_groups` and
+/// keeps the partition with the fewest wasted bits. Deterministic and
+/// cheap (`max_groups` is small), so an MCU can afford it.
+///
+/// `avail_bits` is the space for directory + data together.
+pub fn optimize_partition(
+    groups: Vec<Group>,
+    features: usize,
+    full_width: u8,
+    avail_bits: usize,
+    entry_bits: usize,
+    max_groups: usize,
+) -> Vec<Group> {
+    let k: usize = groups.iter().map(|g| g.count).sum();
+    if k == 0 || groups.is_empty() {
+        return groups;
+    }
+    let cap = max_groups.min(k).max(groups.len());
+    // Objective: maximize the bits that actually carry measurement data.
+    // Directory growth is only worthwhile when it buys strictly more data
+    // bits, so ties keep the smaller partition.
+    let used_of = |candidate: &[Group]| -> usize {
+        let dir = candidate.len() * entry_bits;
+        let data_budget = avail_bits.saturating_sub(dir);
+        let widths = assign_widths(candidate, features, full_width, data_budget);
+        candidate
+            .iter()
+            .zip(&widths)
+            .map(|(g, &w)| g.count * features * usize::from(w))
+            .sum()
+    };
+
+    let mut best = groups.clone();
+    let mut best_used = used_of(&best);
+    let mut current = groups;
+    while current.len() < cap {
+        // Split the group with the most measurements into two halves.
+        let (idx, _) = current
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, g)| (g.count, usize::MAX - i))
+            .expect("non-empty by construction");
+        if current[idx].count < 2 {
+            break;
+        }
+        let g = current[idx];
+        let left = Group {
+            count: g.count / 2 + g.count % 2,
+            exponent: g.exponent,
+        };
+        let right = Group {
+            count: g.count / 2,
+            exponent: g.exponent,
+        };
+        current[idx] = left;
+        current.insert(idx + 1, right);
+        let used = used_of(&current);
+        if used > best_used {
+            best_used = used;
+            best = current.clone();
+        } else if used + 4 * entry_bits < best_used {
+            // The directory cost now dominates any granularity gain.
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+
+    #[test]
+    fn exponents_take_feature_max() {
+        let b = Batch::new(vec![0, 1], vec![0.4, 3.0, 0.1, 0.2]).unwrap();
+        let e = measurement_exponents(&b, 16);
+        assert_eq!(e, vec![3, 1]); // 3.0 needs n=3; both small in second row
+    }
+
+    #[test]
+    fn exponents_clamp_to_max() {
+        let b = Batch::new(vec![0], vec![1e9]).unwrap();
+        assert_eq!(measurement_exponents(&b, 12), vec![12]);
+    }
+
+    #[test]
+    fn rle_forms_maximal_runs() {
+        let groups = form_groups(&[2, 2, 2, 5, 5, 1]);
+        assert_eq!(
+            groups,
+            vec![
+                Group {
+                    count: 3,
+                    exponent: 2
+                },
+                Group {
+                    count: 2,
+                    exponent: 5
+                },
+                Group {
+                    count: 1,
+                    exponent: 1
+                },
+            ]
+        );
+        assert!(form_groups(&[]).is_empty());
+    }
+
+    #[test]
+    fn merge_noop_when_within_cap() {
+        let groups = form_groups(&[1, 2, 1]);
+        assert_eq!(merge_groups(groups.clone(), 3), groups);
+        assert_eq!(merge_groups(groups.clone(), 10), groups);
+    }
+
+    #[test]
+    fn merge_prefers_small_similar_groups() {
+        // Pairs: (a,b) score 1+1+2*1=4, (b,c) score 1+10+2*0=11.
+        let groups = vec![
+            Group {
+                count: 1,
+                exponent: 3,
+            },
+            Group {
+                count: 1,
+                exponent: 4,
+            },
+            Group {
+                count: 10,
+                exponent: 4,
+            },
+        ];
+        let merged = merge_groups(groups, 2);
+        assert_eq!(
+            merged,
+            vec![
+                Group {
+                    count: 2,
+                    exponent: 4
+                },
+                Group {
+                    count: 10,
+                    exponent: 4
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_takes_max_exponent() {
+        let groups = vec![
+            Group {
+                count: 2,
+                exponent: 7,
+            },
+            Group {
+                count: 2,
+                exponent: 3,
+            },
+        ];
+        let merged = merge_groups(groups, 1);
+        assert_eq!(
+            merged,
+            vec![Group {
+                count: 4,
+                exponent: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn merge_to_one_group_preserves_count() {
+        let groups = form_groups(&[1, 2, 3, 4, 5, 4, 3, 2, 1]);
+        let merged = merge_groups(groups, 1);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].count, 9);
+        assert_eq!(merged[0].exponent, 5);
+    }
+
+    #[test]
+    fn merge_cascade_through_shared_groups() {
+        // Four unit groups; merging (0,1) and (1,2) must cascade into one
+        // span containing slots 0..=2.
+        let groups = vec![
+            Group {
+                count: 1,
+                exponent: 1,
+            },
+            Group {
+                count: 1,
+                exponent: 1,
+            },
+            Group {
+                count: 1,
+                exponent: 1,
+            },
+            Group {
+                count: 50,
+                exponent: 9,
+            },
+        ];
+        let merged = merge_groups(groups, 2);
+        assert_eq!(
+            merged,
+            vec![
+                Group {
+                    count: 3,
+                    exponent: 1
+                },
+                Group {
+                    count: 50,
+                    exponent: 9
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn rescoring_merge_respects_cap_and_counts() {
+        let groups = form_groups(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        for cap in 1..=8 {
+            let merged = merge_groups_rescoring(groups.clone(), cap);
+            assert!(merged.len() <= cap);
+            assert_eq!(merged.iter().map(|g| g.count).sum::<usize>(), 8);
+        }
+    }
+
+    #[test]
+    fn rescoring_merge_matches_one_shot_on_easy_inputs() {
+        // When pair scores are well separated both algorithms agree.
+        let groups = vec![
+            Group {
+                count: 1,
+                exponent: 2,
+            },
+            Group {
+                count: 1,
+                exponent: 2,
+            },
+            Group {
+                count: 40,
+                exponent: 9,
+            },
+        ];
+        assert_eq!(
+            merge_groups(groups.clone(), 2),
+            merge_groups_rescoring(groups, 2)
+        );
+    }
+
+    #[test]
+    fn rescoring_merge_handles_chained_merges() {
+        // After merging the two cheapest, the combined group's score rises,
+        // steering the next merge elsewhere — the case one-shot gets wrong.
+        let groups = vec![
+            Group {
+                count: 1,
+                exponent: 1,
+            },
+            Group {
+                count: 1,
+                exponent: 1,
+            },
+            Group {
+                count: 2,
+                exponent: 1,
+            },
+            Group {
+                count: 3,
+                exponent: 8,
+            },
+            Group {
+                count: 3,
+                exponent: 8,
+            },
+        ];
+        let merged = merge_groups_rescoring(groups, 2);
+        assert_eq!(merged.len(), 2);
+        // The small exponent-1 groups coalesce; the exponent-8 pair stays
+        // merged separately, keeping exponents tight.
+        assert_eq!(merged[0].exponent, 1);
+        assert_eq!(merged[1].exponent, 8);
+    }
+
+    #[test]
+    fn assign_widths_round_robin_fills_budget() {
+        let groups = vec![
+            Group {
+                count: 10,
+                exponent: 3
+            };
+            5
+        ];
+        // 5 groups × 10 measurements × 6 features = 300 values.
+        let widths = assign_widths(&groups, 6, 16, 1650);
+        let used: usize = groups
+            .iter()
+            .zip(&widths)
+            .map(|(g, &w)| g.count * 6 * usize::from(w))
+            .sum();
+        assert!(used <= 1650);
+        assert!(1650 - used < 60, "waste {}", 1650 - used);
+        assert!(widths.iter().all(|&w| w == 5 || w == 6));
+    }
+
+    #[test]
+    fn optimize_partition_splits_homogeneous_runs() {
+        // One group of 50: the bump unit is 300 bits, wasting ~170 of the
+        // leftover budget. Splitting must recover most of it.
+        let groups = vec![Group {
+            count: 50,
+            exponent: 2,
+        }];
+        let avail = 1686; // bits for directory + data
+        let best = optimize_partition(groups, 6, 16, avail, 18, 6);
+        assert!(best.len() > 1, "should have split");
+        assert_eq!(best.iter().map(|g| g.count).sum::<usize>(), 50);
+        assert!(best.iter().all(|g| g.exponent == 2));
+        // Waste with the chosen partition is under one value-bump.
+        let dir = best.len() * 18;
+        let widths = assign_widths(&best, 6, 16, avail - dir);
+        let used: usize = best
+            .iter()
+            .zip(&widths)
+            .map(|(g, &w)| g.count * 6 * usize::from(w))
+            .sum();
+        assert!(avail - dir - used < 300, "waste {}", avail - dir - used);
+    }
+
+    #[test]
+    fn optimize_partition_keeps_generous_budgets_unsplit() {
+        // Full width already fits: splitting only wastes directory space.
+        let groups = vec![Group {
+            count: 10,
+            exponent: 3,
+        }];
+        let best = optimize_partition(groups.clone(), 2, 16, 10_000, 18, 50);
+        assert_eq!(best, groups);
+    }
+
+    #[test]
+    fn optimize_partition_handles_edge_cases() {
+        assert!(optimize_partition(Vec::new(), 3, 16, 100, 18, 6).is_empty());
+        let singleton = vec![Group {
+            count: 1,
+            exponent: 4,
+        }];
+        assert_eq!(
+            optimize_partition(singleton.clone(), 3, 16, 100, 18, 6),
+            singleton
+        );
+    }
+
+    #[test]
+    fn select_max_groups_floors_at_g0() {
+        // Over-sampling: no spare bytes at full width => G0.
+        assert_eq!(select_max_groups(1000, 5000, 20, 6), 6);
+        // Under-sampling: plenty of spare => more groups allowed.
+        assert_eq!(select_max_groups(5000, 1000, 20, 6), 200);
+    }
+}

@@ -1,0 +1,262 @@
+//! Message-layout introspection: parse an AGE message and report where the
+//! bits went.
+//!
+//! Useful for debugging encoder configurations, for documenting the wire
+//! format, and for verifying the §4.4 claim that per-group widths waste
+//! almost no space on padding.
+
+use age_fixed::BitReader;
+
+use crate::batch::BatchConfig;
+use crate::error::DecodeError;
+
+/// One group's directory entry as it appears on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLayout {
+    /// Measurements in the group.
+    pub count: usize,
+    /// Non-fractional bits (exponent).
+    pub exponent: u8,
+    /// Assigned quantization width.
+    pub width: u8,
+    /// Data bits consumed by the group (`count · d · width`).
+    pub data_bits: usize,
+}
+
+/// A fully parsed AGE message layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageLayout {
+    /// Total message bytes.
+    pub total_bytes: usize,
+    /// Collected measurement count `k`.
+    pub measurements: usize,
+    /// Bits spent on the fixed header (count + bitmask + group count).
+    pub header_bits: usize,
+    /// Bits spent on the group directory.
+    pub directory_bits: usize,
+    /// Bits spent on quantized measurement data.
+    pub data_bits: usize,
+    /// Zero-padding bits at the tail.
+    pub padding_bits: usize,
+    /// Per-group layouts in wire order.
+    pub groups: Vec<GroupLayout>,
+}
+
+impl MessageLayout {
+    /// Fraction of the message carrying measurement data.
+    pub fn data_fraction(&self) -> f64 {
+        self.data_bits as f64 / (self.total_bytes * 8) as f64
+    }
+
+    /// Fraction of the message wasted on tail padding — the §4.4 round-robin
+    /// width assignment keeps this small.
+    pub fn padding_fraction(&self) -> f64 {
+        self.padding_bits as f64 / (self.total_bytes * 8) as f64
+    }
+
+    /// Mean bits per value across groups (the "fractional width" AGE
+    /// effectively achieves), or 0 for an empty message.
+    pub fn effective_width(&self, features: usize) -> f64 {
+        let values: usize = self.groups.iter().map(|g| g.count * features).sum();
+        if values == 0 {
+            0.0
+        } else {
+            self.data_bits as f64 / values as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MessageLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} bytes: {} measurements in {} groups",
+            self.total_bytes,
+            self.measurements,
+            self.groups.len()
+        )?;
+        writeln!(
+            f,
+            "  header {} b, directory {} b, data {} b, padding {} b",
+            self.header_bits, self.directory_bits, self.data_bits, self.padding_bits
+        )?;
+        for (i, g) in self.groups.iter().enumerate() {
+            writeln!(
+                f,
+                "  group {i}: {} × n={} w={} ({} data bits)",
+                g.count, g.exponent, g.width, g.data_bits
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses the layout of an AGE message produced by
+/// [`crate::AgeEncoder::encode`](crate::Encoder::encode).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or structurally invalid input.
+///
+/// # Examples
+///
+/// ```
+/// use age_core::{inspect_message, AgeEncoder, Batch, BatchConfig, Encoder};
+/// use age_fixed::Format;
+///
+/// let cfg = BatchConfig::new(50, 6, Format::new(16, 13)?)?;
+/// let msg = AgeEncoder::new(220).encode(&Batch::new(vec![0, 9], vec![0.5; 12])?, &cfg)?;
+/// let layout = inspect_message(&msg, &cfg)?;
+/// assert_eq!(layout.measurements, 2);
+/// assert_eq!(
+///     layout.header_bits + layout.directory_bits + layout.data_bits + layout.padding_bits,
+///     220 * 8
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn inspect_message(message: &[u8], cfg: &BatchConfig) -> Result<MessageLayout, DecodeError> {
+    const EXP_BITS: u8 = 6;
+    const WIDTH_BITS: u8 = 6;
+    let d = cfg.features();
+    let mut r = BitReader::new(message);
+    let k = usize::from(r.read_u16()?);
+    if k > cfg.max_len() {
+        return Err(DecodeError::Corrupt(
+            "measurement count exceeds batch maximum",
+        ));
+    }
+    let mut popcount = 0usize;
+    for _ in 0..cfg.max_len() {
+        popcount += r.read_bits(1)? as usize;
+    }
+    if popcount != k {
+        return Err(DecodeError::Corrupt(
+            "bitmask population differs from header count",
+        ));
+    }
+    let num_groups = usize::from(r.read_u8()?);
+    let header_bits = 16 + cfg.max_len() + 8;
+
+    let mut groups = Vec::with_capacity(num_groups);
+    let mut total_count = 0usize;
+    let mut data_bits = 0usize;
+    for _ in 0..num_groups {
+        let count = r.read_bits(cfg.count_bits())? as usize;
+        let exponent = r.read_bits(EXP_BITS)? as u8;
+        let width = r.read_bits(WIDTH_BITS)? as u8;
+        let bits = count * d * usize::from(width);
+        groups.push(GroupLayout {
+            count,
+            exponent,
+            width,
+            data_bits: bits,
+        });
+        total_count += count;
+        data_bits += bits;
+    }
+    if total_count != k {
+        return Err(DecodeError::Corrupt(
+            "group counts disagree with measurement count",
+        ));
+    }
+    let directory_bits = num_groups
+        * (usize::from(cfg.count_bits()) + usize::from(EXP_BITS) + usize::from(WIDTH_BITS));
+    let used = header_bits + directory_bits + data_bits;
+    let total_bits = message.len() * 8;
+    if used > total_bits {
+        return Err(DecodeError::Corrupt(
+            "declared content exceeds message length",
+        ));
+    }
+    Ok(MessageLayout {
+        total_bytes: message.len(),
+        measurements: k,
+        header_bits,
+        directory_bits,
+        data_bits,
+        padding_bits: total_bits - used,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AgeEncoder, Batch, Encoder};
+    use age_fixed::Format;
+
+    fn cfg() -> BatchConfig {
+        BatchConfig::new(50, 6, Format::new(16, 13).unwrap()).unwrap()
+    }
+
+    fn encode(k: usize, target: usize) -> (Vec<u8>, BatchConfig) {
+        let c = cfg();
+        let values: Vec<f64> = (0..k * 6)
+            .map(|i| ((i as f64) * 0.31).sin() * 2.0)
+            .collect();
+        let batch = Batch::new((0..k).collect(), values).unwrap();
+        (AgeEncoder::new(target).encode(&batch, &c).unwrap(), c)
+    }
+
+    #[test]
+    fn sections_account_for_every_bit() {
+        for k in [0usize, 1, 20, 50] {
+            let (msg, c) = encode(k, 220);
+            let layout = inspect_message(&msg, &c).unwrap();
+            assert_eq!(layout.measurements, k);
+            assert_eq!(
+                layout.header_bits + layout.directory_bits + layout.data_bits + layout.padding_bits,
+                220 * 8,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn padding_is_small_under_compression() {
+        // §4.4: per-group widths mimic fractional widths, wasting ~1%.
+        let (msg, c) = encode(50, 220);
+        let layout = inspect_message(&msg, &c).unwrap();
+        assert!(
+            layout.padding_fraction() < 0.03,
+            "padding {}",
+            layout.padding_fraction()
+        );
+        assert!(
+            layout.data_fraction() > 0.5,
+            "data {}",
+            layout.data_fraction()
+        );
+    }
+
+    #[test]
+    fn effective_width_is_fractional() {
+        let (msg, c) = encode(50, 220);
+        let layout = inspect_message(&msg, &c).unwrap();
+        let w = layout.effective_width(6);
+        assert!(w > 1.0 && w < 16.0);
+        // With 300 values in ~1400 usable data bits the width is non-integer.
+        assert!(
+            (w - w.round()).abs() > 1e-6,
+            "width {w} is suspiciously integral"
+        );
+    }
+
+    #[test]
+    fn display_formats_sections() {
+        let (msg, c) = encode(10, 220);
+        let layout = inspect_message(&msg, &c).unwrap();
+        let text = layout.to_string();
+        assert!(text.contains("10 measurements"));
+        assert!(text.contains("group 0"));
+    }
+
+    #[test]
+    fn rejects_corrupt_messages() {
+        let (mut msg, c) = encode(10, 220);
+        msg[0] = 0xFF;
+        msg[1] = 0xFF;
+        assert!(inspect_message(&msg, &c).is_err());
+        assert!(inspect_message(&msg[..3], &c).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! ChaCha20-Poly1305 AEAD (RFC 7539 §2.8).
+//!
+//! The full authenticated construction: the one-time Poly1305 key comes
+//! from ChaCha20 block 0, the payload is encrypted with counter 1, and the
+//! tag covers `aad || pad || ciphertext || pad || len(aad) || len(ct)`.
+//! Message framing: `nonce (12) || ciphertext || tag (16)` — 28 bytes of
+//! constant overhead, so AGE's fixed-length property passes through intact.
+
+use crate::chacha20::{chacha20_block, ChaCha20};
+use crate::cipher::{Cipher, CipherKind, OpenError};
+use crate::poly1305::{poly1305, tags_equal};
+
+const NONCE_LEN: usize = 12;
+const TAG_LEN: usize = 16;
+
+/// The RFC 7539 AEAD: ChaCha20 encryption with a Poly1305 tag.
+///
+/// # Examples
+///
+/// ```
+/// use age_crypto::{ChaCha20Poly1305, Cipher};
+///
+/// let aead = ChaCha20Poly1305::new([9u8; 32]);
+/// let sealed = aead.seal(5, b"batch");
+/// assert_eq!(sealed.len(), 5 + 12 + 16);
+/// assert_eq!(aead.open(&sealed).unwrap(), b"batch");
+///
+/// // Any corruption is detected.
+/// let mut forged = sealed.clone();
+/// forged[14] ^= 1;
+/// assert!(aead.open(&forged).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; 32],
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD with a 256-bit key.
+    pub fn new(key: [u8; 32]) -> Self {
+        ChaCha20Poly1305 { key }
+    }
+
+    /// Derives the one-time Poly1305 key (RFC 7539 §2.6): the first 32
+    /// bytes of ChaCha20 block 0.
+    fn poly_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+        let block = chacha20_block(&self.key, 0, nonce);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&block[..32]);
+        key
+    }
+
+    /// The authenticated-data transcript the tag covers (empty AAD here —
+    /// the sensor protocol has no unencrypted header besides the nonce).
+    fn mac_data(ciphertext: &[u8]) -> Vec<u8> {
+        let pad = |len: usize| (16 - len % 16) % 16;
+        let mut data = Vec::with_capacity(ciphertext.len() + 32);
+        // aad is empty: zero pad, zero length.
+        data.extend_from_slice(ciphertext);
+        data.extend(std::iter::repeat_n(0u8, pad(ciphertext.len())));
+        data.extend_from_slice(&0u64.to_le_bytes()); // aad length
+        data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+        data
+    }
+
+    fn nonce_for(sequence: u64) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[4..].copy_from_slice(&sequence.to_le_bytes());
+        nonce
+    }
+}
+
+impl Cipher for ChaCha20Poly1305 {
+    fn kind(&self) -> CipherKind {
+        CipherKind::Stream
+    }
+
+    fn overhead(&self) -> usize {
+        NONCE_LEN + TAG_LEN
+    }
+
+    fn message_len(&self, plaintext_len: usize) -> usize {
+        plaintext_len + NONCE_LEN + TAG_LEN
+    }
+
+    fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = Self::nonce_for(sequence);
+        let mut out = Vec::with_capacity(self.message_len(plaintext.len()));
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        {
+            let (nonce_bytes, body) = out.split_at_mut(NONCE_LEN);
+            let nonce_arr: [u8; NONCE_LEN] = nonce_bytes.try_into().expect("split at NONCE_LEN");
+            // RFC 7539 §2.8: payload uses counter 1.
+            ChaCha20::new(self.key).apply_keystream(&nonce_arr, 1, body);
+        }
+        let tag = poly1305(&self.poly_key(&nonce), &Self::mac_data(&out[NONCE_LEN..]));
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if message.len() < NONCE_LEN + TAG_LEN {
+            return Err(OpenError::Truncated {
+                len: message.len(),
+                min: NONCE_LEN + TAG_LEN,
+            });
+        }
+        let nonce: [u8; NONCE_LEN] = message[..NONCE_LEN].try_into().expect("checked length");
+        let (body, tag_bytes) = message[NONCE_LEN..].split_at(message.len() - NONCE_LEN - TAG_LEN);
+        let expected = poly1305(&self.poly_key(&nonce), &Self::mac_data(body));
+        let tag: [u8; 16] = tag_bytes.try_into().expect("16-byte tag");
+        if !tags_equal(&expected, &tag) {
+            return Err(OpenError::BadPadding); // authentication failure
+        }
+        let mut plain = body.to_vec();
+        ChaCha20::new(self.key).apply_keystream(&nonce, 1, &mut plain);
+        Ok(plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.6.2 Poly1305 key-generation test vector.
+    #[test]
+    fn rfc_keystream_and_poly_key() {
+        let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+        ];
+        let aead = ChaCha20Poly1305::new(key);
+        let poly_key = aead.poly_key(&nonce);
+        // RFC 7539 §2.6.2 one-time key vector.
+        let expected: [u8; 32] = [
+            0x8a, 0xd5, 0xa0, 0x8b, 0x90, 0x5f, 0x81, 0xcc, 0x81, 0x50, 0x40, 0x27, 0x4a, 0xb2,
+            0x94, 0x71, 0xa8, 0x33, 0xb6, 0x37, 0xe3, 0xfd, 0x0d, 0xa5, 0x08, 0xdb, 0xb8, 0xe2,
+            0xfd, 0xd1, 0xa6, 0x46,
+        ];
+        assert_eq!(poly_key, expected);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let aead = ChaCha20Poly1305::new([0x42; 32]);
+        for len in [0usize, 1, 15, 16, 17, 64, 300] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 11) as u8).collect();
+            let sealed = aead.seal(len as u64, &plaintext);
+            assert_eq!(sealed.len(), aead.message_len(len));
+            assert_eq!(aead.open(&sealed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let aead = ChaCha20Poly1305::new([0x42; 32]);
+        let sealed = aead.seal(9, b"sensor batch contents");
+        for i in 0..sealed.len() {
+            let mut forged = sealed.clone();
+            forged[i] ^= 0x01;
+            assert!(
+                aead.open(&forged).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_length_property_passes_through() {
+        let aead = ChaCha20Poly1305::new([0x42; 32]);
+        let a = aead.seal(1, &[0u8; 220]);
+        let b = aead.seal(2, &[0xFFu8; 220]);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 220 + 28);
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let aead = ChaCha20Poly1305::new([1; 32]);
+        assert!(matches!(
+            aead.open(&[0u8; 27]),
+            Err(OpenError::Truncated { .. })
+        ));
+    }
+}

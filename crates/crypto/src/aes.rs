@@ -1,0 +1,508 @@
+//! AES-128 (FIPS-197) with CTR and CBC-PKCS#7 modes.
+//!
+//! The paper's MCU deployment uses an AES-128 block cipher because the
+//! MSP430 has a hardware accelerator (§5.1). For the evaluation only the
+//! *framing* matters: CBC pads messages to 16-byte blocks (so AGE rounds its
+//! target size to a block multiple), while CTR keeps the plaintext length.
+
+use crate::cipher::{Cipher, CipherKind, OpenError};
+
+const BLOCK: usize = 16;
+const ROUNDS: usize = 10;
+
+/// Forward S-box, generated from the AES finite-field inverse at start-up.
+fn sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let inv = if i == 0 { 0 } else { gf_inverse(i as u8) };
+            // Affine transformation: b ^ rotl1(b) ^ rotl2(b) ^ rotl3(b) ^
+            // rotl4(b) ^ 0x63, applied to the field inverse.
+            *slot = inv
+                ^ inv.rotate_left(1)
+                ^ inv.rotate_left(2)
+                ^ inv.rotate_left(3)
+                ^ inv.rotate_left(4)
+                ^ 0x63;
+        }
+        table
+    })
+}
+
+/// Inverse S-box derived from the forward table.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let fwd = sbox();
+        let mut table = [0u8; 256];
+        for (i, &v) in fwd.iter().enumerate() {
+            table[v as usize] = i as u8;
+        }
+        table
+    })
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) by exponentiation (a^254).
+fn gf_inverse(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let mut result = 1u8;
+    let mut power = a; // a^1
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, power);
+        }
+        power = gf_mul(power, power);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The AES-128 block cipher: a 128-bit key schedule plus block
+/// encrypt/decrypt primitives. Use [`AesCtr`] or [`AesCbc`] for messages.
+///
+/// # Examples
+///
+/// ```
+/// use age_crypto::Aes128;
+///
+/// let key = [0u8; 16];
+/// let aes = Aes128::new(key);
+/// let block = [0u8; 16];
+/// let ct = aes.encrypt_block(block);
+/// assert_eq!(aes.decrypt_block(ct), block);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key into the round-key schedule.
+    pub fn new(key: [u8; 16]) -> Self {
+        let s = sbox();
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..w.len() {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = s[*byte as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let s = sbox();
+        let mut state = block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(&mut state, s);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state, s);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut state = block;
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            inv_shift_rows(&mut state);
+            sub_bytes(&mut state, inv);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        sub_bytes(&mut state, inv);
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// State is column-major: state[4*c + r] = row r, column c (FIPS-197 layout of
+// a flat 16-byte block).
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16], table: &[u8; 256]) {
+    for byte in state.iter_mut() {
+        *byte = table[*byte as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = copy[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let copy = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = copy[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("column");
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("column");
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+/// AES-128 in counter mode: message framing is `IV (16 bytes) || ciphertext`
+/// with ciphertext length equal to plaintext length.
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    aes: Aes128,
+}
+
+impl AesCtr {
+    /// Creates a CTR-mode cipher from a 128-bit key.
+    pub fn new(key: [u8; 16]) -> Self {
+        AesCtr {
+            aes: Aes128::new(key),
+        }
+    }
+
+    fn keystream_xor(&self, iv: &[u8; 16], data: &mut [u8]) {
+        let mut counter_block = *iv;
+        for (i, chunk) in data.chunks_mut(BLOCK).enumerate() {
+            counter_block[8..].copy_from_slice(&(i as u64).to_be_bytes());
+            let ks = self.aes.encrypt_block(counter_block);
+            for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+
+    fn iv_for(sequence: u64) -> [u8; 16] {
+        let mut iv = [0u8; 16];
+        iv[..8].copy_from_slice(&sequence.to_be_bytes());
+        iv
+    }
+}
+
+impl Cipher for AesCtr {
+    fn kind(&self) -> CipherKind {
+        CipherKind::Stream
+    }
+
+    fn overhead(&self) -> usize {
+        BLOCK
+    }
+
+    fn message_len(&self, plaintext_len: usize) -> usize {
+        plaintext_len + BLOCK
+    }
+
+    fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
+        let iv = Self::iv_for(sequence);
+        let mut out = Vec::with_capacity(plaintext.len() + BLOCK);
+        out.extend_from_slice(&iv);
+        out.extend_from_slice(plaintext);
+        let (iv_bytes, body) = out.split_at_mut(BLOCK);
+        let iv_arr: [u8; 16] = iv_bytes.try_into().expect("split at BLOCK");
+        self.keystream_xor(&iv_arr, body);
+        out
+    }
+
+    fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if message.len() < BLOCK {
+            return Err(OpenError::Truncated {
+                len: message.len(),
+                min: BLOCK,
+            });
+        }
+        let iv: [u8; 16] = message[..BLOCK].try_into().expect("checked length");
+        let mut body = message[BLOCK..].to_vec();
+        self.keystream_xor(&iv, &mut body);
+        Ok(body)
+    }
+}
+
+/// AES-128 in CBC mode with PKCS#7 padding: message framing is
+/// `IV (16 bytes) || ciphertext` where the ciphertext is the plaintext padded
+/// up to the next 16-byte multiple (a full extra block when already aligned).
+#[derive(Debug, Clone)]
+pub struct AesCbc {
+    aes: Aes128,
+}
+
+impl AesCbc {
+    /// Creates a CBC-mode cipher from a 128-bit key.
+    pub fn new(key: [u8; 16]) -> Self {
+        AesCbc {
+            aes: Aes128::new(key),
+        }
+    }
+}
+
+impl Cipher for AesCbc {
+    fn kind(&self) -> CipherKind {
+        CipherKind::Block
+    }
+
+    fn overhead(&self) -> usize {
+        BLOCK
+    }
+
+    fn message_len(&self, plaintext_len: usize) -> usize {
+        // PKCS#7 always adds 1..=16 bytes of padding.
+        let padded = (plaintext_len / BLOCK + 1) * BLOCK;
+        padded + BLOCK
+    }
+
+    fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
+        let iv = AesCtr::iv_for(sequence);
+        let pad = BLOCK - plaintext.len() % BLOCK;
+        let mut padded = plaintext.to_vec();
+        padded.extend(std::iter::repeat_n(pad as u8, pad));
+
+        let mut out = Vec::with_capacity(padded.len() + BLOCK);
+        out.extend_from_slice(&iv);
+        let mut prev = iv;
+        for chunk in padded.chunks(BLOCK) {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            for i in 0..BLOCK {
+                block[i] ^= prev[i];
+            }
+            let ct = self.aes.encrypt_block(block);
+            out.extend_from_slice(&ct);
+            prev = ct;
+        }
+        out
+    }
+
+    fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if message.len() < 2 * BLOCK {
+            return Err(OpenError::Truncated {
+                len: message.len(),
+                min: 2 * BLOCK,
+            });
+        }
+        let body = &message[BLOCK..];
+        if !body.len().is_multiple_of(BLOCK) {
+            return Err(OpenError::Misaligned {
+                len: body.len(),
+                block: BLOCK,
+            });
+        }
+        let mut prev: [u8; 16] = message[..BLOCK].try_into().expect("checked length");
+        let mut plain = Vec::with_capacity(body.len());
+        for chunk in body.chunks(BLOCK) {
+            let ct: [u8; 16] = chunk.try_into().expect("exact chunks");
+            let mut block = self.aes.decrypt_block(ct);
+            for i in 0..BLOCK {
+                block[i] ^= prev[i];
+            }
+            plain.extend_from_slice(&block);
+            prev = ct;
+        }
+        let pad = *plain.last().expect("non-empty plaintext") as usize;
+        if pad == 0 || pad > BLOCK || pad > plain.len() {
+            return Err(OpenError::BadPadding);
+        }
+        if plain[plain.len() - pad..]
+            .iter()
+            .any(|&b| b as usize != pad)
+        {
+            return Err(OpenError::BadPadding);
+        }
+        plain.truncate(plain.len() - pad);
+        Ok(plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_matches_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+        let inv = inv_sbox();
+        assert_eq!(inv[0x63], 0x00);
+        for i in 0..256 {
+            assert_eq!(inv[s[i] as usize] as usize, i);
+        }
+    }
+
+    /// FIPS-197 Appendix B example.
+    #[test]
+    fn encrypt_block_matches_fips_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(plaintext), expected);
+        assert_eq!(aes.decrypt_block(expected), plaintext);
+    }
+
+    /// FIPS-197 Appendix C.1 example.
+    #[test]
+    fn encrypt_block_matches_appendix_c() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plaintext: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(plaintext), expected);
+        assert_eq!(aes.decrypt_block(expected), plaintext);
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_framing() {
+        let cipher = AesCtr::new([3; 16]);
+        for len in [0usize, 1, 15, 16, 17, 333] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            let sealed = cipher.seal(len as u64, &plaintext);
+            assert_eq!(sealed.len(), cipher.message_len(len));
+            assert_eq!(sealed.len(), len + 16);
+            assert_eq!(cipher.open(&sealed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn cbc_roundtrip_and_framing() {
+        let cipher = AesCbc::new([5; 16]);
+        for len in [0usize, 1, 15, 16, 17, 32, 100] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let sealed = cipher.seal(len as u64, &plaintext);
+            assert_eq!(sealed.len(), cipher.message_len(len));
+            // IV + padded body (next multiple of 16, full block when aligned).
+            assert_eq!(sealed.len(), 16 + (len / 16 + 1) * 16);
+            assert_eq!(cipher.open(&sealed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn cbc_same_length_plaintexts_give_same_length_messages() {
+        // The security property AGE relies on: equal plaintext lengths =>
+        // equal message lengths, regardless of content.
+        let cipher = AesCbc::new([7; 16]);
+        let a = cipher.seal(1, &[0u8; 200]);
+        let b = cipher.seal(2, &[0xFFu8; 200]);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn open_rejects_malformed_messages() {
+        let cbc = AesCbc::new([1; 16]);
+        assert!(matches!(
+            cbc.open(&[0u8; 16]),
+            Err(OpenError::Truncated { .. })
+        ));
+        assert!(matches!(
+            cbc.open(&[0u8; 40]),
+            Err(OpenError::Misaligned { .. })
+        ));
+        let ctr = AesCtr::new([1; 16]);
+        assert!(matches!(
+            ctr.open(&[0u8; 4]),
+            Err(OpenError::Truncated { .. })
+        ));
+        // Corrupt padding: decrypt random blocks.
+        let garbage = vec![0xA5u8; 48];
+        assert!(matches!(
+            cbc.open(&garbage),
+            Err(OpenError::BadPadding) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn gf_arithmetic_known_values() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inverse(a)), 1, "inverse of {a}");
+        }
+    }
+}

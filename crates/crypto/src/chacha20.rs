@@ -1,0 +1,223 @@
+//! ChaCha20 stream cipher, RFC 7539 variant (96-bit nonce, 32-bit counter).
+
+use crate::cipher::{Cipher, CipherKind, OpenError};
+
+/// Size of the RFC 7539 nonce in bytes.
+const NONCE_LEN: usize = 12;
+
+/// The ChaCha20 stream cipher with RFC 7539 parameters.
+///
+/// Each sealed message is framed as `nonce (12 bytes) || ciphertext`, so the
+/// on-air length is `plaintext length + 12`. The nonce is derived from the
+/// caller-supplied message sequence number, which is how a sensor with no
+/// entropy source keeps nonces unique.
+///
+/// # Examples
+///
+/// ```
+/// use age_crypto::{ChaCha20, Cipher};
+///
+/// let cipher = ChaCha20::new([0u8; 32]);
+/// let msg = cipher.seal(1, b"hello");
+/// assert_eq!(msg.len(), 5 + 12);
+/// assert_eq!(cipher.open(&msg).unwrap(), b"hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u8; 32],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher with a 256-bit key.
+    pub fn new(key: [u8; 32]) -> Self {
+        ChaCha20 { key }
+    }
+
+    /// Applies the keystream for (`key`, `nonce`, starting `counter`) to
+    /// `data` in place. Encryption and decryption are the same operation.
+    pub fn apply_keystream(&self, nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+        let mut block_counter = counter;
+        for chunk in data.chunks_mut(64) {
+            let keystream = chacha20_block(&self.key, block_counter, nonce);
+            for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+                *byte ^= ks;
+            }
+            block_counter = block_counter.wrapping_add(1);
+        }
+    }
+
+    fn nonce_for(&self, sequence: u64) -> [u8; NONCE_LEN] {
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce[4..].copy_from_slice(&sequence.to_le_bytes());
+        nonce
+    }
+}
+
+impl Cipher for ChaCha20 {
+    fn kind(&self) -> CipherKind {
+        CipherKind::Stream
+    }
+
+    fn overhead(&self) -> usize {
+        NONCE_LEN
+    }
+
+    fn message_len(&self, plaintext_len: usize) -> usize {
+        plaintext_len + NONCE_LEN
+    }
+
+    fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = self.nonce_for(sequence);
+        let mut out = Vec::with_capacity(plaintext.len() + NONCE_LEN);
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        // RFC 7539 uses counter 1 for the first data block in AEAD; as a raw
+        // stream cipher we start at 0.
+        let (nonce_bytes, body) = out.split_at_mut(NONCE_LEN);
+        let nonce_arr: [u8; NONCE_LEN] = nonce_bytes.try_into().expect("split at NONCE_LEN");
+        self.apply_keystream(&nonce_arr, 0, body);
+        out
+    }
+
+    fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if message.len() < NONCE_LEN {
+            return Err(OpenError::Truncated {
+                len: message.len(),
+                min: NONCE_LEN,
+            });
+        }
+        let nonce: [u8; NONCE_LEN] = message[..NONCE_LEN].try_into().expect("checked length");
+        let mut body = message[NONCE_LEN..].to_vec();
+        self.apply_keystream(&nonce, 0, &mut body);
+        Ok(body)
+    }
+}
+
+/// Computes one 64-byte ChaCha20 keystream block (RFC 7539 §2.3).
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("key chunk"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce chunk"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 test vector.
+    #[test]
+    fn block_function_matches_rfc_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    /// RFC 7539 §2.4.2 encryption test vector.
+    #[test]
+    fn encryption_matches_rfc_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        let cipher = ChaCha20::new(key);
+        cipher.apply_keystream(&nonce, 1, &mut data);
+        let expected_head = [
+            0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+            0x69, 0x81,
+        ];
+        let expected_tail = [0x87, 0x4d];
+        assert_eq!(&data[..16], &expected_head);
+        assert_eq!(&data[data.len() - 2..], &expected_tail);
+        // Round trips.
+        cipher.apply_keystream(&nonce, 1, &mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let cipher = ChaCha20::new([0xAB; 32]);
+        for len in [0usize, 1, 63, 64, 65, 300] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let sealed = cipher.seal(len as u64, &plaintext);
+            assert_eq!(sealed.len(), len + 12);
+            assert_eq!(cipher.open(&sealed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn distinct_sequences_produce_distinct_ciphertexts() {
+        let cipher = ChaCha20::new([1; 32]);
+        let a = cipher.seal(1, b"same plaintext");
+        let b = cipher.seal(2, b"same plaintext");
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn open_rejects_truncated_message() {
+        let cipher = ChaCha20::new([1; 32]);
+        let err = cipher.open(&[0u8; 5]).unwrap_err();
+        assert!(matches!(err, OpenError::Truncated { len: 5, min: 12 }));
+    }
+
+    #[test]
+    fn message_len_is_linear_in_plaintext() {
+        let cipher = ChaCha20::new([9; 32]);
+        assert_eq!(cipher.message_len(0), 12);
+        assert_eq!(cipher.message_len(100), 112);
+        assert_eq!(cipher.overhead(), 12);
+        assert_eq!(cipher.kind(), CipherKind::Stream);
+    }
+}

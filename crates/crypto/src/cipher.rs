@@ -1,0 +1,109 @@
+//! The cipher abstraction used by the sensor pipeline.
+
+use std::fmt;
+
+/// Whether a cipher is a stream or block construction, which determines how
+/// AGE rounds its target message size (§4.5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherKind {
+    /// Ciphertext length equals plaintext length plus a fixed overhead.
+    Stream,
+    /// Ciphertext is padded up to a multiple of [`CipherKind::block`]'s size.
+    Block,
+}
+
+impl fmt::Display for CipherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipherKind::Stream => f.write_str("stream"),
+            CipherKind::Block => f.write_str("block"),
+        }
+    }
+}
+
+/// Error returned by [`Cipher::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenError {
+    /// The message is shorter than the cipher's minimum framing.
+    Truncated {
+        /// Observed message length.
+        len: usize,
+        /// Minimum valid length.
+        min: usize,
+    },
+    /// The message body is not aligned to the cipher's block size.
+    Misaligned {
+        /// Observed body length.
+        len: usize,
+        /// Required alignment.
+        block: usize,
+    },
+    /// Padding bytes were malformed (block ciphers with PKCS#7).
+    BadPadding,
+}
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OpenError::Truncated { len, min } => {
+                write!(
+                    f,
+                    "message of {len} bytes is shorter than the {min}-byte framing"
+                )
+            }
+            OpenError::Misaligned { len, block } => {
+                write!(
+                    f,
+                    "message body of {len} bytes is not a multiple of the {block}-byte block"
+                )
+            }
+            OpenError::BadPadding => f.write_str("invalid block padding"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// A symmetric cipher with deterministic message framing.
+///
+/// Implementations must guarantee that [`Cipher::seal`] produces exactly
+/// [`Cipher::message_len`]`(plaintext.len())` bytes: the attacker in the
+/// paper's threat model observes only this length, so the simulator relies
+/// on it being exact.
+pub trait Cipher {
+    /// Stream or block construction.
+    fn kind(&self) -> CipherKind;
+
+    /// Fixed per-message framing overhead in bytes (nonce or IV).
+    fn overhead(&self) -> usize;
+
+    /// Exact on-air message length for a plaintext of `plaintext_len` bytes.
+    fn message_len(&self, plaintext_len: usize) -> usize;
+
+    /// Encrypts `plaintext` for message number `sequence`, returning the
+    /// framed message (`nonce/IV || ciphertext`).
+    fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8>;
+
+    /// Decrypts a framed message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError`] if the framing is malformed.
+    fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_impls_are_informative() {
+        assert_eq!(CipherKind::Stream.to_string(), "stream");
+        assert_eq!(CipherKind::Block.to_string(), "block");
+        let e = OpenError::Truncated { len: 3, min: 12 };
+        assert!(e.to_string().contains("3 bytes"));
+        let e = OpenError::Misaligned { len: 17, block: 16 };
+        assert!(e.to_string().contains("16-byte block"));
+        assert!(OpenError::BadPadding.to_string().contains("padding"));
+    }
+}

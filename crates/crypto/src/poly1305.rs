@@ -1,0 +1,234 @@
+//! Poly1305 one-time authenticator (RFC 7539 §2.5).
+//!
+//! Implemented with five 26-bit limbs so all products fit in `u64` — the
+//! classic portable construction. Used by [`crate::ChaCha20Poly1305`] to
+//! authenticate sensor messages; a forged or corrupted message is rejected
+//! before decoding.
+
+/// Computes the Poly1305 tag of `message` under a 32-byte one-time key.
+///
+/// # Examples
+///
+/// ```
+/// use age_crypto::poly1305;
+///
+/// let tag = poly1305(&[0u8; 32], b"anything");
+/// assert_eq!(tag, [0u8; 16]); // zero key gives a zero tag
+/// ```
+pub fn poly1305(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
+    // r is clamped per the RFC.
+    let mut r_bytes = [0u8; 16];
+    r_bytes.copy_from_slice(&key[..16]);
+    r_bytes[3] &= 15;
+    r_bytes[7] &= 15;
+    r_bytes[11] &= 15;
+    r_bytes[15] &= 15;
+    r_bytes[4] &= 252;
+    r_bytes[8] &= 252;
+    r_bytes[12] &= 252;
+
+    let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes(b.try_into().expect("4 bytes")) };
+
+    // Five 26-bit limbs of r.
+    let r0 = le32(&r_bytes[0..4]) & 0x3ff_ffff;
+    let r1 = (le32(&r_bytes[3..7]) >> 2) & 0x3ff_ff03;
+    let r2 = (le32(&r_bytes[6..10]) >> 4) & 0x3ff_c0ff;
+    let r3 = (le32(&r_bytes[9..13]) >> 6) & 0x3f0_3fff;
+    let r4 = (le32(&r_bytes[12..16]) >> 8) & 0x00f_ffff;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h0 = 0u32;
+    let mut h1 = 0u32;
+    let mut h2 = 0u32;
+    let mut h3 = 0u32;
+    let mut h4 = 0u32;
+
+    let mut chunks = message.chunks_exact(16);
+    let mut process = |block: &[u8; 17]| {
+        // Add the block (with its high bit) to the accumulator.
+        let t0 = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
+        let t1 = u32::from_le_bytes(block[3..7].try_into().expect("4 bytes"));
+        let t2 = u32::from_le_bytes(block[6..10].try_into().expect("4 bytes"));
+        let t3 = u32::from_le_bytes(block[9..13].try_into().expect("4 bytes"));
+        let t4 = u32::from_le_bytes(block[12..16].try_into().expect("4 bytes"));
+        h0 = h0.wrapping_add(t0 & 0x3ff_ffff);
+        h1 = h1.wrapping_add((t1 >> 2) & 0x3ff_ffff);
+        h2 = h2.wrapping_add((t2 >> 4) & 0x3ff_ffff);
+        h3 = h3.wrapping_add((t3 >> 6) & 0x3ff_ffff);
+        h4 = h4.wrapping_add((t4 >> 8) | (u32::from(block[16]) << 24));
+
+        // h *= r (mod 2^130 - 5), schoolbook with 5·x folding.
+        let d0 = u64::from(h0) * u64::from(r0)
+            + u64::from(h1) * u64::from(s4)
+            + u64::from(h2) * u64::from(s3)
+            + u64::from(h3) * u64::from(s2)
+            + u64::from(h4) * u64::from(s1);
+        let mut d1 = u64::from(h0) * u64::from(r1)
+            + u64::from(h1) * u64::from(r0)
+            + u64::from(h2) * u64::from(s4)
+            + u64::from(h3) * u64::from(s3)
+            + u64::from(h4) * u64::from(s2);
+        let mut d2 = u64::from(h0) * u64::from(r2)
+            + u64::from(h1) * u64::from(r1)
+            + u64::from(h2) * u64::from(r0)
+            + u64::from(h3) * u64::from(s4)
+            + u64::from(h4) * u64::from(s3);
+        let mut d3 = u64::from(h0) * u64::from(r3)
+            + u64::from(h1) * u64::from(r2)
+            + u64::from(h2) * u64::from(r1)
+            + u64::from(h3) * u64::from(r0)
+            + u64::from(h4) * u64::from(s4);
+        let mut d4 = u64::from(h0) * u64::from(r4)
+            + u64::from(h1) * u64::from(r3)
+            + u64::from(h2) * u64::from(r2)
+            + u64::from(h3) * u64::from(r1)
+            + u64::from(h4) * u64::from(r0);
+
+        // Carry propagation.
+        let mut c = (d0 >> 26) as u32;
+        h0 = (d0 & 0x3ff_ffff) as u32;
+        d1 += u64::from(c);
+        c = (d1 >> 26) as u32;
+        h1 = (d1 & 0x3ff_ffff) as u32;
+        d2 += u64::from(c);
+        c = (d2 >> 26) as u32;
+        h2 = (d2 & 0x3ff_ffff) as u32;
+        d3 += u64::from(c);
+        c = (d3 >> 26) as u32;
+        h3 = (d3 & 0x3ff_ffff) as u32;
+        d4 += u64::from(c);
+        c = (d4 >> 26) as u32;
+        h4 = (d4 & 0x3ff_ffff) as u32;
+        h0 += c * 5;
+        let c2 = h0 >> 26;
+        h0 &= 0x3ff_ffff;
+        h1 += c2;
+    };
+
+    for chunk in chunks.by_ref() {
+        let mut block = [0u8; 17];
+        block[..16].copy_from_slice(chunk);
+        block[16] = 1;
+        process(&block);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut block = [0u8; 17];
+        block[..rest.len()].copy_from_slice(rest);
+        block[rest.len()] = 1; // padding bit inside the 16-byte window
+        process(&block);
+    }
+
+    // Final reduction: h mod 2^130 - 5.
+    let mut c = h1 >> 26;
+    h1 &= 0x3ff_ffff;
+    h2 += c;
+    c = h2 >> 26;
+    h2 &= 0x3ff_ffff;
+    h3 += c;
+    c = h3 >> 26;
+    h3 &= 0x3ff_ffff;
+    h4 += c;
+    c = h4 >> 26;
+    h4 &= 0x3ff_ffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ff_ffff;
+    h1 += c;
+
+    // Compute h + -p and select.
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x3ff_ffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x3ff_ffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x3ff_ffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x3ff_ffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    if g4 >> 31 == 0 {
+        h0 = g0;
+        h1 = g1;
+        h2 = g2;
+        h3 = g3;
+        h4 = g4;
+    }
+
+    // Serialize h and add s = key[16..32] (mod 2^128).
+    let h_low = u128::from(h0)
+        | (u128::from(h1) << 26)
+        | (u128::from(h2) << 52)
+        | (u128::from(h3) << 78)
+        | (u128::from(h4) << 104);
+    let s = u128::from_le_bytes(key[16..32].try_into().expect("16 bytes"));
+    let tag = h_low.wrapping_add(s);
+    tag.to_le_bytes()
+}
+
+/// Constant-time tag comparison (bitwise OR of differences).
+pub fn tags_equal(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.5.2 test vector.
+    #[test]
+    fn rfc_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let message = b"Cryptographic Forum Research Group";
+        let expected = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(poly1305(&key, message), expected);
+    }
+
+    #[test]
+    fn zero_key_zero_tag() {
+        assert_eq!(poly1305(&[0u8; 32], b"any message at all"), [0u8; 16]);
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [7u8; 32];
+        let base = poly1305(&key, b"hello world sensor batch");
+        let mut altered = *b"hello world sensor batch";
+        altered[3] ^= 1;
+        assert_ne!(poly1305(&key, &altered), base);
+    }
+
+    #[test]
+    fn empty_and_partial_blocks() {
+        let key = [9u8; 32];
+        // Must not panic and must differ across lengths.
+        let tags: Vec<[u8; 16]> = (0..40).map(|n| poly1305(&key, &vec![0xAA; n])).collect();
+        for w in tags.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn constant_time_compare() {
+        let a = [1u8; 16];
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 0x80;
+        assert!(!tags_equal(&a, &b));
+    }
+}

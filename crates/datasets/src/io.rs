@@ -1,0 +1,213 @@
+//! CSV import/export for labelled sequences.
+//!
+//! The synthetic generators stand in for the paper's datasets, but a
+//! downstream user will want to run AGE on *their* recordings. The format
+//! is one sequence per row: the integer label, then `seq_len · features`
+//! values, row-major:
+//!
+//! ```text
+//! label,v(0,0),v(0,1),…,v(T-1,d-1)
+//! ```
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::Sequence;
+
+/// Error returned by [`read_sequences`].
+#[derive(Debug)]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A row had the wrong number of fields.
+    FieldCount {
+        /// 1-based row number.
+        row: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected (`1 + seq_len · features`).
+        expected: usize,
+    },
+    /// A field failed to parse.
+    Parse {
+        /// 1-based row number.
+        row: usize,
+        /// 0-based field index within the row.
+        field: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::FieldCount { row, got, expected } => {
+                write!(f, "row {row} has {got} fields, expected {expected}")
+            }
+            CsvError::Parse { row, field } => {
+                write!(f, "row {row}, field {field} is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes sequences as CSV rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use age_datasets::{read_sequences, write_sequences, Sequence};
+///
+/// let seqs = vec![Sequence { label: 2, values: vec![1.0, -0.5, 0.25, 0.0] }];
+/// let mut buffer = Vec::new();
+/// write_sequences(&seqs, &mut buffer)?;
+/// let back = read_sequences(buffer.as_slice(), 2, 2)?;
+/// assert_eq!(back, seqs);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_sequences<W: Write>(sequences: &[Sequence], mut out: W) -> Result<(), CsvError> {
+    for seq in sequences {
+        write!(out, "{}", seq.label)?;
+        for v in &seq.values {
+            // RFC-style shortest roundtrip formatting.
+            write!(out, ",{v}")?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Reads sequences from CSV, validating that every row carries exactly
+/// `seq_len · features` values. Empty lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failure, wrong field counts, or unparsable
+/// numbers.
+pub fn read_sequences<R: BufRead>(
+    input: R,
+    seq_len: usize,
+    features: usize,
+) -> Result<Vec<Sequence>, CsvError> {
+    let expected = 1 + seq_len * features;
+    let mut sequences = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let row = i + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected {
+            return Err(CsvError::FieldCount {
+                row,
+                got: fields.len(),
+                expected,
+            });
+        }
+        let label: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::Parse { row, field: 0 })?;
+        let mut values = Vec::with_capacity(seq_len * features);
+        for (j, field) in fields[1..].iter().enumerate() {
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::Parse { row, field: j + 1 })?;
+            values.push(v);
+        }
+        sequences.push(Sequence { label, values });
+    }
+    Ok(sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, DatasetKind, Scale};
+
+    #[test]
+    fn roundtrip_preserves_generated_data() {
+        let data = Dataset::generate(DatasetKind::Tiselac, Scale::Small, 3);
+        let spec = data.spec();
+        let mut buffer = Vec::new();
+        write_sequences(data.sequences(), &mut buffer).unwrap();
+        let back = read_sequences(buffer.as_slice(), spec.seq_len, spec.features).unwrap();
+        assert_eq!(back, data.sequences());
+    }
+
+    #[test]
+    fn rejects_wrong_field_counts() {
+        let err = read_sequences("1,2.0,3.0\n".as_bytes(), 3, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::FieldCount {
+                row: 1,
+                got: 3,
+                expected: 4
+            }
+        ));
+        assert!(err.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn rejects_unparsable_fields() {
+        let err = read_sequences("banana,1.0\n".as_bytes(), 1, 1).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { row: 1, field: 0 }));
+        let err = read_sequences("1,soup\n".as_bytes(), 1, 1).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { row: 1, field: 1 }));
+    }
+
+    #[test]
+    fn skips_blank_lines_and_trims_spaces() {
+        let text = "\n 1 , 2.5 \n\n0,-1.25\n";
+        let seqs = read_sequences(text.as_bytes(), 1, 1).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(
+            seqs[0],
+            Sequence {
+                label: 1,
+                values: vec![2.5]
+            }
+        );
+        assert_eq!(
+            seqs[1],
+            Sequence {
+                label: 0,
+                values: vec![-1.25]
+            }
+        );
+    }
+
+    #[test]
+    fn float_formatting_roundtrips_exactly() {
+        let seqs = vec![Sequence {
+            label: 0,
+            values: vec![0.1, -3.25, 1e-12, 12345.6789, f64::MIN_POSITIVE],
+        }];
+        let mut buffer = Vec::new();
+        write_sequences(&seqs, &mut buffer).unwrap();
+        let back = read_sequences(buffer.as_slice(), 5, 1).unwrap();
+        assert_eq!(back, seqs);
+    }
+}

@@ -1,0 +1,228 @@
+//! The signal engine: parameterized stochastic processes per event label.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of one label's signal process.
+///
+/// A sequence is a sum of a sinusoidal carrier, a linear drift, an AR(1)
+/// noise process, and an optional burst regime (short windows of
+/// high-amplitude oscillation, modelling seizure-like events). The
+/// *volatility* of the process — how much consecutive measurements differ —
+/// is what adaptive sampling policies respond to, so labels with different
+/// profiles produce different collection rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelProfile {
+    /// Constant offset added to every value.
+    pub offset: f64,
+    /// Carrier amplitude.
+    pub amp: f64,
+    /// Carrier frequency in cycles per time step.
+    pub freq: f64,
+    /// AR(1) innovation standard deviation.
+    pub noise: f64,
+    /// AR(1) coefficient in `[0, 1)`.
+    pub ar: f64,
+    /// Linear drift per step.
+    pub drift: f64,
+    /// Probability of entering a burst at each step.
+    pub burst_prob: f64,
+    /// Burst amplitude (added oscillation).
+    pub burst_amp: f64,
+    /// Burst length bounds in steps.
+    pub burst_len: (usize, usize),
+    /// Fraction of steps spent in flat "pause" segments (typing-like data).
+    pub pause_frac: f64,
+}
+
+impl Default for LabelProfile {
+    fn default() -> Self {
+        LabelProfile {
+            offset: 0.0,
+            amp: 1.0,
+            freq: 0.05,
+            noise: 0.05,
+            ar: 0.7,
+            drift: 0.0,
+            burst_prob: 0.0,
+            burst_amp: 0.0,
+            burst_len: (5, 15),
+            pause_frac: 0.0,
+        }
+    }
+}
+
+impl LabelProfile {
+    /// Generates a `len × features` row-major sequence of raw (unquantized)
+    /// values. Features are phase-shifted, slightly rescaled copies driven
+    /// by independent noise, mimicking multi-axis sensors.
+    pub fn generate(&self, len: usize, features: usize, rng: &mut StdRng) -> Vec<f64> {
+        let mut values = Vec::with_capacity(len * features);
+        let mut ar_state = vec![0.0f64; features];
+        let phase: Vec<f64> = (0..features).map(|f| f as f64 * 2.399_963).collect();
+        let scale: Vec<f64> = (0..features).map(|f| 1.0 - 0.07 * (f % 4) as f64).collect();
+        // Random per-sequence phase so sequences of one label differ.
+        let seq_phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+
+        let mut burst_left = 0usize;
+        let mut pause_left = 0usize;
+        let mut held: Vec<f64> = vec![self.offset; features];
+
+        for t in 0..len {
+            // Burst regime transitions.
+            if burst_left == 0 && self.burst_prob > 0.0 && rng.gen_bool(self.burst_prob.min(1.0)) {
+                burst_left =
+                    rng.gen_range(self.burst_len.0..=self.burst_len.1.max(self.burst_len.0));
+            }
+            let bursting = burst_left > 0;
+            if bursting {
+                burst_left -= 1;
+            }
+            // Pause regime (hold the last value flat).
+            if pause_left == 0
+                && self.pause_frac > 0.0
+                && rng.gen_bool((self.pause_frac / 8.0).min(1.0))
+            {
+                pause_left = rng.gen_range(4..20);
+            }
+            let paused = pause_left > 0;
+            if paused {
+                pause_left -= 1;
+            }
+
+            for f in 0..features {
+                if paused && !bursting {
+                    values.push(held[f]);
+                    continue;
+                }
+                ar_state[f] = self.ar * ar_state[f] + rng.gen_range(-1.0..1.0) * self.noise;
+                let carrier = self.amp
+                    * scale[f]
+                    * (std::f64::consts::TAU * self.freq * t as f64 + phase[f] + seq_phase).sin();
+                let mut v = self.offset + carrier + self.drift * t as f64 + ar_state[f];
+                if bursting {
+                    v += self.burst_amp
+                        * (std::f64::consts::TAU * 0.31 * t as f64 + phase[f]).sin()
+                        + rng.gen_range(-1.0..1.0) * self.burst_amp * 0.5;
+                }
+                values.push(v);
+                held[f] = v;
+            }
+        }
+        values
+    }
+
+    /// Mean absolute step `E|x_{t+1} − x_t|` of the profile, estimated on a
+    /// fresh sequence — a proxy for the volatility adaptive policies see.
+    pub fn volatility(&self, len: usize, rng: &mut StdRng) -> f64 {
+        let vals = self.generate(len, 1, rng);
+        if vals.len() < 2 {
+            return 0.0;
+        }
+        vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (vals.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = LabelProfile::default();
+        assert_eq!(p.generate(50, 6, &mut rng).len(), 300);
+        assert_eq!(p.generate(0, 3, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn amplitude_scales_the_signal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let quiet = LabelProfile {
+            amp: 0.1,
+            noise: 0.01,
+            ..Default::default()
+        };
+        let loud = LabelProfile {
+            amp: 5.0,
+            noise: 0.01,
+            ..Default::default()
+        };
+        let q: f64 = quiet
+            .generate(200, 1, &mut rng)
+            .iter()
+            .map(|v| v.abs())
+            .sum();
+        let l: f64 = loud
+            .generate(200, 1, &mut rng)
+            .iter()
+            .map(|v| v.abs())
+            .sum();
+        assert!(l > q * 5.0);
+    }
+
+    #[test]
+    fn volatility_orders_profiles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let calm = LabelProfile {
+            amp: 0.2,
+            freq: 0.01,
+            noise: 0.01,
+            ..Default::default()
+        };
+        let wild = LabelProfile {
+            amp: 3.0,
+            freq: 0.3,
+            noise: 0.5,
+            ..Default::default()
+        };
+        let v_calm = calm.volatility(500, &mut rng);
+        let v_wild = wild.volatility(500, &mut rng);
+        assert!(v_wild > 5.0 * v_calm, "calm={v_calm} wild={v_wild}");
+    }
+
+    #[test]
+    fn bursts_raise_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = LabelProfile {
+            amp: 0.5,
+            noise: 0.05,
+            ..Default::default()
+        };
+        let bursty = LabelProfile {
+            burst_prob: 0.05,
+            burst_amp: 3.0,
+            ..base
+        };
+        let var = |vals: &[f64]| {
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - m).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        let v_base = var(&base.generate(1000, 1, &mut rng));
+        let v_burst = var(&bursty.generate(1000, 1, &mut rng));
+        assert!(v_burst > 2.0 * v_base, "base={v_base} bursty={v_burst}");
+    }
+
+    #[test]
+    fn pauses_create_flat_segments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = LabelProfile {
+            pause_frac: 0.9,
+            noise: 0.3,
+            ..Default::default()
+        };
+        let vals = p.generate(1000, 1, &mut rng);
+        let flat = vals.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(flat > 100, "expected flat runs, got {flat}");
+    }
+
+    #[test]
+    fn sequences_differ_across_draws() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = LabelProfile::default();
+        let a = p.generate(100, 1, &mut rng);
+        let b = p.generate(100, 1, &mut rng);
+        assert_ne!(a, b);
+    }
+}

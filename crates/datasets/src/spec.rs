@@ -1,0 +1,271 @@
+//! Dataset identities and their Table 3 properties.
+
+use age_fixed::Format;
+
+/// The nine evaluation datasets from Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Human activity recognition from smartphone accelerometers [8].
+    Activity,
+    /// Handwriting motion primitives [116].
+    Characters,
+    /// Electrooculography eye-writing signals [37].
+    Eog,
+    /// Epileptic seizure recognition from wrist accelerometers [112].
+    Epilepsy,
+    /// Handwritten digits scanned as pixel sequences [64].
+    Mnist,
+    /// Graphical password traces [1].
+    Password,
+    /// Asphalt pavement classification from accelerometers [100].
+    Pavement,
+    /// Fourier-transform infrared spectra of fruit purees [53].
+    Strawberry,
+    /// Satellite image time series for land-cover classification [55].
+    Tiselac,
+}
+
+impl DatasetKind {
+    /// All nine datasets in the paper's table order.
+    pub fn all() -> [DatasetKind; 9] {
+        [
+            DatasetKind::Activity,
+            DatasetKind::Characters,
+            DatasetKind::Eog,
+            DatasetKind::Epilepsy,
+            DatasetKind::Mnist,
+            DatasetKind::Password,
+            DatasetKind::Pavement,
+            DatasetKind::Strawberry,
+            DatasetKind::Tiselac,
+        ]
+    }
+
+    /// Table 3 properties for this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        let fmt = |w: u8, frac: i16| Format::new(w, frac).expect("table formats are valid");
+        match self {
+            DatasetKind::Activity => DatasetSpec {
+                name: "Activity",
+                num_sequences: 11_119,
+                seq_len: 50,
+                features: 6,
+                num_labels: 12,
+                format: fmt(16, 13),
+                range: 10.6,
+            },
+            DatasetKind::Characters => DatasetSpec {
+                name: "Characters",
+                num_sequences: 1_436,
+                seq_len: 100,
+                features: 3,
+                num_labels: 20,
+                format: fmt(16, 13),
+                range: 7.8,
+            },
+            DatasetKind::Eog => DatasetSpec {
+                name: "EOG",
+                num_sequences: 362,
+                seq_len: 1_250,
+                features: 1,
+                num_labels: 12,
+                format: fmt(20, 8),
+                range: 2_640.4,
+            },
+            DatasetKind::Epilepsy => DatasetSpec {
+                name: "Epilepsy",
+                num_sequences: 138,
+                seq_len: 206,
+                features: 3,
+                num_labels: 4,
+                format: fmt(16, 13),
+                range: 7.2,
+            },
+            DatasetKind::Mnist => DatasetSpec {
+                name: "MNIST",
+                num_sequences: 10_000,
+                seq_len: 784,
+                features: 1,
+                num_labels: 10,
+                format: fmt(9, 0),
+                range: 255.0,
+            },
+            DatasetKind::Password => DatasetSpec {
+                name: "Password",
+                num_sequences: 308,
+                seq_len: 1_092,
+                features: 1,
+                num_labels: 5,
+                format: fmt(16, 11),
+                range: 18.8,
+            },
+            DatasetKind::Pavement => DatasetSpec {
+                name: "Pavement",
+                num_sequences: 8_864,
+                seq_len: 120,
+                features: 1,
+                num_labels: 3,
+                format: fmt(16, 10),
+                range: 68.4,
+            },
+            DatasetKind::Strawberry => DatasetSpec {
+                name: "Strawberry",
+                num_sequences: 370,
+                seq_len: 235,
+                features: 1,
+                num_labels: 2,
+                format: fmt(16, 13),
+                range: 5.9,
+            },
+            DatasetKind::Tiselac => DatasetSpec {
+                name: "Tiselac",
+                num_sequences: 17_973,
+                seq_len: 23,
+                features: 10,
+                num_labels: 9,
+                format: fmt(16, 0),
+                range: 3_379.0,
+            },
+        }
+    }
+
+    /// Human-readable event name for a label. Epilepsy's labels mirror the
+    /// paper's four events (seizure, walking, running, sawing); other
+    /// datasets use generic names.
+    pub fn label_name(&self, label: usize) -> String {
+        match self {
+            DatasetKind::Epilepsy => match label {
+                0 => "seizure".to_string(),
+                1 => "walking".to_string(),
+                2 => "running".to_string(),
+                3 => "sawing".to_string(),
+                other => format!("event-{other}"),
+            },
+            _ => format!("event-{label}"),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// Static dataset properties (the columns of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Full-scale sequence count (`# Seq`).
+    pub num_sequences: usize,
+    /// Measurements per sequence (`Seq Len`, the batching `T`).
+    pub seq_len: usize,
+    /// Features per measurement (`# Feat`, the paper's `d`).
+    pub features: usize,
+    /// Number of event labels.
+    pub num_labels: usize,
+    /// Fixed-point storage format (`Bits (Frac)`).
+    pub format: Format,
+    /// Value range reported in the table (max − min).
+    pub range: f64,
+}
+
+impl DatasetSpec {
+    /// Bytes of a full standard batch (count header + index + values per
+    /// measurement) — the scale of the paper's 98–3,138-byte batches.
+    pub fn full_batch_bytes(&self) -> usize {
+        let index_bits = usize::BITS as usize - (self.seq_len - 1).leading_zeros() as usize;
+        let bits = 16
+            + self.seq_len * (index_bits.max(1) + self.features * usize::from(self.format.width()));
+        bits.div_ceil(8)
+    }
+}
+
+/// How many sequences to generate: experiments at paper scale take hours,
+/// so the harness defaults to a reduced scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Quick runs for tests and Criterion benches (~tens of sequences).
+    Small,
+    /// The harness default (hundreds of sequences, minutes per table).
+    Default,
+    /// The paper's full Table 3 sequence counts.
+    Full,
+}
+
+impl Scale {
+    /// Sequence count for a dataset at this scale.
+    pub fn sequences(&self, spec: &DatasetSpec) -> usize {
+        match self {
+            Scale::Small => spec.num_sequences.min(48),
+            Scale::Default => {
+                // Cap long-sequence datasets harder: cost ~ len · count.
+                let budget = 400_000usize;
+                let cap = (budget / (spec.seq_len * spec.features)).clamp(120, 600);
+                spec.num_sequences.min(cap)
+            }
+            Scale::Full => spec.num_sequences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes_match_paper() {
+        let spec = DatasetKind::Activity.spec();
+        assert_eq!(
+            (spec.num_sequences, spec.seq_len, spec.features),
+            (11_119, 50, 6)
+        );
+        assert_eq!(spec.format.width(), 16);
+        assert_eq!(spec.format.frac(), 13);
+        let spec = DatasetKind::Tiselac.spec();
+        assert_eq!((spec.seq_len, spec.features, spec.num_labels), (23, 10, 9));
+        assert_eq!(spec.format.frac(), 0);
+    }
+
+    #[test]
+    fn batch_bytes_span_papers_range() {
+        // Paper §5.1 reports batches of 98–3,138 bytes across rates; our
+        // full standard batches (which also carry indices) span a comparable
+        // two-orders spread, from Tiselac's short sequences to EOG's long
+        // ones.
+        let sizes: Vec<usize> = DatasetKind::all()
+            .iter()
+            .map(|k| k.spec().full_batch_bytes())
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min < 500, "smallest full batch {min}");
+        assert!(max > 3_000, "largest full batch {max}");
+    }
+
+    #[test]
+    fn epilepsy_labels_are_named() {
+        assert_eq!(DatasetKind::Epilepsy.label_name(0), "seizure");
+        assert_eq!(DatasetKind::Epilepsy.label_name(3), "sawing");
+        assert_eq!(DatasetKind::Activity.label_name(5), "event-5");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for kind in DatasetKind::all() {
+            let spec = kind.spec();
+            let s = Scale::Small.sequences(&spec);
+            let d = Scale::Default.sequences(&spec);
+            let f = Scale::Full.sequences(&spec);
+            assert!(s <= d && d <= f, "{kind}: {s} {d} {f}");
+            assert!(s > 0);
+        }
+    }
+
+    #[test]
+    fn display_uses_table_names() {
+        assert_eq!(DatasetKind::Eog.to_string(), "EOG");
+        assert_eq!(DatasetKind::Mnist.to_string(), "MNIST");
+    }
+}

@@ -1,0 +1,158 @@
+//! Battery capacity and sensor-lifetime estimation.
+//!
+//! The paper motivates long-term budgets with finite batteries: ZebraNet
+//! collars must survive at least 72 hours on battery alone (§2.1). This
+//! module turns per-sequence energy costs into deployment-level questions —
+//! how many batches fit in a battery, and how long the sensor lives at a
+//! given reporting period.
+
+use crate::MilliJoules;
+
+/// A finite energy store with monotone draw-down.
+///
+/// # Examples
+///
+/// ```
+/// use age_energy::{Battery, MilliJoules};
+///
+/// // A small coin cell: 230 mAh at 3 V ≈ 2.48 MJ… in millijoules.
+/// let mut battery = Battery::from_mah(230.0, 3.0);
+/// assert!(battery.draw(MilliJoules(48.5)));
+/// assert!(battery.fraction_remaining() > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity: MilliJoules,
+    drawn: MilliJoules,
+}
+
+impl Battery {
+    /// Creates a battery with `capacity` of stored energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not positive.
+    pub fn new(capacity: MilliJoules) -> Self {
+        assert!(capacity.0 > 0.0, "battery capacity must be positive");
+        Battery {
+            capacity,
+            drawn: MilliJoules::ZERO,
+        }
+    }
+
+    /// Creates a battery from a milliamp-hour rating and nominal voltage:
+    /// `mAh · 3600 · V` millijoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive.
+    pub fn from_mah(mah: f64, volts: f64) -> Self {
+        assert!(mah > 0.0 && volts > 0.0, "ratings must be positive");
+        Battery::new(MilliJoules(mah * 3600.0 * volts))
+    }
+
+    /// Rated capacity.
+    pub fn capacity(&self) -> MilliJoules {
+        self.capacity
+    }
+
+    /// Energy still available.
+    pub fn remaining(&self) -> MilliJoules {
+        self.capacity.saturating_sub(self.drawn)
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn fraction_remaining(&self) -> f64 {
+        (self.remaining().0 / self.capacity.0).clamp(0.0, 1.0)
+    }
+
+    /// `true` once the battery cannot cover any further cost.
+    pub fn is_depleted(&self) -> bool {
+        self.remaining().0 <= 0.0
+    }
+
+    /// Draws `cost` if available; returns `false` (drawing nothing) when
+    /// the remaining charge cannot cover it.
+    pub fn draw(&mut self, cost: MilliJoules) -> bool {
+        if cost.0 > self.remaining().0 + 1e-9 {
+            return false;
+        }
+        self.drawn += cost;
+        true
+    }
+
+    /// How many sequences of `cost_per_sequence` the remaining charge
+    /// covers.
+    pub fn sequences_remaining(&self, cost_per_sequence: MilliJoules) -> u64 {
+        if cost_per_sequence.0 <= 0.0 {
+            return u64::MAX;
+        }
+        (self.remaining().0 / cost_per_sequence.0) as u64
+    }
+
+    /// Estimated lifetime in hours when one sequence is processed every
+    /// `sequence_period_secs` seconds.
+    pub fn lifetime_hours(&self, cost_per_sequence: MilliJoules, sequence_period_secs: f64) -> f64 {
+        self.sequences_remaining(cost_per_sequence) as f64 * sequence_period_secs / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_from_mah() {
+        let b = Battery::from_mah(1000.0, 3.0);
+        assert_eq!(b.capacity(), MilliJoules(10_800_000.0));
+    }
+
+    #[test]
+    fn draw_and_deplete() {
+        let mut b = Battery::new(MilliJoules(100.0));
+        assert!(b.draw(MilliJoules(60.0)));
+        assert!(b.draw(MilliJoules(40.0)));
+        assert!(b.is_depleted());
+        assert!(!b.draw(MilliJoules(0.1)));
+        assert_eq!(b.remaining(), MilliJoules::ZERO);
+    }
+
+    #[test]
+    fn refusal_leaves_charge_untouched() {
+        let mut b = Battery::new(MilliJoules(10.0));
+        assert!(!b.draw(MilliJoules(11.0)));
+        assert_eq!(b.remaining(), MilliJoules(10.0));
+    }
+
+    #[test]
+    fn lifetime_estimation() {
+        // 1000 sequences at 50 mJ in a 50 J battery, one per 6 seconds.
+        let b = Battery::new(MilliJoules(50_000.0));
+        assert_eq!(b.sequences_remaining(MilliJoules(50.0)), 1000);
+        let hours = b.lifetime_hours(MilliJoules(50.0), 6.0);
+        assert!((hours - 1000.0 * 6.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zebranet_style_72_hour_requirement() {
+        // A 2000 mAh / 3.6 V pack handling one ~48.5 mJ batch every 6 s
+        // must comfortably exceed the paper's 72-hour floor (§2.1).
+        let b = Battery::from_mah(2000.0, 3.6);
+        let hours = b.lifetime_hours(MilliJoules(48.5), 6.0);
+        assert!(hours > 72.0, "lifetime {hours:.1} h");
+    }
+
+    #[test]
+    fn lower_message_cost_extends_lifetime() {
+        let b = Battery::from_mah(230.0, 3.0);
+        let padded = b.lifetime_hours(MilliJoules(48.2), 6.0);
+        let age = b.lifetime_hours(MilliJoules(42.3), 6.0);
+        assert!(age > padded * 1.1, "AGE {age:.1} h vs padded {padded:.1} h");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_empty_battery() {
+        let _ = Battery::new(MilliJoules(0.0));
+    }
+}

@@ -1,0 +1,310 @@
+//! MSB-first bit packing into byte buffers.
+//!
+//! AGE assembles messages at bit granularity (per-group widths are not byte
+//! multiples), then pads to a byte-exact target length. The writer and reader
+//! here use MSB-first order within each byte, matching how a microcontroller
+//! would shift bits onto a radio buffer.
+
+use std::fmt;
+
+/// Accumulates bit fields into a byte vector, MSB first.
+///
+/// # Examples
+///
+/// ```
+/// use age_fixed::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0b0001, 4);
+/// assert_eq!(w.bit_len(), 7);
+/// let bytes = w.into_bytes(); // padded with zero bits to a byte boundary
+/// assert_eq!(bytes, vec![0b1010_0010]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the final partial byte (0 = none pending).
+    pending_bits: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Creates an empty writer with capacity for `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bytes),
+            pending_bits: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.pending_bits == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + usize::from(8 - self.pending_bits)
+        }
+    }
+
+    /// Number of bytes the current content occupies (rounding up).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            if self.pending_bits == 0 {
+                self.bytes.push(0);
+                self.pending_bits = 8;
+            }
+            let byte = self.bytes.last_mut().expect("pushed above");
+            *byte |= bit << (self.pending_bits - 1);
+            self.pending_bits -= 1;
+        }
+    }
+
+    /// Appends a full byte (convenience for headers).
+    pub fn write_u8(&mut self, value: u8) {
+        self.write_bits(u64::from(value), 8);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn write_u16(&mut self, value: u16) {
+        self.write_bits(u64::from(value), 16);
+    }
+
+    /// Appends zero bits until the total length reaches `target_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the content already exceeds `target_bytes`.
+    pub fn pad_to_bytes(&mut self, target_bytes: usize) {
+        let current = self.bit_len();
+        let target = target_bytes * 8;
+        assert!(
+            current <= target,
+            "content of {current} bits exceeds pad target of {target} bits"
+        );
+        // Close the partial byte, then extend with zero bytes directly.
+        while !self.bit_len().is_multiple_of(8) {
+            self.write_bits(0, 1);
+        }
+        self.bytes.resize(target_bytes, 0);
+        self.pending_bits = 0;
+    }
+
+    /// Finishes the stream, zero-padding the final partial byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Error returned by [`BitReader`] when the stream is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitReaderError {
+    /// Bits requested by the failed read.
+    pub requested: u8,
+    /// Bits that remained in the stream.
+    pub remaining: usize,
+}
+
+impl fmt::Display for BitReaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bit stream exhausted: requested {} bits with {} remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BitReaderError {}
+
+/// Reads bit fields from a byte slice, MSB first.
+///
+/// # Examples
+///
+/// ```
+/// use age_fixed::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1010_0010]);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(4)?, 0b0001);
+/// # Ok::<(), age_fixed::BitReaderError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, bit_pos: 0 }
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.bit_pos
+    }
+
+    /// Reads `count` bits as the low bits of a `u64`, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitReaderError`] if fewer than `count` bits remain.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64, BitReaderError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if usize::from(count) > self.remaining_bits() {
+            return Err(BitReaderError {
+                requested: count,
+                remaining: self.remaining_bits(),
+            });
+        }
+        let mut out = 0u64;
+        for _ in 0..count {
+            let byte = self.bytes[self.bit_pos / 8];
+            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.bit_pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads a full byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitReaderError`] if fewer than 8 bits remain.
+    pub fn read_u8(&mut self) -> Result<u8, BitReaderError> {
+        Ok(self.read_bits(8)? as u8)
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitReaderError`] if fewer than 16 bits remain.
+    pub fn read_u16(&mut self) -> Result<u16, BitReaderError> {
+        Ok(self.read_bits(16)? as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer_yields_no_bytes() {
+        assert!(BitWriter::new().into_bytes().is_empty());
+    }
+
+    #[test]
+    fn single_bits_pack_msb_first() {
+        let mut w = BitWriter::new();
+        for bit in [1u64, 0, 1, 1] {
+            w.write_bits(bit, 1);
+        }
+        assert_eq!(w.into_bytes(), vec![0b1011_0000]);
+    }
+
+    #[test]
+    fn cross_byte_fields() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3FF, 10); // ten ones
+        w.write_bits(0, 3);
+        w.write_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xFF, 0b1100_0110]);
+    }
+
+    #[test]
+    fn write_then_read_various_widths() {
+        let fields: Vec<(u64, u8)> = vec![
+            (0b1, 1),
+            (0xABCD, 16),
+            (0x1F, 5),
+            (0, 7),
+            (0xFFFF_FFFF_FFFF_FFFF, 64),
+            (42, 13),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, c) in &fields {
+            w.write_bits(v, c);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, c) in &fields {
+            let mask = if c == 64 { u64::MAX } else { (1 << c) - 1 };
+            assert_eq!(r.read_bits(c).unwrap(), v & mask);
+        }
+    }
+
+    #[test]
+    fn pad_to_bytes_reaches_exact_length() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.pad_to_bytes(5);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(bytes[0], 0b1010_0000);
+        assert!(bytes[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pad target")]
+    fn pad_to_bytes_panics_when_too_small() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF, 16);
+        w.pad_to_bytes(1);
+    }
+
+    #[test]
+    fn reader_reports_exhaustion() {
+        let mut r = BitReader::new(&[0xAA]);
+        assert_eq!(r.read_bits(6).unwrap(), 0b101010);
+        let err = r.read_bits(3).unwrap_err();
+        assert_eq!(err.requested, 3);
+        assert_eq!(err.remaining, 2);
+        // Error is not destructive beyond position: the 2 bits remain.
+        assert_eq!(r.read_bits(2).unwrap(), 0b10);
+    }
+
+    #[test]
+    fn u8_u16_helpers() {
+        let mut w = BitWriter::new();
+        w.write_u8(0x12);
+        w.write_u16(0x3456);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x12, 0x34, 0x56]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0x12);
+        assert_eq!(r.read_u16().unwrap(), 0x3456);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0, 1);
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.byte_len(), 2);
+    }
+}

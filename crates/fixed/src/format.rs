@@ -1,0 +1,348 @@
+//! Signed fixed-point formats with saturating quantization.
+
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Format`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatError {
+    /// The requested total width was zero or exceeded [`Format::MAX_WIDTH`].
+    InvalidWidth(u8),
+    /// The fractional count left no room for the sign bit
+    /// (`frac >= width` would mean zero non-fractional bits).
+    InvalidFraction { width: u8, frac: i16 },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FormatError::InvalidWidth(w) => {
+                write!(
+                    f,
+                    "fixed-point width {w} is outside 1..={}",
+                    Format::MAX_WIDTH
+                )
+            }
+            FormatError::InvalidFraction { width, frac } => {
+                write!(
+                    f,
+                    "fractional bit count {frac} is invalid for width {width}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// A signed two's complement fixed-point format.
+///
+/// A value `x` is stored as the integer `raw = round(x * 2^frac)` saturated
+/// to `width` bits; `frac` may be negative, in which case the quantization
+/// step is larger than one (useful when a group of large-magnitude values
+/// must fit in a narrow width).
+///
+/// The paper's `n` ("non-fractional places", including the sign bit) is
+/// [`Format::integer_bits`]; `n = width - frac`.
+///
+/// # Examples
+///
+/// ```
+/// use age_fixed::Format;
+///
+/// let fmt = Format::new(5, 2)?; // 5 bits, step 0.25, range [-4, 3.75]
+/// assert_eq!(fmt.integer_bits(), 3);
+/// assert_eq!(fmt.dequantize(fmt.quantize(1.3)), 1.25);
+/// assert_eq!(fmt.dequantize(fmt.quantize(100.0)), 3.75); // saturates
+/// # Ok::<(), age_fixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Format {
+    width: u8,
+    frac: i16,
+}
+
+impl Format {
+    /// Largest supported total width in bits.
+    pub const MAX_WIDTH: u8 = 32;
+
+    /// Creates a format with `width` total bits, `frac` of them fractional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidWidth`] if `width` is zero or larger
+    /// than [`Format::MAX_WIDTH`], and [`FormatError::InvalidFraction`] if
+    /// `frac >= width` (no sign bit would remain) or `frac` is unreasonably
+    /// negative (`width - frac > 64`).
+    pub fn new(width: u8, frac: i16) -> Result<Self, FormatError> {
+        if width == 0 || width > Self::MAX_WIDTH {
+            return Err(FormatError::InvalidWidth(width));
+        }
+        let integer_bits = i32::from(width) - i32::from(frac);
+        if !(1..=64).contains(&integer_bits) {
+            return Err(FormatError::InvalidFraction { width, frac });
+        }
+        Ok(Format { width, frac })
+    }
+
+    /// Creates a format from the paper's notation: total width and
+    /// non-fractional places `n` (including the sign bit).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Format::new`] with `frac = width - n`.
+    pub fn from_integer_bits(width: u8, n: u8) -> Result<Self, FormatError> {
+        Format::new(width, i16::from(width) - i16::from(n))
+    }
+
+    /// Total width in bits (the paper's `w`).
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Fractional bit count (may be negative).
+    pub fn frac(&self) -> i16 {
+        self.frac
+    }
+
+    /// Non-fractional places including the sign bit (the paper's `n`).
+    pub fn integer_bits(&self) -> u8 {
+        (i32::from(self.width) - i32::from(self.frac)) as u8
+    }
+
+    /// The quantization step `2^-frac`.
+    pub fn step(&self) -> f64 {
+        exp2(-i32::from(self.frac))
+    }
+
+    /// Largest raw integer representable (`2^(width-1) - 1`).
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.width - 1)) - 1
+    }
+
+    /// Smallest raw integer representable (`-2^(width-1)`).
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.width - 1))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        self.dequantize(self.max_raw())
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(&self) -> f64 {
+        self.dequantize(self.min_raw())
+    }
+
+    /// Quantizes `x` to the nearest representable raw integer, saturating at
+    /// the format bounds. Non-finite inputs saturate (NaN maps to zero).
+    pub fn quantize(&self, x: f64) -> i64 {
+        if x.is_nan() {
+            return 0;
+        }
+        let scaled = x * exp2(i32::from(self.frac));
+        if scaled >= self.max_raw() as f64 {
+            self.max_raw()
+        } else if scaled <= self.min_raw() as f64 {
+            self.min_raw()
+        } else {
+            // Round half away from zero, like an MCU's fixed-point library.
+            scaled.round() as i64
+        }
+    }
+
+    /// Converts a raw integer back to its real value.
+    pub fn dequantize(&self, raw: i64) -> f64 {
+        raw as f64 * self.step()
+    }
+
+    /// Quantizes and immediately dequantizes, yielding the representable
+    /// value nearest to `x` (saturated to the format range).
+    pub fn round_trip(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Maximum absolute quantization error for values inside the
+    /// representable range: half a step.
+    pub fn half_step(&self) -> f64 {
+        self.step() * 0.5
+    }
+
+    /// Encodes a raw integer as a `width`-bit two's complement pattern
+    /// suitable for [`crate::BitWriter::write_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `raw` is within the format's raw range.
+    pub fn to_bits(&self, raw: i64) -> u64 {
+        debug_assert!(raw >= self.min_raw() && raw <= self.max_raw());
+        (raw as u64) & self.mask()
+    }
+
+    /// Decodes a `width`-bit two's complement pattern into a raw integer
+    /// (sign-extending).
+    pub fn from_bits(&self, bits: u64) -> i64 {
+        let bits = bits & self.mask();
+        let sign_bit = 1u64 << (self.width - 1);
+        if bits & sign_bit != 0 {
+            (bits | !self.mask()) as i64
+        } else {
+            bits as i64
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.integer_bits(), self.frac)
+    }
+}
+
+/// Computes `2^e` as an `f64` for any `i32` exponent.
+fn exp2(e: i32) -> f64 {
+    f64::powi(2.0, e)
+}
+
+/// Smallest non-fractional width `n` (including the sign bit) such that a
+/// fixed-point format with `n` integer bits represents `x` without
+/// saturating, i.e. `-2^(n-1) <= x < 2^(n-1)`.
+///
+/// This is the per-value "exponent" that AGE's group-formation step
+/// compresses with run-length encoding (§4.3). The result is clamped to
+/// `max_n`, so callers can bound exponents by the original format.
+///
+/// # Examples
+///
+/// ```
+/// use age_fixed::required_integer_bits;
+///
+/// assert_eq!(required_integer_bits(0.0, 16), 1);
+/// assert_eq!(required_integer_bits(0.25, 16), 1);
+/// assert_eq!(required_integer_bits(1.5, 16), 2);
+/// assert_eq!(required_integer_bits(-2.0, 16), 2);  // -2 == -2^1 fits in n=2
+/// assert_eq!(required_integer_bits(2.0, 16), 3);
+/// ```
+pub fn required_integer_bits(x: f64, max_n: u8) -> u8 {
+    let max_n = max_n.max(1);
+    if !x.is_finite() {
+        return max_n;
+    }
+    for n in 1..=max_n {
+        let hi = exp2(i32::from(n) - 1);
+        if x < hi && x >= -hi {
+            return n;
+        }
+    }
+    max_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Format::new(0, 0).is_err());
+        assert!(Format::new(33, 0).is_err());
+        assert!(Format::new(16, 16).is_err()); // no sign bit left
+        assert!(Format::new(16, 13).is_ok());
+        assert!(Format::new(5, -3).is_ok()); // coarse step of 8
+        assert!(Format::new(4, -61).is_err()); // integer bits > 64
+    }
+
+    #[test]
+    fn from_integer_bits_matches_paper_notation() {
+        // Activity: 16 bits, 13 fractional => n0 = 3.
+        let fmt = Format::from_integer_bits(16, 3).unwrap();
+        assert_eq!(fmt.frac(), 13);
+        assert_eq!(fmt.integer_bits(), 3);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let fmt = Format::new(8, 4).unwrap(); // step 1/16
+        assert_eq!(fmt.quantize(0.0), 0);
+        assert_eq!(fmt.quantize(1.0), 16);
+        assert_eq!(fmt.quantize(1.03), 16); // 1.03*16 = 16.48 -> 16
+        assert_eq!(fmt.quantize(1.04), 17); // 16.64 -> 17
+        assert_eq!(fmt.quantize(-1.04), -17);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let fmt = Format::new(8, 4).unwrap(); // raw in [-128, 127]
+        assert_eq!(fmt.quantize(1e9), 127);
+        assert_eq!(fmt.quantize(-1e9), -128);
+        assert_eq!(fmt.quantize(f64::INFINITY), 127);
+        assert_eq!(fmt.quantize(f64::NEG_INFINITY), -128);
+        assert_eq!(fmt.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn negative_frac_gives_coarse_steps() {
+        let fmt = Format::new(5, -3).unwrap(); // step 8, range [-128, 120]
+        assert_eq!(fmt.step(), 8.0);
+        assert_eq!(fmt.quantize(100.0), 13); // 100/8 = 12.5 -> 13 (half away)
+        assert_eq!(fmt.dequantize(13), 104.0);
+        assert_eq!(fmt.max_value(), 120.0);
+        assert_eq!(fmt.min_value(), -128.0);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let fmt = Format::new(7, 3).unwrap();
+        let mut x = fmt.min_value();
+        while x < fmt.max_value() {
+            let err = (fmt.round_trip(x) - x).abs();
+            assert!(err <= fmt.half_step() + 1e-12, "x={x} err={err}");
+            x += 0.0371;
+        }
+    }
+
+    #[test]
+    fn bit_codec_roundtrips_all_raws() {
+        for width in 1..=12u8 {
+            let fmt = Format::new(width, 0).unwrap();
+            for raw in fmt.min_raw()..=fmt.max_raw() {
+                assert_eq!(fmt.from_bits(fmt.to_bits(raw)), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn required_integer_bits_boundary_cases() {
+        assert_eq!(required_integer_bits(0.999, 16), 1);
+        assert_eq!(required_integer_bits(1.0, 16), 2);
+        assert_eq!(required_integer_bits(-1.0, 16), 1);
+        assert_eq!(required_integer_bits(-1.0001, 16), 2);
+        assert_eq!(required_integer_bits(3.99, 16), 3);
+        assert_eq!(required_integer_bits(4.0, 16), 4);
+        assert_eq!(required_integer_bits(1e30, 8), 8); // clamped
+        assert_eq!(required_integer_bits(f64::NAN, 8), 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        let fmt = Format::new(16, 13).unwrap();
+        assert_eq!(fmt.to_string(), "Q3.13");
+        let err = Format::new(0, 0).unwrap_err();
+        assert!(err.to_string().contains("width 0"));
+    }
+
+    #[test]
+    fn integer_only_formats() {
+        // MNIST: 9 bits, 0 fractional.
+        let fmt = Format::new(9, 0).unwrap();
+        assert_eq!(fmt.max_value(), 255.0);
+        assert_eq!(fmt.quantize(254.6), 255);
+        assert_eq!(fmt.round_trip(200.0), 200.0);
+    }
+}

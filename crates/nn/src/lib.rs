@@ -1,0 +1,46 @@
+//! A minimal neural-network substrate implementing the Skip RNN adaptive
+//! sampling policy (Campos et al. [22], paper §5.5).
+//!
+//! The Skip RNN is a recurrent network with a binary *state-update gate*:
+//! at each step the gate decides whether to collect the measurement and
+//! update the hidden state, or to skip it. While skipping, the update
+//! probability accumulates, so the network wakes up after a data-dependent
+//! number of steps. The paper uses Skip RNNs as its third adaptive policy
+//! to show AGE generalizes to trainable samplers.
+//!
+//! Everything is built from scratch: a small dense linear-algebra module
+//! ([`Mat`]), the gated recurrent cell ([`SkipRnn`]), and training by
+//! backpropagation through time with a straight-through estimator for the
+//! binary gate ([`Trainer`]). The trained model implements
+//! [`age_sampling::Policy`] via [`SkipRnnPolicy`], whose gate bias tunes
+//! the average collection rate (the offline per-rate fit, mirroring the
+//! paper's per-rate training).
+//!
+//! # Examples
+//!
+//! ```
+//! use age_nn::{SkipRnn, SkipRnnPolicy, Trainer};
+//! use age_sampling::Policy;
+//!
+//! // Train a tiny model on two short sequences, then sample.
+//! let seqs: Vec<Vec<f64>> = vec![
+//!     (0..30).map(|t| (t as f64 * 0.3).sin()).collect(),
+//!     (0..30).map(|t| (t as f64 * 0.05).sin()).collect(),
+//! ];
+//! let model = Trainer::new(1, 8, 42).epochs(2).train(&seqs);
+//! let policy = SkipRnnPolicy::new(model, 0.0);
+//! let idx = policy.sample(&seqs[0], 1);
+//! assert!(!idx.is_empty());
+//! ```
+
+mod linalg;
+mod policy;
+mod rnn;
+mod serde_bytes;
+mod train;
+
+pub use linalg::Mat;
+pub use policy::{fit_gate_bias, SkipRnnPolicy};
+pub use rnn::{SkipRnn, StepTrace};
+pub use serde_bytes::ModelDecodeError;
+pub use train::Trainer;

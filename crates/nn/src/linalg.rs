@@ -1,0 +1,252 @@
+//! Minimal dense matrix support for the Skip RNN.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use age_nn::Mat;
+///
+/// let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix with entries drawn uniformly from `[-scale, scale]` —
+    /// the usual fan-in scaled initialization.
+    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut StdRng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Mat { rows, cols, data }
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable entry access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable entry access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// `selfᵀ · v` (used for backpropagating through a linear layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    pub fn matvec_transpose(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "matvec_transpose dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (&vr, row) in v.iter().zip(self.data.chunks_exact(self.cols)) {
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * vr;
+            }
+        }
+        out
+    }
+
+    /// Accumulates the outer product `self += scale · u vᵀ` (gradient of a
+    /// linear layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, u: &[f64], v: &[f64], scale: f64) {
+        assert_eq!(u.len(), self.rows, "outer product row mismatch");
+        assert_eq!(v.len(), self.cols, "outer product column mismatch");
+        for (&ur, row) in u.iter().zip(self.data.chunks_exact_mut(self.cols)) {
+            for (entry, &b) in row.iter_mut().zip(v) {
+                *entry += scale * ur * b;
+            }
+        }
+    }
+
+    /// `self += scale · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Mat, scale: f64) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every entry by `scale`.
+    pub fn scale(&mut self, scale: f64) {
+        for a in &mut self.data {
+            *a *= scale;
+        }
+    }
+
+    /// Resets to all zeros.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Sum of squared entries (for diagnostics/regularization).
+    pub fn frobenius_sq(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+}
+
+/// In-place `a += scale · b` for vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub(crate) fn axpy(a: &mut [f64], b: &[f64], scale: f64) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += scale * y;
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_transpose(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = Mat::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn add_scaled_and_clear() {
+        let mut a = Mat::zeros(1, 2);
+        let b = Mat::from_rows(&[&[2.0, -2.0]]);
+        a.add_scaled(&b, 2.0);
+        assert_eq!(a.get(0, 0), 4.0);
+        a.clear();
+        assert_eq!(a.frobenius_sq(), 0.0);
+    }
+
+    #[test]
+    fn random_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mat::random(10, 10, 0.3, &mut rng);
+        assert!((0..10).all(|r| (0..10).all(|c| m.get(r, c).abs() <= 0.3)));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        assert_eq!(m, Mat::random(10, 10, 0.3, &mut rng2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn matvec_checks_dims() {
+        let _ = Mat::zeros(2, 3).matvec(&[1.0]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let mut a = vec![1.0, 2.0];
+        axpy(&mut a, &[10.0, 20.0], 0.1);
+        assert_eq!(a, vec![2.0, 4.0]);
+        assert_eq!(dot(&a, &[1.0, 1.0]), 6.0);
+    }
+}

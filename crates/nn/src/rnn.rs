@@ -1,0 +1,290 @@
+//! The Skip RNN cell (Campos et al. [22]).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::linalg::{dot, Mat};
+
+/// A recurrent cell with a binary state-update (skip) gate.
+///
+/// At step `t` the accumulated update probability `u_t` is binarized:
+/// `z_t = 1[u_t ≥ 0.5]`. When `z_t = 1` the measurement is *collected* and
+/// the hidden state updates (`h_t = tanh(W x_t + U h_{t-1} + b)`); when
+/// `z_t = 0` the step is skipped and the state is held. The gate then
+/// evolves as
+///
+/// ```text
+/// Δu_t    = σ(w_u · h_t + b_u + bias)
+/// u_{t+1} = z_t · Δu_t + (1 − z_t) · min(u_t + Δu_t, 1)
+/// ```
+///
+/// so skipped steps accumulate probability until the cell wakes — the
+/// number of skipped steps is data-dependent, which makes the collection
+/// count track the sensed event (the leak AGE closes). The external `bias`
+/// shifts the gate pre-activation and thereby the average collection rate;
+/// [`crate::fit_gate_bias`] tunes it to a target rate offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkipRnn {
+    /// Input→hidden weights (`H × d`).
+    pub w_in: Mat,
+    /// Hidden→hidden weights (`H × H`).
+    pub w_rec: Mat,
+    /// Hidden bias (`H`).
+    pub b_h: Vec<f64>,
+    /// Gate weights (`H`).
+    pub w_gate: Vec<f64>,
+    /// Gate bias.
+    pub b_gate: f64,
+    /// Readout weights predicting the next measurement (`d × H`).
+    pub w_out: Mat,
+    /// Readout bias (`d`).
+    pub b_out: Vec<f64>,
+}
+
+/// Per-step forward trace used by backpropagation through time.
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// Gate decision: was the measurement collected?
+    pub z: bool,
+    /// Accumulated update probability before binarization.
+    pub u: f64,
+    /// Gate increment `Δu_t` after the (possible) state update.
+    pub du: f64,
+    /// Whether the `min(·, 1)` clamp in the gate recursion was active.
+    pub clamped: bool,
+    /// Hidden state after the step (`H`).
+    pub h: Vec<f64>,
+    /// Readout prediction error for the *next* measurement (`d`), empty at
+    /// the final step.
+    pub pred_err: Vec<f64>,
+}
+
+impl SkipRnn {
+    /// Creates a randomly initialized cell for `features`-dimensional
+    /// measurements and `hidden` state units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` or `hidden` is zero.
+    pub fn new(features: usize, hidden: usize, seed: u64) -> Self {
+        assert!(features > 0 && hidden > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s_in = (1.0 / features as f64).sqrt();
+        let s_rec = (1.0 / hidden as f64).sqrt();
+        SkipRnn {
+            w_in: Mat::random(hidden, features, s_in, &mut rng),
+            w_rec: Mat::random(hidden, hidden, s_rec, &mut rng),
+            b_h: vec![0.0; hidden],
+            w_gate: {
+                let m = Mat::random(1, hidden, s_rec, &mut rng);
+                (0..hidden).map(|c| m.get(0, c)).collect()
+            },
+            // Slight positive bias: start by collecting fairly often.
+            b_gate: 0.5,
+            w_out: Mat::random(features, hidden, s_rec, &mut rng),
+            b_out: vec![0.0; features],
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.b_h.len()
+    }
+
+    /// Measurement feature count.
+    pub fn features(&self) -> usize {
+        self.b_out.len()
+    }
+
+    /// Runs the cell over a row-major sequence, returning the collected
+    /// indices. `bias` shifts the gate pre-activation (0.0 = as trained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` is not a multiple of the feature count.
+    pub fn sample(&self, values: &[f64], bias: f64) -> Vec<usize> {
+        let d = self.features();
+        assert_eq!(values.len() % d, 0, "values must be whole measurements");
+        let len = values.len() / d;
+        let mut collected = Vec::new();
+        let mut h = vec![0.0; self.hidden()];
+        let mut u = 1.0f64;
+        for t in 0..len {
+            let z = u >= 0.5;
+            if z {
+                collected.push(t);
+                h = self.update(&values[t * d..(t + 1) * d], &h);
+            }
+            let du = sigmoid(dot(&self.w_gate, &h) + self.b_gate + bias);
+            u = if z { du } else { (u + du).min(1.0) };
+        }
+        collected
+    }
+
+    /// Full forward pass with traces for training. Returns the traces and
+    /// the total loss: mean squared prediction error plus
+    /// `rate_weight · (mean(z) − target_rate)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or not a multiple of the feature count.
+    pub fn forward_trace(
+        &self,
+        values: &[f64],
+        target_rate: f64,
+        rate_weight: f64,
+    ) -> (Vec<StepTrace>, f64) {
+        let d = self.features();
+        assert!(!values.is_empty(), "cannot trace an empty sequence");
+        assert_eq!(values.len() % d, 0, "values must be whole measurements");
+        let len = values.len() / d;
+        let mut traces = Vec::with_capacity(len);
+        let mut h = vec![0.0; self.hidden()];
+        let mut u = 1.0f64;
+        let mut pred_loss = 0.0;
+        let mut updates = 0usize;
+
+        for t in 0..len {
+            let z = u >= 0.5;
+            if z {
+                updates += 1;
+                h = self.update(&values[t * d..(t + 1) * d], &h);
+            }
+            let pre = dot(&self.w_gate, &h) + self.b_gate;
+            let du = sigmoid(pre);
+            let clamped = !z && u + du > 1.0;
+            let next_u = if z { du } else { (u + du).min(1.0) };
+
+            // Predict the next measurement from the current state.
+            let pred_err = if t + 1 < len {
+                let mut pred = self.w_out.matvec(&h);
+                for (p, b) in pred.iter_mut().zip(&self.b_out) {
+                    *p += b;
+                }
+                let truth = &values[(t + 1) * d..(t + 2) * d];
+                let err: Vec<f64> = pred.iter().zip(truth).map(|(p, x)| p - x).collect();
+                pred_loss += err.iter().map(|e| e * e).sum::<f64>();
+                err
+            } else {
+                Vec::new()
+            };
+
+            traces.push(StepTrace {
+                z,
+                u,
+                du,
+                clamped,
+                h: h.clone(),
+                pred_err,
+            });
+            u = next_u;
+        }
+        let rate = updates as f64 / len as f64;
+        let loss = pred_loss / (len as f64 * d as f64) + rate_weight * (rate - target_rate).powi(2);
+        (traces, loss)
+    }
+
+    /// One state update `tanh(W x + U h + b)`.
+    pub(crate) fn update(&self, x: &[f64], h: &[f64]) -> Vec<f64> {
+        let mut a = self.w_in.matvec(x);
+        let rec = self.w_rec.matvec(h);
+        for ((ai, r), b) in a.iter_mut().zip(&rec).zip(&self.b_h) {
+            *ai = (*ai + r + b).tanh();
+        }
+        a
+    }
+}
+
+/// Numerically stable logistic function.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, scale: f64) -> Vec<f64> {
+        (0..len).map(|t| scale * (t as f64 * 0.4).sin()).collect()
+    }
+
+    #[test]
+    fn always_collects_the_first_measurement() {
+        let rnn = SkipRnn::new(1, 8, 0);
+        let idx = rnn.sample(&seq(50, 1.0), 0.0);
+        assert_eq!(idx[0], 0);
+    }
+
+    #[test]
+    fn indices_are_strictly_increasing() {
+        let rnn = SkipRnn::new(2, 8, 1);
+        let values: Vec<f64> = (0..120).map(|i| (i as f64 * 0.17).cos()).collect();
+        let idx = rnn.sample(&values, 0.3);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(*idx.last().unwrap() < 60);
+    }
+
+    #[test]
+    fn gate_bias_controls_collection_rate() {
+        let rnn = SkipRnn::new(1, 8, 2);
+        let values = seq(200, 1.0);
+        let sparse = rnn.sample(&values, -4.0).len();
+        let dense = rnn.sample(&values, 4.0).len();
+        assert!(dense > sparse, "dense={dense} sparse={sparse}");
+        assert_eq!(dense, 200); // strongly positive bias collects everything
+    }
+
+    #[test]
+    fn strongly_negative_bias_still_wakes_up() {
+        // Accumulation guarantees the cell never sleeps forever.
+        let rnn = SkipRnn::new(1, 8, 3);
+        let idx = rnn.sample(&seq(400, 1.0), -6.0);
+        assert!(idx.len() > 1, "cell must wake up eventually");
+    }
+
+    #[test]
+    fn trace_matches_sample_decisions() {
+        let rnn = SkipRnn::new(1, 8, 4);
+        let values = seq(80, 1.5);
+        let idx = rnn.sample(&values, 0.0);
+        let (traces, _) = rnn.forward_trace(&values, 0.5, 0.0);
+        let traced: Vec<usize> = traces
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.z)
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(idx, traced);
+    }
+
+    #[test]
+    fn loss_is_finite_and_rate_term_counts() {
+        let rnn = SkipRnn::new(1, 8, 5);
+        let values = seq(60, 1.0);
+        let (_, loss_no_rate) = rnn.forward_trace(&values, 0.5, 0.0);
+        let (traces, loss_rate) = rnn.forward_trace(&values, 0.0, 100.0);
+        assert!(loss_no_rate.is_finite());
+        let rate = traces.iter().filter(|s| s.z).count() as f64 / traces.len() as f64;
+        assert!((loss_rate - loss_no_rate - 100.0 * rate * rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SkipRnn::new(3, 16, 9);
+        let b = SkipRnn::new(3, 16, 9);
+        assert_eq!(a, b);
+    }
+}

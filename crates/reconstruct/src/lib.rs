@@ -1,0 +1,284 @@
+//! Server-side reconstruction and error metrics (paper §5.1–§5.2).
+//!
+//! The server receives a subsampled batch, linearly interpolates the
+//! missing measurements, and the evaluation scores the reconstruction with
+//! mean absolute error (MAE) — optionally weighted by each sequence's
+//! standard deviation to emphasize the high-compression cases (Table 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use age_reconstruct::interpolate;
+//!
+//! // Collected the endpoints of a ramp: interpolation recovers it exactly.
+//! let rebuilt = interpolate(&[0, 4], &[0.0, 4.0], 5, 1);
+//! assert_eq!(rebuilt, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+/// Linearly interpolates a subsampled sequence back to full length.
+///
+/// `indices` are the strictly increasing collected positions, `values` the
+/// row-major collected measurements (`indices.len() · features` entries).
+/// Positions before the first collected index hold the first value;
+/// positions after the last hold the last (the sensor reports nothing
+/// beyond its collected window). An empty batch reconstructs to all zeros.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree or an index is out of range.
+pub fn interpolate(indices: &[usize], values: &[f64], len: usize, features: usize) -> Vec<f64> {
+    assert!(features > 0, "features must be positive");
+    assert_eq!(
+        values.len(),
+        indices.len() * features,
+        "values/indices shape mismatch"
+    );
+    if let Some(&last) = indices.last() {
+        assert!(
+            last < len,
+            "collected index {last} out of range for length {len}"
+        );
+    }
+    let mut out = vec![0.0f64; len * features];
+    if indices.is_empty() {
+        return out;
+    }
+
+    for f in 0..features {
+        // Head: hold the first collected value backward.
+        let first_idx = indices[0];
+        let first_val = values[f];
+        for t in 0..=first_idx {
+            out[t * features + f] = first_val;
+        }
+        // Middle: linear segments between collected neighbours. The right
+        // endpoint is assigned exactly (not through the lerp formula, which
+        // can be off by an ulp) so collected points always round-trip.
+        for w in 0..indices.len().saturating_sub(1) {
+            let (i0, i1) = (indices[w], indices[w + 1]);
+            let (v0, v1) = (values[w * features + f], values[(w + 1) * features + f]);
+            let span = (i1 - i0) as f64;
+            for t in i0 + 1..i1 {
+                let alpha = (t - i0) as f64 / span;
+                out[t * features + f] = v0 + alpha * (v1 - v0);
+            }
+            out[i1 * features + f] = v1;
+        }
+        // Tail: hold the last collected value forward.
+        let last_idx = *indices.last().expect("non-empty checked above");
+        let last_val = values[(indices.len() - 1) * features + f];
+        for t in last_idx..len {
+            out[t * features + f] = last_val;
+        }
+    }
+    out
+}
+
+/// Mean absolute error between a reconstruction and the true sequence.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(reconstructed: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(reconstructed.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "cannot score empty sequences");
+    reconstructed
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Population standard deviation of a sequence's values — the per-sequence
+/// weight used by the paper's weighted error metric (Table 5).
+pub fn std_deviation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Aggregates per-sequence MAEs into the paper's two summary metrics:
+/// the arithmetic mean MAE (Table 4) and the deviation-weighted mean
+/// (Table 5), where each sequence's MAE is weighted by its own standard
+/// deviation.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorAccumulator {
+    sum: f64,
+    weighted_sum: f64,
+    weight_total: f64,
+    count: usize,
+}
+
+impl ErrorAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sequence's MAE with its deviation weight.
+    pub fn record(&mut self, mae: f64, deviation_weight: f64) {
+        self.sum += mae;
+        self.weighted_sum += mae * deviation_weight;
+        self.weight_total += deviation_weight;
+        self.count += 1;
+    }
+
+    /// Number of sequences recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean MAE (Table 4), or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Deviation-weighted mean MAE (Table 5), or 0 when no weight was seen.
+    pub fn weighted_mean(&self) -> f64 {
+        if self.weight_total <= 0.0 {
+            0.0
+        } else {
+            self.weighted_sum / self.weight_total
+        }
+    }
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+/// Returns `None` for empty input.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metrics are never NaN"));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    })
+}
+
+/// Interquartile range and quartiles `(q1, q3)` via linear interpolation.
+/// Returns `None` for empty input.
+pub fn quartiles(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metrics are never NaN"));
+    let q = |p: f64| -> f64 {
+        let pos = p * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    Some((q(0.25), q(0.75)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_is_exact_on_affine_signals() {
+        let truth: Vec<f64> = (0..20).map(|t| 3.0 * t as f64 - 5.0).collect();
+        let indices = [0usize, 7, 13, 19];
+        let values: Vec<f64> = indices.iter().map(|&i| truth[i]).collect();
+        let rebuilt = interpolate(&indices, &values, 20, 1);
+        for (a, b) in rebuilt.iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_passes_through_collected_points() {
+        let indices = [2usize, 5, 11];
+        let values = [1.0, -4.0, 9.0];
+        let rebuilt = interpolate(&indices, &values, 15, 1);
+        assert_eq!(rebuilt[2], 1.0);
+        assert_eq!(rebuilt[5], -4.0);
+        assert_eq!(rebuilt[11], 9.0);
+    }
+
+    #[test]
+    fn head_and_tail_hold_boundary_values() {
+        let rebuilt = interpolate(&[3, 6], &[2.0, 8.0], 10, 1);
+        assert_eq!(&rebuilt[..4], &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(&rebuilt[6..], &[8.0, 8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn multifeature_interpolation_is_per_feature() {
+        let rebuilt = interpolate(&[0, 2], &[0.0, 10.0, 4.0, 30.0], 3, 2);
+        assert_eq!(rebuilt, vec![0.0, 10.0, 2.0, 20.0, 4.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_batch_reconstructs_to_zeros() {
+        let rebuilt = interpolate(&[], &[], 4, 2);
+        assert_eq!(rebuilt, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn single_point_holds_everywhere() {
+        let rebuilt = interpolate(&[5], &[7.0], 10, 1);
+        assert!(rebuilt.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mae(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mae(&[0.0, 4.0], &[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn fewer_samples_mean_higher_error_on_curvy_signals() {
+        let truth: Vec<f64> = (0..100).map(|t| (t as f64 * 0.4).sin()).collect();
+        let sample = |k: usize| -> f64 {
+            let idx: Vec<usize> = (0..k).map(|r| r * 100 / k).collect();
+            let vals: Vec<f64> = idx.iter().map(|&i| truth[i]).collect();
+            mae(&interpolate(&idx, &vals, 100, 1), &truth)
+        };
+        assert!(sample(10) > sample(30));
+        assert!(sample(30) > sample(90));
+    }
+
+    #[test]
+    fn accumulator_weighting() {
+        let mut acc = ErrorAccumulator::new();
+        acc.record(1.0, 1.0);
+        acc.record(3.0, 3.0);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.mean(), 2.0);
+        // Weighted: (1·1 + 3·3) / 4 = 2.5.
+        assert_eq!(acc.weighted_mean(), 2.5);
+        assert_eq!(ErrorAccumulator::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn std_deviation_basics() {
+        assert_eq!(std_deviation(&[]), 0.0);
+        assert_eq!(std_deviation(&[2.0, 2.0, 2.0]), 0.0);
+        assert!((std_deviation(&[0.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_quartiles() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        let (q1, q3) = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!((q1, q3), (2.0, 4.0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline threshold fitting (paper §5.1).
+//!
+//! The paper sets one threshold per energy budget using an offline training
+//! step, so an adaptive policy's *average* collection rate matches the rate
+//! the budget affords. Both implemented adaptive policies collect less as
+//! their threshold rises, so a bisection on the threshold converges.
+
+use crate::Policy;
+
+/// Mean collection rate of `policy` over `sequences` (row-major values,
+/// `features` per measurement).
+pub fn average_rate<P, S>(policy: &P, sequences: &[S], features: usize) -> f64
+where
+    P: Policy + ?Sized,
+    S: AsRef<[f64]>,
+{
+    if sequences.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for seq in sequences {
+        let values = seq.as_ref();
+        let len = values.len() / features;
+        if len == 0 {
+            continue;
+        }
+        total += policy.sample(values, features).len() as f64 / len as f64;
+    }
+    total / sequences.len() as f64
+}
+
+/// Fits a threshold so the policy produced by `make` collects at roughly
+/// `target_rate` on the training `sequences`.
+///
+/// `hi` should be an upper bound on meaningful thresholds (e.g. the data
+/// range); the search bisects `[0, hi]` for `iters` rounds and returns the
+/// threshold whose measured rate was closest to the target.
+///
+/// # Panics
+///
+/// Panics if `target_rate` is outside `(0, 1]` or `hi` is not positive.
+pub fn fit_threshold<P, F, S>(
+    make: F,
+    sequences: &[S],
+    features: usize,
+    target_rate: f64,
+    hi: f64,
+    iters: usize,
+) -> f64
+where
+    P: Policy,
+    F: Fn(f64) -> P,
+    S: AsRef<[f64]>,
+{
+    assert!(
+        target_rate > 0.0 && target_rate <= 1.0,
+        "target_rate must be in (0, 1]"
+    );
+    assert!(hi > 0.0, "hi must be positive");
+    let mut lo = 0.0f64;
+    let mut hi = hi;
+    let mut best = (f64::INFINITY, 0.0f64);
+    for _ in 0..iters.max(1) {
+        let mid = 0.5 * (lo + hi);
+        let rate = average_rate(&make(mid), sequences, features);
+        let gap = (rate - target_rate).abs();
+        if gap < best.0 {
+            best = (gap, mid);
+        }
+        if rate > target_rate {
+            // Collecting too much: raise the threshold.
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviationPolicy, LinearPolicy, UniformPolicy};
+
+    fn training_sequences() -> Vec<Vec<f64>> {
+        (0..12)
+            .map(|s| {
+                (0..150)
+                    .map(|t| {
+                        let x = t as f64;
+                        (x * (0.05 + 0.03 * (s % 4) as f64)).sin() * (0.5 + 0.4 * (s % 3) as f64)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn average_rate_of_uniform_matches_config() {
+        let seqs = training_sequences();
+        let rate = average_rate(&UniformPolicy::new(0.4), &seqs, 1);
+        assert!((rate - 0.4).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn fitted_linear_hits_target_rates() {
+        let seqs = training_sequences();
+        for target in [0.3, 0.5, 0.7, 0.9] {
+            let thr = fit_threshold(LinearPolicy::new, &seqs, 1, target, 4.0, 24);
+            let got = average_rate(&LinearPolicy::new(thr), &seqs, 1);
+            assert!(
+                (got - target).abs() < 0.12,
+                "target={target} got={got} thr={thr}"
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_deviation_hits_target_rates() {
+        let seqs = training_sequences();
+        for target in [0.3, 0.6, 0.9] {
+            let thr = fit_threshold(DeviationPolicy::new, &seqs, 1, target, 4.0, 24);
+            let got = average_rate(&DeviationPolicy::new(thr), &seqs, 1);
+            assert!(
+                (got - target).abs() < 0.15,
+                "target={target} got={got} thr={thr}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_monotone_in_target() {
+        let seqs = training_sequences();
+        let thr_lo = fit_threshold(LinearPolicy::new, &seqs, 1, 0.3, 4.0, 20);
+        let thr_hi = fit_threshold(LinearPolicy::new, &seqs, 1, 0.9, 4.0, 20);
+        // Lower target rate needs a higher threshold.
+        assert!(thr_lo > thr_hi, "thr(0.3)={thr_lo} thr(0.9)={thr_hi}");
+    }
+
+    #[test]
+    fn empty_training_set_gives_zero_rate() {
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(average_rate(&UniformPolicy::new(0.5), &empty, 1), 0.0);
+    }
+}

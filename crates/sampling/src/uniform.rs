@@ -1,0 +1,179 @@
+//! Non-adaptive baselines: uniform and random sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{seq_len, Policy};
+
+/// Evenly spaced sampling at a fixed rate (paper §5.1, "Uniform").
+///
+/// Collects `k = max(1, ⌊rate · T⌋)` indices at positions `⌊r·T/k⌋`, which
+/// is the deterministic equivalent of the paper's stride-plus-random-fill
+/// construction. Being data-independent, the collection count is identical
+/// for every sequence — no information leaks through message sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformPolicy {
+    rate: f64,
+}
+
+impl UniformPolicy {
+    /// Creates a uniform sampler collecting roughly `rate · T` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `(0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0, 1], got {rate}"
+        );
+        UniformPolicy { rate }
+    }
+
+    /// The configured collection rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Collection count for a sequence of `len` measurements.
+    pub fn count_for(&self, len: usize) -> usize {
+        ((self.rate * len as f64) as usize).clamp(1, len)
+    }
+}
+
+impl Policy for UniformPolicy {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    fn sample(&self, values: &[f64], features: usize) -> Vec<usize> {
+        let len = seq_len(values, features);
+        if len == 0 {
+            return Vec::new();
+        }
+        let k = self.count_for(len);
+        (0..k).map(|r| r * len / k).collect()
+    }
+}
+
+/// Independent Bernoulli sampling at a fixed rate (paper §5.1, "Random").
+///
+/// The seed is derived from the sequence contents so repeated runs are
+/// reproducible without shared mutable state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomPolicy {
+    rate: f64,
+    seed: u64,
+}
+
+impl RandomPolicy {
+    /// Creates a random sampler with inclusion probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `(0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "rate must be in (0, 1], got {rate}"
+        );
+        RandomPolicy { rate, seed }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+
+    fn sample(&self, values: &[f64], features: usize) -> Vec<usize> {
+        let len = seq_len(values, features);
+        // Hash the sequence into the stream so each sequence draws fresh but
+        // reproducible coins.
+        let mut h = self.seed;
+        for &v in values.iter().take(8) {
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v.to_bits());
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let mut out: Vec<usize> = (0..len).filter(|_| rng.gen_bool(self.rate)).collect();
+        if out.is_empty() && len > 0 {
+            out.push(0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_collects_exact_count() {
+        let p = UniformPolicy::new(0.3);
+        let idx = p.sample(&vec![0.0; 50], 1);
+        assert_eq!(idx.len(), 15);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(*idx.last().unwrap() < 50);
+    }
+
+    #[test]
+    fn uniform_full_rate_collects_everything() {
+        let p = UniformPolicy::new(1.0);
+        let idx = p.sample(&[0.0; 20], 2);
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_count_is_data_independent() {
+        let p = UniformPolicy::new(0.5);
+        let flat = p.sample(&vec![0.0; 100], 1);
+        let wild: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 100.0).collect();
+        assert_eq!(flat.len(), p.sample(&wild, 1).len());
+    }
+
+    #[test]
+    fn uniform_spacing_is_even() {
+        let p = UniformPolicy::new(0.25);
+        let idx = p.sample(&vec![0.0; 100], 1);
+        let gaps: Vec<usize> = idx.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.iter().all(|&g| g == 4), "{gaps:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn uniform_rejects_zero_rate() {
+        let _ = UniformPolicy::new(0.0);
+    }
+
+    #[test]
+    fn random_rate_is_approximate() {
+        let p = RandomPolicy::new(0.5, 99);
+        let vals: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let k = p.sample(&vals, 1).len();
+        assert!((800..1200).contains(&k), "k={k}");
+    }
+
+    #[test]
+    fn random_is_reproducible_per_sequence() {
+        let p = RandomPolicy::new(0.4, 7);
+        let vals: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        assert_eq!(p.sample(&vals, 1), p.sample(&vals, 1));
+    }
+
+    #[test]
+    fn random_never_returns_empty() {
+        let p = RandomPolicy::new(0.01, 3);
+        for seed_shift in 0..20 {
+            let vals: Vec<f64> = (0..10).map(|i| (i + seed_shift) as f64).collect();
+            assert!(!p.sample(&vals, 1).is_empty());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the sampling policies.
+
+use age_sampling::{
+    average_rate, DeviationPolicy, FeedbackPolicy, LinearPolicy, Policy, RandomPolicy,
+    UniformPolicy,
+};
+use proptest::prelude::*;
+
+/// A random row-major sequence plus its feature count.
+fn sequence() -> impl Strategy<Value = (Vec<f64>, usize)> {
+    (1usize..6, 2usize..120).prop_flat_map(|(features, len)| {
+        prop::collection::vec(-100.0f64..100.0, len * features)
+            .prop_map(move |values| (values, features))
+    })
+}
+
+/// Every implemented policy behind one strategy choice.
+fn any_policy() -> impl Strategy<Value = Box<dyn Policy>> {
+    prop_oneof![
+        (0.01f64..=1.0).prop_map(|r| Box::new(UniformPolicy::new(r)) as Box<dyn Policy>),
+        (0.01f64..=1.0, any::<u64>())
+            .prop_map(|(r, s)| Box::new(RandomPolicy::new(r, s)) as Box<dyn Policy>),
+        (0.0f64..200.0).prop_map(|t| Box::new(LinearPolicy::new(t)) as Box<dyn Policy>),
+        (0.0f64..200.0).prop_map(|t| Box::new(DeviationPolicy::new(t)) as Box<dyn Policy>),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structural invariants every policy must uphold: strictly increasing
+    /// in-range indices, never empty on non-empty input, first index 0 for
+    /// the walk-based policies.
+    #[test]
+    fn policies_produce_valid_index_sets((values, features) in sequence(), policy in any_policy()) {
+        let len = values.len() / features;
+        let indices = policy.sample(&values, features);
+        prop_assert!(!indices.is_empty());
+        prop_assert!(indices.windows(2).all(|w| w[0] < w[1]), "{}", policy.name());
+        prop_assert!(*indices.last().unwrap() < len, "{}", policy.name());
+    }
+
+    /// Adaptive walks always collect the first measurement (the server
+    /// needs an anchor for interpolation).
+    #[test]
+    fn adaptive_policies_anchor_at_zero((values, features) in sequence(), thr in 0.0f64..50.0) {
+        prop_assert_eq!(LinearPolicy::new(thr).sample(&values, features)[0], 0);
+        prop_assert_eq!(DeviationPolicy::new(thr).sample(&values, features)[0], 0);
+    }
+
+    /// Uniform's count never depends on the values.
+    #[test]
+    fn uniform_count_is_value_independent(
+        (values, features) in sequence(),
+        rate in 0.05f64..=1.0,
+        offset in -5.0f64..5.0,
+    ) {
+        let policy = UniformPolicy::new(rate);
+        let shifted: Vec<f64> = values.iter().map(|v| v + offset).collect();
+        prop_assert_eq!(
+            policy.sample(&values, features).len(),
+            policy.sample(&shifted, features).len()
+        );
+    }
+
+    /// Raising the Linear threshold reduces collection *on average*: the
+    /// per-sequence walk is path-dependent (a higher threshold visits
+    /// different indices and can occasionally collect a few more), so the
+    /// offline fit relies only on ensemble-level coarse monotonicity, which
+    /// is what we assert here.
+    #[test]
+    fn linear_threshold_is_coarsely_monotone_on_average(
+        seqs in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 40..120), 8..16),
+        t1 in 0.0f64..50.0,
+        t2 in 0.0f64..50.0,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let rate_lo = average_rate(&LinearPolicy::new(lo), &seqs, 1);
+        let rate_hi = average_rate(&LinearPolicy::new(hi), &seqs, 1);
+        prop_assert!(
+            rate_hi <= rate_lo + 0.1,
+            "thr {lo}->{hi} raised the mean rate {rate_lo}->{rate_hi}"
+        );
+    }
+
+    /// Policies are deterministic: same input, same output.
+    #[test]
+    fn policies_are_deterministic((values, features) in sequence(), policy in any_policy()) {
+        prop_assert_eq!(policy.sample(&values, features), policy.sample(&values, features));
+    }
+
+    /// A period cap bounds every gap for the walk-based policies.
+    #[test]
+    fn period_caps_bound_gaps((values, features) in sequence(), cap in 1usize..12) {
+        for indices in [
+            LinearPolicy::new(1e12).with_max_period(cap).sample(&values, features),
+            DeviationPolicy::new(1e12).with_max_period(cap).sample(&values, features),
+        ] {
+            prop_assert!(indices.windows(2).all(|w| w[1] - w[0] <= cap));
+        }
+    }
+
+    /// The feedback controller's threshold stays positive and finite under
+    /// arbitrary data streams.
+    #[test]
+    fn feedback_controller_is_stable(
+        seqs in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 20..80), 1..20),
+        target in 0.05f64..=1.0,
+    ) {
+        let mut policy = FeedbackPolicy::new(target);
+        for seq in &seqs {
+            let indices = policy.sample_and_adapt(seq, 1);
+            prop_assert!(!indices.is_empty());
+            prop_assert!(policy.threshold().is_finite() && policy.threshold() > 0.0);
+            prop_assert!(policy.smoothed_rate().is_finite());
+        }
+    }
+
+    /// `average_rate` is always within [0, 1].
+    #[test]
+    fn average_rate_is_a_rate((values, features) in sequence(), policy in any_policy()) {
+        let seqs = vec![values];
+        let rate = average_rate(policy.as_ref(), &seqs, features);
+        prop_assert!((0.0..=1.0).contains(&rate), "rate={rate}");
+    }
+}

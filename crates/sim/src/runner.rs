@@ -1,0 +1,789 @@
+//! The experiment runner: policies × defenses × budgets over a dataset.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use age_core::{
+    target, AgeEncoder, Batch, BatchConfig, Encoder, PaddedEncoder, PrunedEncoder, SingleEncoder,
+    StandardEncoder, UnshiftedEncoder,
+};
+use age_crypto::{AesCbc, AesCtr, ChaCha20, ChaCha20Poly1305, Cipher};
+use age_datasets::{Dataset, DatasetKind, Scale, Sequence};
+use age_energy::{BudgetLedger, EncoderCost, EnergyModel, MilliJoules};
+use age_nn::{fit_gate_bias, SkipRnn, SkipRnnPolicy, Trainer};
+use age_reconstruct::{interpolate, mae, std_deviation};
+use age_sampling::{
+    fit_threshold, DeviationPolicy, LinearPolicy, Policy, RandomPolicy, UniformPolicy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which sampling policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Evenly spaced, non-adaptive (the paper's primary baseline).
+    Uniform,
+    /// Bernoulli, non-adaptive (omitted from the paper's tables; Uniform
+    /// dominates it).
+    Random,
+    /// Chatterjea & Havinga's difference-threshold policy [25].
+    Linear,
+    /// Silva et al.'s moving-deviation policy [96].
+    Deviation,
+    /// The trained Skip RNN policy [22] (§5.5).
+    SkipRnn,
+}
+
+impl PolicyKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Uniform => "Uniform",
+            PolicyKind::Random => "Random",
+            PolicyKind::Linear => "Linear",
+            PolicyKind::Deviation => "Deviation",
+            PolicyKind::SkipRnn => "Skip RNN",
+        }
+    }
+}
+
+/// Which message-size defense to apply between sampling and encryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Defense {
+    /// No defense: the standard variable-length message (leaks).
+    Standard,
+    /// BuFLO-style padding to the largest evaluation batch (§5.1).
+    Padded,
+    /// Adaptive Group Encoding (§4).
+    Age,
+    /// Ablation: one global width, static exponent (§5.6).
+    Single,
+    /// Ablation: six even groups, static exponent (§5.6).
+    Unshifted,
+    /// Ablation: pruning only, full-width survivors (§5.6).
+    Pruned,
+}
+
+impl Defense {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Defense::Standard => "Std",
+            Defense::Padded => "Padded",
+            Defense::Age => "AGE",
+            Defense::Single => "Single",
+            Defense::Unshifted => "Unshifted",
+            Defense::Pruned => "Pruned",
+        }
+    }
+
+    fn encoder_cost(&self) -> EncoderCost {
+        match self {
+            // Only AGE runs the multi-step pipeline; everything else writes
+            // values straight into a buffer.
+            Defense::Age => EncoderCost::Age,
+            _ => EncoderCost::Standard,
+        }
+    }
+}
+
+/// Which cipher encrypts the batched messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherChoice {
+    /// RFC 7539 stream cipher — the paper's simulator default.
+    ChaCha20,
+    /// RFC 7539 AEAD (ChaCha20 + Poly1305 tag): authenticated messages.
+    ChaCha20Poly1305,
+    /// AES-128 in counter mode (stream-like framing).
+    Aes128Ctr,
+    /// AES-128 in CBC mode with PKCS#7 padding — the paper's MCU setting.
+    Aes128Cbc,
+}
+
+impl CipherChoice {
+    pub(crate) fn build(&self) -> Box<dyn Cipher> {
+        match self {
+            CipherChoice::ChaCha20 => Box::new(ChaCha20::new([0x42; 32])),
+            CipherChoice::ChaCha20Poly1305 => Box::new(ChaCha20Poly1305::new([0x42; 32])),
+            CipherChoice::Aes128Ctr => Box::new(AesCtr::new([0x42; 16])),
+            CipherChoice::Aes128Cbc => Box::new(AesCbc::new([0x42; 16])),
+        }
+    }
+}
+
+/// Per-sequence outcome of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequenceRecord {
+    /// Ground-truth event label.
+    pub label: usize,
+    /// On-air message length the attacker observes (0 if never sent).
+    pub message_bytes: usize,
+    /// Reconstruction MAE against the true sequence.
+    pub mae: f64,
+    /// The sequence's standard deviation (Table 5 weighting).
+    pub weight: f64,
+    /// Energy spent on this sequence.
+    pub energy_mj: f64,
+    /// `true` if the budget was exhausted and the sequence was lost.
+    pub violated: bool,
+    /// Measurements the policy collected.
+    pub collected: usize,
+}
+
+/// Aggregated result of one (policy, defense, budget) run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Per-sequence records in evaluation order.
+    pub records: Vec<SequenceRecord>,
+    /// The budget's collection rate.
+    pub rate: f64,
+    /// Policy display name.
+    pub policy: &'static str,
+    /// Defense display name.
+    pub defense: &'static str,
+    /// Per-sequence energy budget.
+    pub budget_per_seq: MilliJoules,
+}
+
+impl ExperimentResult {
+    /// Arithmetic mean MAE over all sequences (Table 4).
+    pub fn mean_mae(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.mae).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Deviation-weighted mean MAE (Table 5).
+    pub fn weighted_mae(&self) -> f64 {
+        let total_weight: f64 = self.records.iter().map(|r| r.weight).sum();
+        if total_weight <= 0.0 {
+            return self.mean_mae();
+        }
+        self.records.iter().map(|r| r.mae * r.weight).sum::<f64>() / total_weight
+    }
+
+    /// `(label, message size)` pairs for transmitted sequences — the
+    /// attacker's observations.
+    pub fn observations(&self) -> Vec<(usize, usize)> {
+        self.records
+            .iter()
+            .filter(|r| !r.violated)
+            .map(|r| (r.label, r.message_bytes))
+            .collect()
+    }
+
+    /// Empirical NMI between event labels and message sizes (Table 6).
+    pub fn nmi(&self) -> f64 {
+        let obs = self.observations();
+        let labels: Vec<usize> = obs.iter().map(|&(l, _)| l).collect();
+        let sizes: Vec<usize> = obs.iter().map(|&(_, s)| s).collect();
+        age_attack::nmi(&labels, &sizes)
+    }
+
+    /// Mean energy per *transmitted* sequence (Table 9): violated sequences
+    /// spend nothing and would make an over-budget defense look cheap.
+    pub fn mean_energy(&self) -> MilliJoules {
+        let sent: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.violated)
+            .map(|r| r.energy_mj)
+            .collect();
+        if sent.is_empty() {
+            return MilliJoules::ZERO;
+        }
+        MilliJoules(sent.iter().sum::<f64>() / sent.len() as f64)
+    }
+
+    /// Number of sequences lost to budget violations.
+    pub fn violations(&self) -> usize {
+        self.records.iter().filter(|r| r.violated).count()
+    }
+
+    /// Mean and standard deviation of message sizes per event label
+    /// (Table 1); labels with no transmitted messages are omitted.
+    pub fn size_stats_by_label(&self) -> Vec<(usize, f64, f64, usize)> {
+        let obs = self.observations();
+        let max_label = obs.iter().map(|&(l, _)| l).max();
+        let Some(max_label) = max_label else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for label in 0..=max_label {
+            let sizes: Vec<f64> = obs
+                .iter()
+                .filter(|&&(l, _)| l == label)
+                .map(|&(_, s)| s as f64)
+                .collect();
+            if sizes.is_empty() {
+                continue;
+            }
+            let n = sizes.len();
+            let mean = sizes.iter().sum::<f64>() / n as f64;
+            let var = sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+            out.push((label, mean, var.sqrt(), n));
+        }
+        out
+    }
+}
+
+/// Caches a generated dataset, fitted thresholds, and the trained Skip RNN,
+/// and runs (policy × defense × budget) experiments over its test split.
+pub struct Runner {
+    data: Dataset,
+    batch_cfg: BatchConfig,
+    energy: EnergyModel,
+    seed: u64,
+    train_count: usize,
+    bounds: (f64, f64),
+    fit_margin: f64,
+    thresholds: RefCell<HashMap<(PolicyKind, u32), f64>>,
+    skip_rnn: RefCell<Option<SkipRnn>>,
+}
+
+impl Runner {
+    /// Fraction of sequences used for offline threshold/model fitting.
+    const TRAIN_FRAC: f64 = 0.3;
+    /// Hidden units of the Skip RNN policy.
+    const RNN_HIDDEN: usize = 12;
+
+    /// Generates the dataset and prepares an experiment runner.
+    pub fn new(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
+        Self::with_dataset(Dataset::generate(kind, scale, seed), seed)
+    }
+
+    /// Prepares a runner over an existing dataset — including one built
+    /// from real recordings via [`Dataset::from_sequences`].
+    pub fn with_dataset(data: Dataset, seed: u64) -> Self {
+        let spec = *data.spec();
+        let batch_cfg = BatchConfig::new(spec.seq_len, spec.features, spec.format)
+            .expect("Table 3 specs are valid batch configurations");
+        let train_count = ((data.sequences().len() as f64 * Self::TRAIN_FRAC) as usize)
+            .clamp(1, data.sequences().len() - 1);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for seq in data.sequences() {
+            for &v in &seq.values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        Runner {
+            data,
+            batch_cfg,
+            energy: EnergyModel::msp430(),
+            seed,
+            train_count,
+            bounds: (lo, hi),
+            fit_margin: Self::FIT_MARGIN,
+            thresholds: RefCell::new(HashMap::new()),
+            skip_rnn: RefCell::new(None),
+        }
+    }
+
+    /// Overrides the offline-fit safety margin (default
+    /// [`Runner::FIT_MARGIN`]); `1.0` targets the budget rate exactly.
+    /// Clears any cached thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is outside `(0, 1]`.
+    pub fn with_fit_margin(mut self, margin: f64) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
+        self.fit_margin = margin;
+        self.thresholds.borrow_mut().clear();
+        self
+    }
+
+    /// The generated dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The batching configuration derived from Table 3.
+    pub fn batch_config(&self) -> &BatchConfig {
+        &self.batch_cfg
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Test-split sequences (everything after the training prefix).
+    pub fn test_sequences(&self) -> &[Sequence] {
+        &self.data.sequences()[self.train_count..]
+    }
+
+    /// Instantiates a cipher for `choice` (the keys the simulator uses).
+    pub fn cipher(&self, choice: CipherChoice) -> Box<dyn Cipher> {
+        choice.build()
+    }
+
+    fn train_slices(&self) -> Vec<&[f64]> {
+        self.data.sequences()[..self.train_count]
+            .iter()
+            .map(|s| s.values.as_slice())
+            .collect()
+    }
+
+    /// Per-sequence energy budget at a collection rate: Uniform sampling's
+    /// cost with the given cipher (§5.1).
+    pub fn budget_per_seq(&self, rate: f64, cipher: CipherChoice) -> MilliJoules {
+        let spec = self.data.spec();
+        let cipher = cipher.build();
+        let k = ((rate * spec.seq_len as f64) as usize).clamp(1, spec.seq_len);
+        let plain = self.batch_cfg.standard_message_bytes(k);
+        self.energy
+            .uniform_budget(spec.seq_len, spec.features, rate, cipher.message_len(plain))
+    }
+
+    /// Builds (and caches the tuning of) a policy at a collection rate.
+    pub fn policy(&self, kind: PolicyKind, rate: f64) -> Box<dyn Policy> {
+        let spec = self.data.spec();
+        let d = spec.features;
+        match kind {
+            PolicyKind::Uniform => Box::new(UniformPolicy::new(rate.clamp(1e-3, 1.0))),
+            PolicyKind::Random => Box::new(RandomPolicy::new(rate.clamp(1e-3, 1.0), self.seed)),
+            PolicyKind::Linear => {
+                // Bound collection gaps relative to the sequence length —
+                // unbounded periods on long, flat stretches produce gaps the
+                // server cannot interpolate across.
+                let cap = (spec.seq_len / 10).max(5);
+                let thr = self.fitted_threshold(PolicyKind::Linear, rate, |t| {
+                    Box::new(LinearPolicy::new(t).with_max_period(cap))
+                });
+                Box::new(LinearPolicy::new(thr).with_max_period(cap))
+            }
+            PolicyKind::Deviation => {
+                // Doubling dynamics need a cap proportional to the sequence:
+                // a period of 16 on Tiselac's 23-step sequences skips nearly
+                // the whole batch in one decision.
+                let cap = (spec.seq_len / 8).clamp(4, 16);
+                let thr = self.fitted_threshold(PolicyKind::Deviation, rate, |t| {
+                    Box::new(DeviationPolicy::new(t).with_max_period(cap))
+                });
+                Box::new(DeviationPolicy::new(thr).with_max_period(cap))
+            }
+            PolicyKind::SkipRnn => {
+                let model = self.trained_rnn();
+                let key = (PolicyKind::SkipRnn, (rate * 1000.0) as u32);
+                let bias = *self.thresholds.borrow_mut().entry(key).or_insert_with(|| {
+                    fit_gate_bias(
+                        &model,
+                        &self.train_slices(),
+                        d,
+                        (rate * Self::FIT_MARGIN).clamp(1e-3, 1.0),
+                        18,
+                    )
+                });
+                Box::new(SkipRnnPolicy::new(model, bias))
+            }
+        }
+    }
+
+    /// Safety margin on the fitted collection rate: the offline fit targets
+    /// slightly under the budget's rate so train/test generalization error
+    /// does not push the realized energy over the long-term budget (a
+    /// handful of randomized tail sequences would dominate the MAE).
+    pub const FIT_MARGIN: f64 = 0.96;
+
+    fn fitted_threshold<F>(&self, kind: PolicyKind, rate: f64, make: F) -> f64
+    where
+        F: Fn(f64) -> Box<dyn Policy>,
+    {
+        let key = (kind, (rate * 1000.0) as u32);
+        if let Some(&thr) = self.thresholds.borrow().get(&key) {
+            return thr;
+        }
+        let span = (self.bounds.1 - self.bounds.0).max(1e-6);
+        let hi = span * self.data.spec().features as f64;
+        let train = self.train_slices();
+        let thr = fit_threshold(
+            |t| PolicyRef(make(t)),
+            &train,
+            self.data.spec().features,
+            (rate * self.fit_margin).clamp(1e-3, 1.0),
+            hi,
+            22,
+        );
+        self.thresholds.borrow_mut().insert(key, thr);
+        thr
+    }
+
+    fn trained_rnn(&self) -> SkipRnn {
+        if let Some(model) = self.skip_rnn.borrow().as_ref() {
+            return model.clone();
+        }
+        let d = self.data.spec().features;
+        // Cap BPTT cost on long datasets: train on sequence prefixes.
+        let cap = 400 * d;
+        let train: Vec<&[f64]> = self
+            .train_slices()
+            .into_iter()
+            .map(|s| if s.len() > cap { &s[..cap] } else { s })
+            .collect();
+        let model = Trainer::new(d, Self::RNN_HIDDEN, self.seed ^ 0xD1CE)
+            .epochs(2)
+            .target_rate(0.5)
+            .rate_weight(2.0)
+            .train(&train);
+        *self.skip_rnn.borrow_mut() = Some(model.clone());
+        model
+    }
+
+    /// Builds the defense's encoder for a budget rate. Fixed-length targets
+    /// derive from the paper's `M_B` minus AGE's §4.5 self-financing
+    /// reduction, adapted to the cipher's framing.
+    fn encoder(
+        &self,
+        defense: Defense,
+        rate: f64,
+        cipher: &dyn Cipher,
+        policy: &dyn Policy,
+        test: &[Sequence],
+    ) -> Box<dyn Encoder> {
+        let d = self.data.spec().features;
+        match defense {
+            Defense::Standard => Box::new(StandardEncoder),
+            Defense::Padded => {
+                // Minimal padding: the largest batch in the evaluation data.
+                let max_k = test
+                    .iter()
+                    .map(|s| policy.sample(&s.values, d).len())
+                    .max()
+                    .unwrap_or(self.batch_cfg.max_len());
+                Box::new(PaddedEncoder::new(
+                    self.batch_cfg.standard_message_bytes(max_k),
+                ))
+            }
+            fixed => {
+                let m_b = target::target_bytes(&self.batch_cfg, rate);
+                let on_air = target::reduced_target_bytes(m_b);
+                let plain = target::plaintext_budget(on_air, cipher.kind(), cipher.overhead(), 16)
+                    .max(AgeEncoder::min_target_bytes(&self.batch_cfg));
+                match fixed {
+                    Defense::Age => Box::new(AgeEncoder::new(plain)),
+                    Defense::Single => Box::new(SingleEncoder::new(plain)),
+                    Defense::Unshifted => Box::new(UnshiftedEncoder::new(plain)),
+                    Defense::Pruned => Box::new(PrunedEncoder::new(plain)),
+                    _ => unreachable!("variable-length defenses handled above"),
+                }
+            }
+        }
+    }
+
+    /// Runs one experiment over the test split.
+    ///
+    /// `enforce_budget = true` applies the long-term energy budget with the
+    /// paper's violation semantics; `false` evaluates rate-targeted
+    /// sampling without budgets (used for the Skip RNN study, §5.5).
+    pub fn run(
+        &self,
+        policy: PolicyKind,
+        defense: Defense,
+        rate: f64,
+        cipher: CipherChoice,
+        enforce_budget: bool,
+    ) -> ExperimentResult {
+        self.run_limited(policy, defense, rate, cipher, enforce_budget, None)
+    }
+
+    /// Like [`Runner::run`] but over only the first `limit` test sequences —
+    /// the MCU experiments use 75 (§5.7).
+    pub fn run_limited(
+        &self,
+        policy_kind: PolicyKind,
+        defense: Defense,
+        rate: f64,
+        cipher_choice: CipherChoice,
+        enforce_budget: bool,
+        limit: Option<usize>,
+    ) -> ExperimentResult {
+        let spec = self.data.spec();
+        let d = spec.features;
+        let cipher = cipher_choice.build();
+        let policy = self.policy(policy_kind, rate);
+        let test_all = self.test_sequences();
+        let test = match limit {
+            Some(n) => &test_all[..n.min(test_all.len())],
+            None => test_all,
+        };
+        let encoder = self.encoder(defense, rate, cipher.as_ref(), policy.as_ref(), test);
+        let budget_per_seq = self.budget_per_seq(rate, cipher_choice);
+        let mut ledger = BudgetLedger::new(budget_per_seq * test.len() as f64);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBAD_B0D6E7);
+
+        let mut records = Vec::with_capacity(test.len());
+        for (i, seq) in test.iter().enumerate() {
+            let truth = &seq.values;
+            let weight = std_deviation(truth);
+            let indices = policy.sample(truth, d);
+            let k = indices.len();
+            let mut values = Vec::with_capacity(k * d);
+            for &t in &indices {
+                values.extend_from_slice(&truth[t * d..(t + 1) * d]);
+            }
+            let batch = Batch::new(indices, values).expect("policy output is a valid batch");
+            let plaintext = encoder
+                .encode(&batch, &self.batch_cfg)
+                .expect("experiment encoders are configured with feasible targets");
+            let message = cipher.seal(i as u64, &plaintext);
+            let cost = self
+                .energy
+                .sequence_cost(k, k * d, message.len(), defense.encoder_cost());
+
+            if enforce_budget && !ledger.try_spend(cost) {
+                // Budget exhausted: the sequence is lost; the server can
+                // only guess within the data range (§5.1).
+                let guess: Vec<f64> = (0..truth.len())
+                    .map(|_| rng.gen_range(self.bounds.0..=self.bounds.1))
+                    .collect();
+                records.push(SequenceRecord {
+                    label: seq.label,
+                    message_bytes: 0,
+                    mae: mae(&guess, truth),
+                    weight,
+                    energy_mj: 0.0,
+                    violated: true,
+                    collected: 0,
+                });
+                continue;
+            }
+
+            let opened = cipher.open(&message).expect("sealed messages always open");
+            let decoded = encoder
+                .decode(&opened, &self.batch_cfg)
+                .expect("own messages always decode");
+            let recon = interpolate(decoded.indices(), decoded.values(), spec.seq_len, d);
+            records.push(SequenceRecord {
+                label: seq.label,
+                message_bytes: message.len(),
+                mae: mae(&recon, truth),
+                weight,
+                energy_mj: cost.0,
+                violated: false,
+                collected: k,
+            });
+        }
+
+        ExperimentResult {
+            records,
+            rate,
+            policy: policy_kind.name(),
+            defense: defense.name(),
+            budget_per_seq,
+        }
+    }
+}
+
+/// Adapter letting `fit_threshold` construct boxed policies.
+#[derive(Debug)]
+struct PolicyRef(Box<dyn Policy>);
+
+impl Policy for PolicyRef {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn is_adaptive(&self) -> bool {
+        self.0.is_adaptive()
+    }
+    fn sample(&self, values: &[f64], features: usize) -> Vec<usize> {
+        self.0.sample(values, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> Runner {
+        Runner::new(DatasetKind::Epilepsy, Scale::Small, 7)
+    }
+
+    #[test]
+    fn age_messages_have_constant_size() {
+        let r = runner();
+        let res = r.run(
+            PolicyKind::Linear,
+            Defense::Age,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        let sizes: Vec<usize> = res.observations().iter().map(|&(_, s)| s).collect();
+        assert!(!sizes.is_empty());
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "sizes vary: {sizes:?}"
+        );
+        assert_eq!(res.nmi(), 0.0);
+    }
+
+    #[test]
+    fn standard_adaptive_messages_vary_and_leak() {
+        let r = runner();
+        let res = r.run(
+            PolicyKind::Linear,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        let sizes: Vec<usize> = res.observations().iter().map(|&(_, s)| s).collect();
+        let distinct: std::collections::HashSet<usize> = sizes.iter().copied().collect();
+        assert!(distinct.len() > 3, "adaptive sizes should vary");
+        assert!(res.nmi() > 0.05, "nmi={}", res.nmi());
+    }
+
+    #[test]
+    fn uniform_messages_do_not_leak() {
+        let r = runner();
+        let res = r.run(
+            PolicyKind::Uniform,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        assert_eq!(res.nmi(), 0.0);
+        assert_eq!(res.violations(), 0, "uniform exactly meets its own budget");
+    }
+
+    #[test]
+    fn padding_violates_tight_budgets() {
+        let r = runner();
+        let padded = r.run(
+            PolicyKind::Linear,
+            Defense::Padded,
+            0.3,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        let age = r.run(
+            PolicyKind::Linear,
+            Defense::Age,
+            0.3,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        assert!(
+            padded.violations() > 0,
+            "padding should blow the 30% budget"
+        );
+        assert_eq!(age.violations(), 0, "AGE must fit the budget");
+        assert!(age.mean_mae() < padded.mean_mae());
+    }
+
+    #[test]
+    fn age_error_close_to_standard() {
+        let r = runner();
+        let std_res = r.run(
+            PolicyKind::Linear,
+            Defense::Standard,
+            0.7,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        let age_res = r.run(
+            PolicyKind::Linear,
+            Defense::Age,
+            0.7,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        // AGE is lossy but must stay close (paper: ~1% median penalty; we
+        // allow a loose factor at small scale).
+        assert!(
+            age_res.mean_mae() <= std_res.mean_mae() * 1.6 + 1e-4,
+            "AGE {} vs Std {}",
+            age_res.mean_mae(),
+            std_res.mean_mae()
+        );
+    }
+
+    #[test]
+    fn block_cipher_keeps_fixed_sizes() {
+        let r = runner();
+        let res = r.run(
+            PolicyKind::Deviation,
+            Defense::Age,
+            0.5,
+            CipherChoice::Aes128Cbc,
+            false,
+        );
+        let sizes: Vec<usize> = res.observations().iter().map(|&(_, s)| s).collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+        // CBC framing: IV + padded body.
+        assert_eq!(sizes[0] % 16, 0);
+    }
+
+    #[test]
+    fn size_stats_by_label_cover_events() {
+        let r = runner();
+        let res = r.run(
+            PolicyKind::Linear,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        let stats = res.size_stats_by_label();
+        assert!(
+            stats.len() >= 3,
+            "expected most epilepsy events, got {stats:?}"
+        );
+        for &(_, mean, std, n) in &stats {
+            assert!(mean > 0.0 && std >= 0.0 && n > 0);
+        }
+    }
+
+    #[test]
+    fn limited_runs_use_fewer_sequences() {
+        let r = runner();
+        let res = r.run_limited(
+            PolicyKind::Uniform,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+            Some(5),
+        );
+        assert_eq!(res.records.len(), 5);
+    }
+
+    #[test]
+    fn skip_rnn_policy_runs_end_to_end() {
+        let r = runner();
+        let res = r.run(
+            PolicyKind::SkipRnn,
+            Defense::Age,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        assert!(!res.records.is_empty());
+        assert_eq!(res.nmi(), 0.0);
+        let std_res = r.run(
+            PolicyKind::SkipRnn,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        // The learned policy's collection count varies across sequences.
+        let counts: std::collections::HashSet<usize> =
+            std_res.records.iter().map(|r| r.collected).collect();
+        assert!(counts.len() > 1, "Skip RNN should be data-dependent");
+    }
+
+    #[test]
+    fn thresholds_are_cached() {
+        let r = runner();
+        let _ = r.policy(PolicyKind::Linear, 0.5);
+        let before = r.thresholds.borrow().len();
+        let _ = r.policy(PolicyKind::Linear, 0.5);
+        assert_eq!(r.thresholds.borrow().len(), before);
+    }
+}

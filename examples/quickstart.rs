@@ -1,0 +1,77 @@
+//! Quickstart: encode adaptive-sampling batches into fixed-length messages.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use age::core::{AgeEncoder, Batch, BatchConfig, Encoder, StandardEncoder};
+use age::crypto::{ChaCha20, Cipher};
+use age::fixed::Format;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A wearable batching up to 50 accelerometer measurements (6 features,
+    // 16-bit fixed point with 13 fractional bits — the Activity dataset).
+    let cfg = BatchConfig::new(50, 6, Format::new(16, 13)?)?;
+
+    // The adaptive policy collected 9 measurements on a calm window and 42
+    // on a volatile one.
+    let calm = Batch::new(
+        (0..9).map(|i| i * 5).collect(),
+        (0..9 * 6).map(|i| 0.1 + 0.001 * i as f64).collect(),
+    )?;
+    let volatile = Batch::new(
+        (0..42).collect(),
+        (0..42 * 6)
+            .map(|i| ((i as f64) * 0.7).sin() * 2.5)
+            .collect(),
+    )?;
+
+    // Without a defense, message sizes reveal the collection rate.
+    let standard = StandardEncoder;
+    println!("standard encoding:");
+    println!(
+        "  calm window     -> {} bytes",
+        standard.encode(&calm, &cfg)?.len()
+    );
+    println!(
+        "  volatile window -> {} bytes  (leaks the event!)",
+        standard.encode(&volatile, &cfg)?.len()
+    );
+
+    // AGE: every batch becomes exactly the target size.
+    let age = AgeEncoder::new(220);
+    let msg_calm = age.encode(&calm, &cfg)?;
+    let msg_volatile = age.encode(&volatile, &cfg)?;
+    println!("\nAGE encoding (target 220 bytes):");
+    println!("  calm window     -> {} bytes", msg_calm.len());
+    println!(
+        "  volatile window -> {} bytes  (indistinguishable)",
+        msg_volatile.len()
+    );
+
+    // The encoding is lossy but precise: decode and inspect the error.
+    let decoded = age.decode(&msg_volatile, &cfg)?;
+    let max_err = decoded
+        .values()
+        .iter()
+        .zip(volatile.values())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\ndecoded {} of {} measurements, max per-value error {:.5}",
+        decoded.len(),
+        volatile.len(),
+        max_err
+    );
+
+    // Encryption preserves the fixed length (stream cipher adds its nonce).
+    let cipher = ChaCha20::new([7; 32]);
+    let sealed = cipher.seal(1, &msg_volatile);
+    println!(
+        "\nencrypted message: {} bytes ({} + {}-byte nonce)",
+        sealed.len(),
+        msg_volatile.len(),
+        cipher.overhead()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The nanosatellite scenario (§3.3): a battery-constrained satellite
+//! downlinks land-cover measurements (Tiselac) in periodic batches. Padding
+//! defends the side-channel but blows the energy budget; AGE defends it for
+//! free.
+//!
+//! ```text
+//! cargo run --release --example satellite_downlink
+//! ```
+
+use age::datasets::{DatasetKind, Scale};
+use age::sim::{CipherChoice, Defense, PolicyKind, Runner};
+
+fn main() {
+    println!("== Nanosatellite downlink (Tiselac dataset) ==\n");
+    let runner = Runner::new(DatasetKind::Tiselac, Scale::Default, 31);
+
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>12} {:>10}",
+        "budget", "rate", "Std MAE", "Padded MAE", "AGE MAE", "violations"
+    );
+    for pct in [30u32, 40, 50, 60, 70, 80, 90, 100] {
+        let rate = pct as f64 / 100.0;
+        let budget = runner.budget_per_seq(rate, CipherChoice::ChaCha20);
+        let std_res = runner.run(
+            PolicyKind::Deviation,
+            Defense::Standard,
+            rate,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        let padded = runner.run(
+            PolicyKind::Deviation,
+            Defense::Padded,
+            rate,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        let age_res = runner.run(
+            PolicyKind::Deviation,
+            Defense::Age,
+            rate,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        println!(
+            "{:<10} {:>6}% {:>12.3} {:>12.3} {:>12.3} {:>4}/{:>2}/{:<3}",
+            format!("{budget}"),
+            pct,
+            std_res.mean_mae(),
+            padded.mean_mae(),
+            age_res.mean_mae(),
+            std_res.violations(),
+            padded.violations(),
+            age_res.violations(),
+        );
+    }
+
+    println!("\nviolations column: Standard / Padded / AGE sequences lost to");
+    println!("budget exhaustion. Padding transmits worst-case batches every");
+    println!("period, so tight downlink budgets collapse; AGE's messages are");
+    println!("*smaller* than the average standard batch and never violate.");
+}
