@@ -1,9 +1,7 @@
 //! The end-to-end classifier attack (§5.4): feature extraction from message
 //! sizes, stratified cross-validation, and confusion matrices.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use age_telemetry::rng::{DetRng, SliceShuffle};
 
 use crate::adaboost::AdaBoost;
 use crate::knn::Knn;
@@ -254,7 +252,7 @@ impl ClassifierAttack {
         for &(l, s) in observations {
             by_label[l].push(s);
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut samples = Vec::with_capacity(self.total_samples);
         for _ in 0..self.total_samples {
             // Pick a random observation; its label sets the event.
@@ -351,7 +349,6 @@ pub fn permutation_importance(
     attack: &ClassifierAttack,
     rounds: usize,
 ) -> Vec<f64> {
-    use rand::seq::SliceRandom;
     if samples.len() < 4 {
         return vec![0.0; 4];
     }
@@ -372,7 +369,7 @@ pub fn permutation_importance(
     let baseline_rows: Vec<Vec<f64>> = test.iter().map(|s| s.features.to_vec()).collect();
     let baseline = accuracy(&baseline_rows);
 
-    let mut rng = StdRng::seed_from_u64(attack.seed ^ 0x1397);
+    let mut rng = DetRng::seed_from_u64(attack.seed ^ 0x1397);
     (0..4)
         .map(|feature| {
             let mut drop_total = 0.0;
@@ -398,7 +395,7 @@ fn stratified_fold_assignment(samples: &[AttackSample], folds: usize, seed: u64)
     for (i, s) in samples.iter().enumerate() {
         per_label[s.label].push(i);
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut assignment = vec![0usize; samples.len()];
     for indices in &mut per_label {
         indices.shuffle(&mut rng);

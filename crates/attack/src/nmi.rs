@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use age_telemetry::rng::{DetRng, SliceShuffle};
 
 /// Shannon entropy (bits) of a discrete empirical distribution given by
 /// occurrence counts.
@@ -77,7 +75,7 @@ pub fn permutation_test(labels: &[usize], sizes: &[usize], permutations: usize, 
     assert_eq!(labels.len(), sizes.len(), "labels/sizes length mismatch");
     let observed = nmi(labels, sizes);
     let mut shuffled = sizes.to_vec();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut at_least = 0usize;
     for _ in 0..permutations {
         shuffled.shuffle(&mut rng);

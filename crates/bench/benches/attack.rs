@@ -1,8 +1,7 @@
 //! Attacker-side costs: NMI estimation, permutation testing, AdaBoost.
 
 use age_attack::{nmi, permutation_test, AdaBoost, ClassifierAttack};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use age_bench::Harness;
 
 fn observations(n: usize) -> Vec<(usize, usize)> {
     (0..n)
@@ -10,26 +9,17 @@ fn observations(n: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-fn bench_nmi(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+
     let obs = observations(1000);
     let labels: Vec<usize> = obs.iter().map(|&(l, _)| l).collect();
     let sizes: Vec<usize> = obs.iter().map(|&(_, s)| s).collect();
-    c.bench_function("nmi/1000_messages", |b| {
-        b.iter(|| black_box(nmi(black_box(&labels), black_box(&sizes))));
+    h.bench("nmi/1000_messages", || nmi(&labels, &sizes));
+    h.bench("permutation_test/100_perms", || {
+        permutation_test(&labels, &sizes, 100, 7)
     });
-    c.bench_function("permutation_test/100_perms", |b| {
-        b.iter(|| {
-            black_box(permutation_test(
-                black_box(&labels),
-                black_box(&sizes),
-                100,
-                7,
-            ))
-        });
-    });
-}
 
-fn bench_adaboost(c: &mut Criterion) {
     let x: Vec<Vec<f64>> = (0..800)
         .map(|i| {
             let l = (i % 4) as f64;
@@ -37,30 +27,17 @@ fn bench_adaboost(c: &mut Criterion) {
         })
         .collect();
     let y: Vec<usize> = (0..800).map(|i| i % 4).collect();
-    c.bench_function("adaboost/fit_20x800", |b| {
-        b.iter(|| black_box(AdaBoost::fit(black_box(&x), black_box(&y), 4, 20)));
-    });
+    h.bench("adaboost/fit_20x800", || AdaBoost::fit(&x, &y, 4, 20));
     let model = AdaBoost::fit(&x, &y, 4, 20);
-    c.bench_function("adaboost/predict", |b| {
-        b.iter(|| black_box(model.predict(black_box(&x[13]))));
-    });
-}
+    h.bench("adaboost/predict", || model.predict(&x[13]));
 
-fn bench_full_attack(c: &mut Criterion) {
-    let obs = observations(400);
+    let attack_obs = observations(400);
     let attack = ClassifierAttack {
         total_samples: 300,
         n_estimators: 10,
         ..Default::default()
     };
-    c.bench_function("classifier_attack/5fold_300", |b| {
-        b.iter(|| black_box(attack.run(black_box(&obs))));
-    });
-}
+    h.bench("classifier_attack/5fold_300", || attack.run(&attack_obs));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_nmi, bench_adaboost, bench_full_attack
+    h.finish();
 }
-criterion_main!(benches);

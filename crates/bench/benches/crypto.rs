@@ -1,56 +1,41 @@
 //! Cipher throughput on message-sized payloads.
 
+use age_bench::Harness;
 use age_crypto::{poly1305, AesCbc, AesCtr, ChaCha20, ChaCha20Poly1305, Cipher};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_seal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("seal");
+fn main() {
+    let mut h = Harness::from_args();
+
     let chacha = ChaCha20::new([7; 32]);
     let ctr = AesCtr::new([7; 16]);
     let cbc = AesCbc::new([7; 16]);
     for len in [128usize, 1024] {
         let plaintext = vec![0xA5u8; len];
-        group.bench_with_input(BenchmarkId::new("chacha20", len), &plaintext, |b, p| {
-            b.iter(|| black_box(chacha.seal(1, black_box(p))));
+        h.bench(&format!("seal/chacha20/{len}"), || {
+            chacha.seal(1, &plaintext)
         });
-        group.bench_with_input(BenchmarkId::new("aes128_ctr", len), &plaintext, |b, p| {
-            b.iter(|| black_box(ctr.seal(1, black_box(p))));
+        h.bench(&format!("seal/aes128_ctr/{len}"), || {
+            ctr.seal(1, &plaintext)
         });
-        group.bench_with_input(BenchmarkId::new("aes128_cbc", len), &plaintext, |b, p| {
-            b.iter(|| black_box(cbc.seal(1, black_box(p))));
+        h.bench(&format!("seal/aes128_cbc/{len}"), || {
+            cbc.seal(1, &plaintext)
         });
     }
-    group.finish();
-}
 
-fn bench_aead(c: &mut Criterion) {
     let aead = ChaCha20Poly1305::new([7; 32]);
     let plaintext = vec![0xA5u8; 512];
-    c.bench_function("seal/chacha20_poly1305_512", |b| {
-        b.iter(|| black_box(aead.seal(1, black_box(&plaintext))));
-    });
+    h.bench("seal/chacha20_poly1305_512", || aead.seal(1, &plaintext));
     let sealed = aead.seal(1, &plaintext);
-    c.bench_function("open/chacha20_poly1305_512", |b| {
-        b.iter(|| black_box(aead.open(black_box(&sealed)).expect("valid")));
+    h.bench("open/chacha20_poly1305_512", || {
+        aead.open(&sealed).expect("valid")
     });
     let key = [9u8; 32];
-    c.bench_function("poly1305/tag_512", |b| {
-        b.iter(|| black_box(poly1305(black_box(&key), black_box(&plaintext))));
-    });
-}
+    h.bench("poly1305/tag_512", || poly1305(&key, &plaintext));
 
-fn bench_open(c: &mut Criterion) {
-    let chacha = ChaCha20::new([7; 32]);
-    let sealed = chacha.seal(1, &vec![0u8; 512]);
-    c.bench_function("open/chacha20_512", |b| {
-        b.iter(|| black_box(chacha.open(black_box(&sealed)).expect("valid")));
+    let sealed_stream = chacha.seal(1, &vec![0u8; 512]);
+    h.bench("open/chacha20_512", || {
+        chacha.open(&sealed_stream).expect("valid")
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_seal, bench_aead, bench_open
+    h.finish();
 }
-criterion_main!(benches);

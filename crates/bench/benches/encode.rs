@@ -1,13 +1,12 @@
 //! Microbenchmarks of the encoders: the per-batch cost an MCU would pay.
 
+use age_bench::Harness;
 use age_core::mcu::{encode_raw, RawBatch};
 use age_core::{
     AgeEncoder, Batch, BatchConfig, DeltaCodec, Encoder, PaddedEncoder, PrunedEncoder,
     SingleEncoder, StandardEncoder, UnshiftedEncoder,
 };
 use age_fixed::Format;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 fn activity_config() -> BatchConfig {
     BatchConfig::new(50, 6, Format::new(16, 13).expect("valid")).expect("valid")
@@ -20,78 +19,45 @@ fn batch(k: usize, d: usize) -> Batch {
     Batch::new((0..k).collect(), values).expect("valid")
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let cfg = activity_config();
-    let mut group = c.benchmark_group("encode");
+
     for k in [5usize, 25, 50] {
         let b = batch(k, 6);
-        group.bench_with_input(BenchmarkId::new("age", k), &b, |bench, b| {
-            let enc = AgeEncoder::new(220);
-            bench.iter(|| black_box(enc.encode(black_box(b), &cfg).expect("feasible")));
-        });
-        group.bench_with_input(BenchmarkId::new("standard", k), &b, |bench, b| {
-            let enc = StandardEncoder;
-            bench.iter(|| black_box(enc.encode(black_box(b), &cfg).expect("feasible")));
-        });
-        group.bench_with_input(BenchmarkId::new("padded", k), &b, |bench, b| {
-            let enc = PaddedEncoder::for_config(&cfg);
-            bench.iter(|| black_box(enc.encode(black_box(b), &cfg).expect("feasible")));
-        });
-        group.bench_with_input(BenchmarkId::new("single", k), &b, |bench, b| {
-            let enc = SingleEncoder::new(220);
-            bench.iter(|| black_box(enc.encode(black_box(b), &cfg).expect("feasible")));
-        });
-        group.bench_with_input(BenchmarkId::new("unshifted", k), &b, |bench, b| {
-            let enc = UnshiftedEncoder::new(220);
-            bench.iter(|| black_box(enc.encode(black_box(b), &cfg).expect("feasible")));
-        });
-        group.bench_with_input(BenchmarkId::new("pruned", k), &b, |bench, b| {
-            let enc = PrunedEncoder::new(220);
-            bench.iter(|| black_box(enc.encode(black_box(b), &cfg).expect("feasible")));
-        });
+        let encoders: Vec<(&str, Box<dyn Encoder>)> = vec![
+            ("age", Box::new(AgeEncoder::new(220))),
+            ("standard", Box::new(StandardEncoder)),
+            ("padded", Box::new(PaddedEncoder::for_config(&cfg))),
+            ("single", Box::new(SingleEncoder::new(220))),
+            ("unshifted", Box::new(UnshiftedEncoder::new(220))),
+            ("pruned", Box::new(PrunedEncoder::new(220))),
+        ];
+        for (name, enc) in &encoders {
+            h.bench(&format!("encode/{name}/{k}"), || {
+                enc.encode(&b, &cfg).expect("feasible")
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_mcu_and_compress(c: &mut Criterion) {
-    let cfg = activity_config();
     let b = batch(50, 6);
     let rb = RawBatch::from_batch(&b, &cfg);
-    let enc = AgeEncoder::new(220);
-    c.bench_function("encode/age_mcu_integer_50", |bench| {
-        bench.iter(|| black_box(encode_raw(&enc, black_box(&rb), &cfg).expect("feasible")));
-    });
-    c.bench_function("encode/delta_codec_50", |bench| {
-        bench.iter(|| black_box(DeltaCodec.encode(black_box(&b), &cfg).expect("feasible")));
-    });
-}
-
-fn bench_decode(c: &mut Criterion) {
-    let cfg = activity_config();
-    let mut group = c.benchmark_group("decode");
-    let b = batch(50, 6);
     let age = AgeEncoder::new(220);
-    let msg = age.encode(&b, &cfg).expect("feasible");
-    group.bench_function("age_full_batch", |bench| {
-        bench.iter(|| black_box(age.decode(black_box(&msg), &cfg).expect("own message")));
+    h.bench("encode/age_mcu_integer_50", || {
+        encode_raw(&age, &rb, &cfg).expect("feasible")
     });
-    let std_enc = StandardEncoder;
-    let std_msg = std_enc.encode(&b, &cfg).expect("feasible");
-    group.bench_function("standard_full_batch", |bench| {
-        bench.iter(|| {
-            black_box(
-                std_enc
-                    .decode(black_box(&std_msg), &cfg)
-                    .expect("own message"),
-            )
-        });
+    h.bench("encode/delta_codec_50", || {
+        DeltaCodec.encode(&b, &cfg).expect("feasible")
     });
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_encode, bench_mcu_and_compress, bench_decode
+    let msg = age.encode(&b, &cfg).expect("feasible");
+    h.bench("decode/age_full_batch", || {
+        age.decode(&msg, &cfg).expect("own message")
+    });
+    let std_msg = StandardEncoder.encode(&b, &cfg).expect("feasible");
+    h.bench("decode/standard_full_batch", || {
+        StandardEncoder.decode(&std_msg, &cfg).expect("own message")
+    });
+
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,95 +1,80 @@
-//! One Criterion target per paper experiment, timing a representative cell
-//! at reduced scale. The full tables come from the `repro` binary
+//! One benchmark per paper experiment, timing a representative cell at
+//! reduced scale. The full tables come from the `repro` binary
 //! (`cargo run -p age-bench --release --bin repro -- all`).
 
-use age_bench::{run_experiment, Settings};
+use age_bench::{run_experiment, Harness, Settings};
 use age_datasets::{DatasetKind, Scale};
 use age_sim::{CipherChoice, Defense, PolicyKind, Runner};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 
-fn quick() -> Settings {
-    Settings::quick()
-}
+fn main() {
+    // These cells are orders of magnitude slower than the microbenches;
+    // keep the windows tight so the suite stays tractable.
+    let mut h =
+        Harness::from_args().with_windows(Duration::from_millis(100), Duration::from_millis(500));
 
-/// Figure 1 and Table 3 are cheap enough to run whole.
-fn bench_cheap_experiments(c: &mut Criterion) {
-    let s = quick();
+    // Figure 1 and Table 3 are cheap enough to run whole.
+    let s = Settings::quick();
     for id in ["fig1", "table3", "overhead"] {
-        c.bench_function(&format!("experiment/{id}"), |b| {
-            b.iter(|| black_box(run_experiment(black_box(id), &s).expect("known id")));
+        h.bench(&format!("experiment/{id}"), || {
+            run_experiment(id, &s).expect("known id")
         });
     }
-}
 
-/// Table 1 cell: per-event size statistics of one adaptive policy.
-fn bench_table1(c: &mut Criterion) {
+    // Table 1 cell: per-event size statistics of one adaptive policy.
     let runner = Runner::new(DatasetKind::Epilepsy, Scale::Small, 3);
-    c.bench_function("experiment/table1_cell", |b| {
-        b.iter(|| {
-            let res = runner.run(
-                PolicyKind::Linear,
-                Defense::Standard,
-                0.7,
-                CipherChoice::ChaCha20,
-                false,
-            );
-            black_box(res.size_stats_by_label())
-        });
+    h.bench("experiment/table1_cell", || {
+        let res = runner.run(
+            PolicyKind::Linear,
+            Defense::Standard,
+            0.7,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        res.size_stats_by_label()
     });
-}
 
-/// Table 4/5 cell: one dataset × one budget × the seven error configs.
-fn bench_table45(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Epilepsy, Scale::Small, 3);
-    c.bench_function("experiment/table45_cell", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for (p, d) in [
-                (PolicyKind::Uniform, Defense::Standard),
-                (PolicyKind::Linear, Defense::Standard),
-                (PolicyKind::Linear, Defense::Padded),
-                (PolicyKind::Linear, Defense::Age),
-                (PolicyKind::Deviation, Defense::Standard),
-                (PolicyKind::Deviation, Defense::Padded),
-                (PolicyKind::Deviation, Defense::Age),
-            ] {
-                let res = runner.run(p, d, 0.5, CipherChoice::ChaCha20, true);
-                total += res.mean_mae() + res.weighted_mae();
-            }
-            black_box(total)
-        });
+    // Table 4/5 cell: one dataset × one budget × the seven error configs.
+    h.bench("experiment/table45_cell", || {
+        let mut total = 0.0;
+        for (p, d) in [
+            (PolicyKind::Uniform, Defense::Standard),
+            (PolicyKind::Linear, Defense::Standard),
+            (PolicyKind::Linear, Defense::Padded),
+            (PolicyKind::Linear, Defense::Age),
+            (PolicyKind::Deviation, Defense::Standard),
+            (PolicyKind::Deviation, Defense::Padded),
+            (PolicyKind::Deviation, Defense::Age),
+        ] {
+            let res = runner.run(p, d, 0.5, CipherChoice::ChaCha20, true);
+            total += res.mean_mae() + res.weighted_mae();
+        }
+        total
     });
-}
 
-/// Figure 5 cell: one budget's five series on Activity.
-fn bench_fig5(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Activity, Scale::Small, 3);
-    c.bench_function("experiment/fig5_cell", |b| {
-        b.iter(|| {
-            let std_res = runner.run(
-                PolicyKind::Linear,
-                Defense::Standard,
-                0.5,
-                CipherChoice::ChaCha20,
-                true,
-            );
-            let age_res = runner.run(
-                PolicyKind::Linear,
-                Defense::Age,
-                0.5,
-                CipherChoice::ChaCha20,
-                true,
-            );
-            black_box((std_res.mean_mae(), age_res.mean_mae()))
-        });
+    // Figure 5 cell: one budget's series on Activity.
+    let activity = Runner::new(DatasetKind::Activity, Scale::Small, 3);
+    h.bench("experiment/fig5_cell", || {
+        let std_res = activity.run(
+            PolicyKind::Linear,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        let age_res = activity.run(
+            PolicyKind::Linear,
+            Defense::Age,
+            0.5,
+            CipherChoice::ChaCha20,
+            true,
+        );
+        (std_res.mean_mae(), age_res.mean_mae())
     });
-}
 
-/// Table 6 cell: NMI plus a reduced permutation test.
-fn bench_table6(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Pavement, Scale::Small, 3);
-    let res = runner.run(
+    // Table 6 cell: NMI plus a reduced permutation test.
+    let pavement = Runner::new(DatasetKind::Pavement, Scale::Small, 3);
+    let res = pavement.run(
         PolicyKind::Linear,
         Defense::Standard,
         0.5,
@@ -99,107 +84,83 @@ fn bench_table6(c: &mut Criterion) {
     let obs = res.observations();
     let labels: Vec<usize> = obs.iter().map(|&(l, _)| l).collect();
     let sizes: Vec<usize> = obs.iter().map(|&(_, m)| m).collect();
-    c.bench_function("experiment/table6_cell", |b| {
-        b.iter(|| black_box(age_attack::permutation_test(&labels, &sizes, 60, 1)));
+    h.bench("experiment/table6_cell", || {
+        age_attack::permutation_test(&labels, &sizes, 60, 1)
     });
-}
 
-/// Figure 6 / Figure 7 cell: one classifier attack evaluation.
-fn bench_fig67(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Epilepsy, Scale::Small, 3);
-    let res = runner.run(
+    // Figure 6 / Figure 7 cell: one classifier attack evaluation.
+    let epilepsy_res = runner.run(
         PolicyKind::Linear,
         Defense::Standard,
         0.5,
         CipherChoice::ChaCha20,
         false,
     );
-    let obs = res.observations();
+    let epilepsy_obs = epilepsy_res.observations();
     let attack = age_attack::ClassifierAttack {
         total_samples: 300,
         n_estimators: 10,
         ..Default::default()
     };
-    c.bench_function("experiment/fig6_fig7_cell", |b| {
-        b.iter(|| black_box(attack.run(black_box(&obs))));
-    });
-}
+    h.bench("experiment/fig6_fig7_cell", || attack.run(&epilepsy_obs));
 
-/// Table 7 cell: a Skip RNN run with and without AGE.
-fn bench_table7(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Strawberry, Scale::Small, 3);
+    // Table 7 cell: a Skip RNN run with and without AGE.
+    let strawberry = Runner::new(DatasetKind::Strawberry, Scale::Small, 3);
     // Train once outside the timing loop (the paper trains offline too).
-    let _ = runner.run(
+    let _ = strawberry.run(
         PolicyKind::SkipRnn,
         Defense::Standard,
         0.5,
         CipherChoice::ChaCha20,
         false,
     );
-    c.bench_function("experiment/table7_cell", |b| {
-        b.iter(|| {
-            let std_res = runner.run(
-                PolicyKind::SkipRnn,
-                Defense::Standard,
-                0.5,
-                CipherChoice::ChaCha20,
-                false,
-            );
-            let age_res = runner.run(
-                PolicyKind::SkipRnn,
-                Defense::Age,
-                0.5,
-                CipherChoice::ChaCha20,
-                false,
-            );
-            black_box((std_res.nmi(), age_res.nmi()))
-        });
+    h.bench("experiment/table7_cell", || {
+        let std_res = strawberry.run(
+            PolicyKind::SkipRnn,
+            Defense::Standard,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        let age_res = strawberry.run(
+            PolicyKind::SkipRnn,
+            Defense::Age,
+            0.5,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        (std_res.nmi(), age_res.nmi())
     });
-}
 
-/// Table 8 cell: the three ablation variants against AGE.
-fn bench_table8(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Tiselac, Scale::Small, 3);
-    c.bench_function("experiment/table8_cell", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for d in [
-                Defense::Age,
-                Defense::Single,
-                Defense::Unshifted,
-                Defense::Pruned,
-            ] {
-                total += runner
-                    .run(PolicyKind::Linear, d, 0.5, CipherChoice::ChaCha20, true)
-                    .mean_mae();
-            }
-            black_box(total)
-        });
+    // Table 8 cell: the three ablation variants against AGE.
+    let tiselac = Runner::new(DatasetKind::Tiselac, Scale::Small, 3);
+    h.bench("experiment/table8_cell", || {
+        let mut total = 0.0;
+        for d in [
+            Defense::Age,
+            Defense::Single,
+            Defense::Unshifted,
+            Defense::Pruned,
+        ] {
+            total += tiselac
+                .run(PolicyKind::Linear, d, 0.5, CipherChoice::ChaCha20, true)
+                .mean_mae();
+        }
+        total
     });
-}
 
-/// Table 9/10 cell: one MCU-mode run (75 sequences, AES-128 CBC).
-fn bench_table910(c: &mut Criterion) {
-    let runner = Runner::new(DatasetKind::Activity, Scale::Small, 3);
-    c.bench_function("experiment/table910_cell", |b| {
-        b.iter(|| {
-            let res = runner.run_limited(
-                PolicyKind::Linear,
-                Defense::Age,
-                0.7,
-                CipherChoice::Aes128Cbc,
-                true,
-                Some(75),
-            );
-            black_box((res.mean_energy(), res.mean_mae()))
-        });
+    // Table 9/10 cell: one MCU-mode run (75 sequences, AES-128 CBC).
+    h.bench("experiment/table910_cell", || {
+        let res = activity.run_limited(
+            PolicyKind::Linear,
+            Defense::Age,
+            0.7,
+            CipherChoice::Aes128Cbc,
+            true,
+            Some(75),
+        );
+        (res.mean_energy(), res.mean_mae())
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_cheap_experiments, bench_table1, bench_table45, bench_fig5, bench_table6,
-        bench_fig67, bench_table7, bench_table8, bench_table910
+    h.finish();
 }
-criterion_main!(benches);

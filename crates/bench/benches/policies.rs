@@ -1,69 +1,42 @@
 //! Sampling-policy walk costs and offline threshold fitting.
 
+use age_bench::Harness;
 use age_datasets::{Dataset, DatasetKind, Scale};
 use age_nn::Trainer;
 use age_sampling::{fit_threshold, DeviationPolicy, LinearPolicy, Policy, UniformPolicy};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_sampling_walk(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+
     let data = Dataset::generate(DatasetKind::Activity, Scale::Small, 1);
     let seq = &data.sequences()[0].values;
     let d = data.spec().features;
-    let mut group = c.benchmark_group("policy_walk");
-    group.bench_function("uniform", |b| {
-        let p = UniformPolicy::new(0.5);
-        b.iter(|| black_box(p.sample(black_box(seq), d)));
-    });
-    group.bench_function("linear", |b| {
-        let p = LinearPolicy::new(0.3);
-        b.iter(|| black_box(p.sample(black_box(seq), d)));
-    });
-    group.bench_function("deviation", |b| {
-        let p = DeviationPolicy::new(0.1);
-        b.iter(|| black_box(p.sample(black_box(seq), d)));
-    });
-    group.finish();
-}
+    let uniform = UniformPolicy::new(0.5);
+    h.bench("policy_walk/uniform", || uniform.sample(seq, d));
+    let linear = LinearPolicy::new(0.3);
+    h.bench("policy_walk/linear", || linear.sample(seq, d));
+    let deviation = DeviationPolicy::new(0.1);
+    h.bench("policy_walk/deviation", || deviation.sample(seq, d));
 
-fn bench_threshold_fit(c: &mut Criterion) {
-    let data = Dataset::generate(DatasetKind::Epilepsy, Scale::Small, 2);
-    let d = data.spec().features;
-    let train: Vec<&[f64]> = data
+    let fit_data = Dataset::generate(DatasetKind::Epilepsy, Scale::Small, 2);
+    let fit_d = fit_data.spec().features;
+    let train: Vec<&[f64]> = fit_data
         .sequences()
         .iter()
         .map(|s| s.values.as_slice())
         .collect();
-    c.bench_function("fit/linear_threshold", |b| {
-        b.iter(|| {
-            black_box(fit_threshold(
-                LinearPolicy::new,
-                black_box(&train),
-                d,
-                0.5,
-                8.0,
-                16,
-            ))
-        });
+    h.bench("fit/linear_threshold", || {
+        fit_threshold(LinearPolicy::new, &train, fit_d, 0.5, 8.0, 16)
     });
-}
 
-fn bench_skip_rnn(c: &mut Criterion) {
     let seqs: Vec<Vec<f64>> = (0..4)
         .map(|s| (0..60).map(|t| ((t + s * 3) as f64 * 0.2).sin()).collect())
         .collect();
-    c.bench_function("fit/skip_rnn_epoch", |b| {
-        b.iter(|| black_box(Trainer::new(1, 8, 3).epochs(1).train(black_box(&seqs))));
+    h.bench("fit/skip_rnn_epoch", || {
+        Trainer::new(1, 8, 3).epochs(1).train(&seqs)
     });
     let model = Trainer::new(1, 8, 3).epochs(1).train(&seqs);
-    c.bench_function("policy_walk/skip_rnn", |b| {
-        b.iter(|| black_box(model.sample(black_box(&seqs[0]), 0.0)));
-    });
-}
+    h.bench("policy_walk/skip_rnn", || model.sample(&seqs[0], 0.0));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_sampling_walk, bench_threshold_fit, bench_skip_rnn
+    h.finish();
 }
-criterion_main!(benches);

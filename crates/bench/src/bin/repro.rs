@@ -5,7 +5,12 @@
 //! cargo run -p age-bench --release --bin repro -- table4 fig6
 //! cargo run -p age-bench --release --bin repro -- --quick all
 //! cargo run -p age-bench --release --bin repro -- --full table6
+//! cargo run -p age-bench --release --bin repro -- --telemetry out.jsonl table4
 //! ```
+//!
+//! `--telemetry <path>` streams one JSON object per encoded batch to `path`
+//! (stage timings, group layout, message length) and prints a per-stream
+//! summary table after the experiments; requires the `telemetry` feature.
 
 use std::time::Instant;
 
@@ -15,22 +20,63 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut settings = Settings::standard();
     let mut ids: Vec<String> = Vec::new();
-    for arg in &args {
-        match arg.as_str() {
+    let mut telemetry_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--quick" => settings = Settings::quick(),
             "--full" => settings = Settings::full(),
+            "--telemetry" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => telemetry_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--telemetry needs an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "extensions" => ids.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
+        i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--quick|--full] <experiment...|all|extensions>");
+        eprintln!(
+            "usage: repro [--quick|--full] [--telemetry out.jsonl] <experiment...|all|extensions>"
+        );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         eprintln!("extensions:  {}", EXTENSIONS.join(" "));
         std::process::exit(2);
     }
     ids.dedup();
+
+    #[cfg(not(feature = "telemetry"))]
+    if telemetry_path.is_some() {
+        eprintln!(
+            "--telemetry requires the `telemetry` feature (this binary was built without it)"
+        );
+        std::process::exit(2);
+    }
+
+    #[cfg(feature = "telemetry")]
+    let summary_sink = telemetry_path.as_deref().map(|path| {
+        use std::sync::Arc;
+        let jsonl = match age_telemetry::JsonlSink::create(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("cannot create telemetry file '{path}': {e}");
+                std::process::exit(2);
+            }
+        };
+        let summary = Arc::new(age_telemetry::SummarySink::new());
+        age_telemetry::install_global(Arc::new(age_telemetry::FanoutSink(vec![
+            Arc::new(jsonl),
+            summary.clone(),
+        ])));
+        summary
+    });
 
     for id in &ids {
         let start = Instant::now();
@@ -51,6 +97,19 @@ fn main() {
                 );
                 std::process::exit(2);
             }
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    if let Some(summary) = summary_sink {
+        age_telemetry::clear_global();
+        let summary = summary.take();
+        if !summary.is_empty() {
+            println!("telemetry summary (message sizes per stream):");
+            print!("{summary}");
+        }
+        if let Some(path) = &telemetry_path {
+            println!("[per-batch records written to {path}]");
         }
     }
 }

@@ -1,0 +1,130 @@
+//! A minimal wall-clock benchmark harness (no external deps).
+//!
+//! Used by the `benches/` targets, which run standalone (`harness = false`).
+//! Each benchmark warms up briefly, picks an iteration count that fills the
+//! measurement window, and reports the mean time per iteration. Pass a
+//! substring on the command line to run a subset:
+//! `cargo bench -p age-bench --bench encode -- age`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects and prints benchmark timings.
+pub struct Harness {
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+    results: Vec<(String, f64, u64)>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            warm_up: Duration::from_millis(200),
+            measure: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Harness {
+    /// Build a harness from command-line arguments: the first non-flag
+    /// argument (cargo passes `--bench` and similar flags through) is a
+    /// substring filter on benchmark names.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self {
+            filter,
+            ..Self::default()
+        }
+    }
+
+    /// Override the per-benchmark warm-up and measurement windows.
+    pub fn with_windows(mut self, warm_up: Duration, measure: Duration) -> Self {
+        self.warm_up = warm_up;
+        self.measure = measure;
+        self
+    }
+
+    /// Time `f`, printing and recording the mean nanoseconds per iteration.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < self.warm_up && warm_iters < 1_000_000) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as u64 / warm_iters).max(1);
+        let iters = (self.measure.as_nanos() as u64 / est_ns).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!(
+            "{name:<44} {:>12}/iter  ({iters} iters)",
+            format_ns(mean_ns)
+        );
+        self.results.push((name.to_string(), mean_ns, iters));
+    }
+
+    /// Results recorded so far: (name, mean ns/iter, iterations).
+    pub fn results(&self) -> &[(String, f64, u64)] {
+        &self.results
+    }
+
+    /// Print a closing line; consumes the harness.
+    pub fn finish(self) {
+        println!("{} benchmark(s) run", self.results.len());
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_result() {
+        let mut h =
+            Harness::default().with_windows(Duration::from_millis(1), Duration::from_millis(1));
+        h.bench("trivial", || 1 + 1);
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].1 > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut h = Harness {
+            filter: Some("match".into()),
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            results: Vec::new(),
+        };
+        h.bench("other", || 0);
+        assert!(h.results().is_empty());
+        h.bench("a_matching_name", || 0);
+        assert_eq!(h.results().len(), 1);
+    }
+}

@@ -10,7 +10,9 @@
 //! policies leak — reproduces. EXPERIMENTS.md records a measured run.
 
 pub mod extensions;
+pub mod harness;
 pub mod report;
 
 pub use extensions::{run_extension, EXTENSIONS};
+pub use harness::Harness;
 pub use report::{run_experiment, Settings, EXPERIMENTS, RATES};

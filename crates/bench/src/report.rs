@@ -125,10 +125,9 @@ pub fn run_experiment(id: &str, s: &Settings) -> Option<String> {
 /// windows at a 70% budget.
 pub fn fig1(s: &Settings) -> String {
     use age_datasets::LabelProfile;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use age_telemetry::DetRng;
 
-    let mut rng = StdRng::seed_from_u64(s.seed);
+    let mut rng = DetRng::seed_from_u64(s.seed);
     // Walking-like and running-like profiles (the Epilepsy labels).
     let walking = LabelProfile {
         amp: 0.55,

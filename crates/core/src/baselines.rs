@@ -89,7 +89,12 @@ impl Encoder for StandardEncoder {
     }
 
     fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
-        Ok(encode_standard(batch, cfg)?.into_bytes())
+        #[cfg(feature = "telemetry")]
+        let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
+        let bytes = encode_standard(batch, cfg)?.into_bytes();
+        #[cfg(feature = "telemetry")]
+        emit_flat_record("Standard", batch, cfg, bytes.len(), None, &mut stopwatch);
+        Ok(bytes)
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -137,6 +142,8 @@ impl Encoder for PaddedEncoder {
     }
 
     fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+        #[cfg(feature = "telemetry")]
+        let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
         let mut w = encode_standard(batch, cfg)?;
         if w.byte_len() > self.pad_to {
             return Err(EncodeError::TargetTooSmall {
@@ -145,11 +152,54 @@ impl Encoder for PaddedEncoder {
             });
         }
         w.pad_to_bytes(self.pad_to);
-        Ok(w.into_bytes())
+        let bytes = w.into_bytes();
+        #[cfg(feature = "telemetry")]
+        emit_flat_record(
+            "Padded",
+            batch,
+            cfg,
+            bytes.len(),
+            Some(self.pad_to),
+            &mut stopwatch,
+        );
+        Ok(bytes)
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
         decode_standard(message, cfg)
+    }
+}
+
+/// Emits a telemetry record for a standard-layout message: a `k` header,
+/// one index-directory entry per measurement, and full-width values.
+#[cfg(feature = "telemetry")]
+fn emit_flat_record(
+    encoder: &'static str,
+    batch: &Batch,
+    cfg: &BatchConfig,
+    message_len: usize,
+    target_bytes: Option<usize>,
+    stopwatch: &mut Option<age_telemetry::Stopwatch>,
+) {
+    let k = batch.len();
+    let pack_ns = stopwatch.as_mut().map_or(0, |sw| sw.lap());
+    crate::telemetry::count_encode(k, k, message_len, pack_ns);
+    if stopwatch.is_some() {
+        crate::telemetry::emit_record(age_telemetry::BatchRecord {
+            encoder,
+            input_len: k,
+            kept_len: k,
+            header_bits: crate::encoder::K_BITS,
+            directory_bits: k * usize::from(cfg.index_bits()),
+            data_bits: k * cfg.features() * usize::from(cfg.format().width()),
+            message_len,
+            target_bytes,
+            timings: age_telemetry::StageTimings {
+                pack_ns,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
     }
 }
 

@@ -176,6 +176,12 @@ impl crate::Encoder for AgeEncoder {
         let target_bits = self.target_bytes * 8;
         let fixed_bits = Self::fixed_bits(cfg);
         let entry_bits = Self::entry_bits(cfg);
+        #[cfg(feature = "telemetry")]
+        let input_len = batch.len();
+        #[cfg(feature = "telemetry")]
+        let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
+        #[cfg(feature = "telemetry")]
+        let mut stage_ns = age_telemetry::StageTimings::default();
 
         // §4.2: prune so every survivor gets at least `min_width` bits, with
         // directory space reserved for `G0` groups.
@@ -195,10 +201,20 @@ impl crate::Encoder for AgeEncoder {
             batch
         };
         let k = batch.len();
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.prune_ns = sw.lap();
+        }
 
         // §4.3: exponent-aware groups, merged down to at most G.
         let exponents = measurement_exponents(batch, cfg.format().integer_bits());
         let groups = form_groups(&exponents);
+        #[cfg(feature = "telemetry")]
+        let groups_initial = groups.len();
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.group_ns = sw.lap();
+        }
         let max_groups = select_max_groups(
             target_bits.saturating_sub(fixed_bits),
             k * d * usize::from(w0),
@@ -225,12 +241,20 @@ impl crate::Encoder for AgeEncoder {
         } else {
             groups
         };
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.merge_ns = sw.lap();
+        }
 
         // §4.4: per-group widths under the remaining budget.
         let data_budget = target_bits
             .saturating_sub(fixed_bits)
             .saturating_sub(entry_bits * groups.len());
         let widths = assign_widths(&groups, d, w0, data_budget);
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.quantize_ns = sw.lap();
+        }
 
         // Assemble the message.
         let mut w = BitWriter::with_capacity(self.target_bytes);
@@ -268,6 +292,44 @@ impl crate::Encoder for AgeEncoder {
         w.pad_to_bytes(self.target_bytes);
         let bytes = w.into_bytes();
         debug_assert_eq!(bytes.len(), self.target_bytes);
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(sw) = stopwatch.as_mut() {
+                stage_ns.pack_ns = sw.lap();
+            }
+            crate::telemetry::count_encode(input_len, k, bytes.len(), stage_ns.total_ns());
+            if stopwatch.is_some() {
+                let directory_bits = entry_bits * groups.len();
+                let data_bits: usize = groups
+                    .iter()
+                    .zip(&widths)
+                    .map(|(g, &width)| g.count * d * usize::from(width))
+                    .sum();
+                crate::telemetry::emit_record(age_telemetry::BatchRecord {
+                    encoder: "AGE",
+                    input_len,
+                    kept_len: k,
+                    groups_initial,
+                    groups_final: groups.len(),
+                    groups: groups
+                        .iter()
+                        .zip(&widths)
+                        .map(|(g, &width)| age_telemetry::GroupRecord {
+                            count: g.count,
+                            exponent: i32::from(g.exponent),
+                            width,
+                        })
+                        .collect(),
+                    header_bits: fixed_bits,
+                    directory_bits,
+                    data_bits,
+                    message_len: bytes.len(),
+                    target_bytes: Some(self.target_bytes),
+                    timings: stage_ns,
+                    ..Default::default()
+                });
+            }
+        }
         Ok(bytes)
     }
 

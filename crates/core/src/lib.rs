@@ -56,6 +56,8 @@ mod inspect;
 pub mod mcu;
 pub mod prune;
 pub mod target;
+#[cfg(feature = "telemetry")]
+mod telemetry;
 mod variants;
 
 pub use baselines::{PaddedEncoder, StandardEncoder};

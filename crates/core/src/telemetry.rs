@@ -1,0 +1,32 @@
+//! Feature-gated glue between the encoders and the `age-telemetry` sinks.
+//!
+//! Only compiled with the `telemetry` feature; every call site is behind
+//! `#[cfg(feature = "telemetry")]`, so with the feature off the encoders
+//! contain no observability code at all. This matters for the defense
+//! itself: instrumentation that conditions work on batch content could
+//! reintroduce a timing side-channel on deployed sensors, so MCU builds
+//! compile it out entirely.
+
+use age_telemetry::metrics::global;
+use age_telemetry::BatchRecord;
+
+/// Updates the process-wide encode counters. Called on every encode when
+/// the feature is on, whether or not a sink is installed — the counters
+/// are lock-free atomics, cheap enough to leave unconditional.
+pub(crate) fn count_encode(input_len: usize, kept_len: usize, message_len: usize, total_ns: u64) {
+    global::ENCODE_CALLS.add(1);
+    global::ENCODE_NANOS.add(total_ns);
+    global::PRUNED_MEASUREMENTS.add(input_len.saturating_sub(kept_len) as u64);
+    global::MESSAGE_BYTES.record(message_len as u64);
+}
+
+/// Completes and emits a per-batch record: derives the tail padding from
+/// the other sections, stamps the caller's stream context (label + batch
+/// number), and hands the record to the active sink. Callers only build
+/// records when [`age_telemetry::active`] is true.
+pub(crate) fn emit_record(mut rec: BatchRecord) {
+    rec.padding_bits =
+        (rec.message_len * 8).saturating_sub(rec.header_bits + rec.directory_bits + rec.data_bits);
+    age_telemetry::stamp(&mut rec);
+    age_telemetry::emit(&rec);
+}

@@ -138,6 +138,12 @@ impl Encoder for SingleEncoder {
         validate(batch, cfg, self.target_bytes, min)?;
         let d = cfg.features();
         let fmt0 = cfg.format();
+        #[cfg(feature = "telemetry")]
+        let input_len = batch.len();
+        #[cfg(feature = "telemetry")]
+        let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
+        #[cfg(feature = "telemetry")]
+        let mut stage_ns = age_telemetry::StageTimings::default();
         let data_budget = self.target_bytes * 8 - Self::fixed_bits(cfg);
         let total = batch.len() * d;
         let width = data_budget
@@ -152,6 +158,10 @@ impl Encoder for SingleEncoder {
             batch.clone()
         };
         let width = if batch.is_empty() { 0 } else { width };
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.quantize_ns = sw.lap();
+        }
 
         let mut w = BitWriter::with_capacity(self.target_bytes);
         write_header_and_mask(&mut w, &batch, cfg);
@@ -164,7 +174,43 @@ impl Encoder for SingleEncoder {
             }
         }
         w.pad_to_bytes(self.target_bytes);
-        Ok(w.into_bytes())
+        let bytes = w.into_bytes();
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(sw) = stopwatch.as_mut() {
+                stage_ns.pack_ns = sw.lap();
+            }
+            crate::telemetry::count_encode(
+                input_len,
+                batch.len(),
+                bytes.len(),
+                stage_ns.total_ns(),
+            );
+            if stopwatch.is_some() {
+                crate::telemetry::emit_record(age_telemetry::BatchRecord {
+                    encoder: "Single",
+                    input_len,
+                    kept_len: batch.len(),
+                    groups_final: usize::from(width > 0),
+                    groups: (width > 0)
+                        .then(|| age_telemetry::GroupRecord {
+                            count: batch.len(),
+                            exponent: i32::from(fmt0.integer_bits().min(width)),
+                            width,
+                        })
+                        .into_iter()
+                        .collect(),
+                    header_bits: K_BITS + cfg.max_len(),
+                    directory_bits: usize::from(WIDTH_BITS),
+                    data_bits: batch.len() * d * usize::from(width),
+                    message_len: bytes.len(),
+                    target_bytes: Some(self.target_bytes),
+                    timings: stage_ns,
+                    ..Default::default()
+                });
+            }
+        }
+        Ok(bytes)
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -227,6 +273,12 @@ impl Encoder for UnshiftedEncoder {
         validate(batch, cfg, self.target_bytes, min)?;
         let d = cfg.features();
         let fmt0 = cfg.format();
+        #[cfg(feature = "telemetry")]
+        let input_len = batch.len();
+        #[cfg(feature = "telemetry")]
+        let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
+        #[cfg(feature = "telemetry")]
+        let mut stage_ns = age_telemetry::StageTimings::default();
         let data_budget = self.target_bytes * 8 - Self::fixed_bits(cfg);
         let total = batch.len() * d;
         // Like Single, drop everything when nothing fits.
@@ -260,6 +312,10 @@ impl Encoder for UnshiftedEncoder {
                 }
             }
         }
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.quantize_ns = sw.lap();
+        }
 
         let mut w = BitWriter::with_capacity(self.target_bytes);
         write_header_and_mask(&mut w, &batch, cfg);
@@ -283,7 +339,49 @@ impl Encoder for UnshiftedEncoder {
             }
         }
         w.pad_to_bytes(self.target_bytes);
-        Ok(w.into_bytes())
+        let bytes = w.into_bytes();
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(sw) = stopwatch.as_mut() {
+                stage_ns.pack_ns = sw.lap();
+            }
+            crate::telemetry::count_encode(
+                input_len,
+                batch.len(),
+                bytes.len(),
+                stage_ns.total_ns(),
+            );
+            if stopwatch.is_some() {
+                crate::telemetry::emit_record(age_telemetry::BatchRecord {
+                    encoder: "Unshifted",
+                    input_len,
+                    kept_len: batch.len(),
+                    groups_initial: UNSHIFTED_GROUPS,
+                    groups_final: UNSHIFTED_GROUPS,
+                    groups: counts
+                        .iter()
+                        .zip(&widths)
+                        .map(|(&count, &width)| age_telemetry::GroupRecord {
+                            count,
+                            exponent: i32::from(fmt0.integer_bits().min(width)),
+                            width,
+                        })
+                        .collect(),
+                    header_bits: K_BITS + cfg.max_len(),
+                    directory_bits: UNSHIFTED_GROUPS * usize::from(WIDTH_BITS),
+                    data_bits: counts
+                        .iter()
+                        .zip(&widths)
+                        .map(|(&c, &width)| c * d * usize::from(width))
+                        .sum(),
+                    message_len: bytes.len(),
+                    target_bytes: Some(self.target_bytes),
+                    timings: stage_ns,
+                    ..Default::default()
+                });
+            }
+        }
+        Ok(bytes)
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -356,9 +454,19 @@ impl Encoder for PrunedEncoder {
         validate(batch, cfg, self.target_bytes, min)?;
         let d = cfg.features();
         let fmt = cfg.format();
+        #[cfg(feature = "telemetry")]
+        let input_len = batch.len();
+        #[cfg(feature = "telemetry")]
+        let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
+        #[cfg(feature = "telemetry")]
+        let mut stage_ns = age_telemetry::StageTimings::default();
         let data_budget = self.target_bytes * 8 - Self::fixed_bits(cfg);
         let drop = prune_count(batch.len(), d, fmt.width(), data_budget);
         let batch = prune(batch, drop);
+        #[cfg(feature = "telemetry")]
+        if let Some(sw) = stopwatch.as_mut() {
+            stage_ns.prune_ns = sw.lap();
+        }
 
         let mut w = BitWriter::with_capacity(self.target_bytes);
         write_header_and_mask(&mut w, &batch, cfg);
@@ -366,7 +474,43 @@ impl Encoder for PrunedEncoder {
             w.write_bits(fmt.to_bits(fmt.quantize(x)), fmt.width());
         }
         w.pad_to_bytes(self.target_bytes);
-        Ok(w.into_bytes())
+        let bytes = w.into_bytes();
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(sw) = stopwatch.as_mut() {
+                stage_ns.pack_ns = sw.lap();
+            }
+            crate::telemetry::count_encode(
+                input_len,
+                batch.len(),
+                bytes.len(),
+                stage_ns.total_ns(),
+            );
+            if stopwatch.is_some() {
+                crate::telemetry::emit_record(age_telemetry::BatchRecord {
+                    encoder: "Pruned",
+                    input_len,
+                    kept_len: batch.len(),
+                    groups_final: usize::from(!batch.is_empty()),
+                    groups: (!batch.is_empty())
+                        .then(|| age_telemetry::GroupRecord {
+                            count: batch.len(),
+                            exponent: i32::from(fmt.integer_bits()),
+                            width: fmt.width(),
+                        })
+                        .into_iter()
+                        .collect(),
+                    header_bits: K_BITS + cfg.max_len(),
+                    directory_bits: 0,
+                    data_bits: batch.len() * d * usize::from(fmt.width()),
+                    message_len: bytes.len(),
+                    target_bytes: Some(self.target_bytes),
+                    timings: stage_ns,
+                    ..Default::default()
+                });
+            }
+        }
+        Ok(bytes)
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {

@@ -1,4 +1,5 @@
-//! Property-based tests for the AGE encoder and its variants.
+//! Randomized property tests for the AGE encoder and its variants, driven
+//! by the workspace's deterministic PRNG (no external test deps).
 //!
 //! The central security property: for a fixed configuration and target, the
 //! message length is a constant — independent of how many measurements the
@@ -10,80 +11,88 @@ use age_core::{
     StandardEncoder, UnshiftedEncoder,
 };
 use age_fixed::Format;
-use proptest::prelude::*;
+use age_telemetry::{DetRng, SliceShuffle};
+
+const CASES: usize = 128;
 
 /// A random batch configuration plus a consistent batch.
-fn config_and_batch() -> impl Strategy<Value = (BatchConfig, Batch)> {
-    (2usize..200, 1usize..8, 4u8..=24, 0i16..20)
-        .prop_flat_map(|(max_len, features, width, n)| {
-            let n = (n % i16::from(width)).max(1);
-            let fmt = Format::from_integer_bits(width, n as u8).expect("valid by construction");
-            let cfg = BatchConfig::new(max_len, features, fmt).expect("valid by construction");
-            let k = 0usize..=max_len;
-            (Just(cfg), k)
-        })
-        .prop_flat_map(|(cfg, k)| {
-            let lo = cfg.format().min_value();
-            let hi = cfg.format().max_value();
-            let values = prop::collection::vec(lo..hi, k * cfg.features());
-            let indices = Just((0..cfg.max_len()).collect::<Vec<_>>())
-                .prop_shuffle()
-                .prop_map(move |mut all| {
-                    all.truncate(k);
-                    all.sort_unstable();
-                    all
-                });
-            (Just(cfg), indices, values)
-        })
-        .prop_map(|(cfg, indices, values)| {
-            (
-                cfg,
-                Batch::new(indices, values).expect("strategy builds valid batches"),
-            )
-        })
+fn config_and_batch(rng: &mut DetRng) -> (BatchConfig, Batch) {
+    let max_len = rng.gen_range(2usize..200);
+    let features = rng.gen_range(1usize..8);
+    let width = rng.gen_range(4u32..=24) as u8;
+    let n = rng.gen_range(0i64..20) as i16;
+    let n = (n % i16::from(width)).max(1);
+    let fmt = Format::from_integer_bits(width, n as u8).expect("valid by construction");
+    let cfg = BatchConfig::new(max_len, features, fmt).expect("valid by construction");
+    let k = rng.gen_range(0usize..=max_len);
+    let lo = cfg.format().min_value();
+    let hi = cfg.format().max_value();
+    let values: Vec<f64> = (0..k * cfg.features())
+        .map(|_| rng.gen_range(lo..hi))
+        .collect();
+    let mut all: Vec<usize> = (0..cfg.max_len()).collect();
+    all.shuffle(rng);
+    all.truncate(k);
+    all.sort_unstable();
+    let batch = Batch::new(all, values).expect("generator builds valid batches");
+    (cfg, batch)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// THE security property: every batch encodes to exactly the target.
-    #[test]
-    fn age_messages_are_always_target_sized((cfg, batch) in config_and_batch(), extra in 0usize..300) {
+/// THE security property: every batch encodes to exactly the target.
+#[test]
+fn age_messages_are_always_target_sized() {
+    let mut rng = DetRng::seed_from_u64(0xA6E1);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let extra = rng.gen_range(0usize..300);
         let target = AgeEncoder::min_target_bytes(&cfg) + extra;
         let enc = AgeEncoder::new(target);
         let msg = enc.encode(&batch, &cfg).unwrap();
-        prop_assert_eq!(msg.len(), target);
+        assert_eq!(msg.len(), target);
     }
+}
 
-    /// Decoding an AGE message always succeeds and yields a subset of the
-    /// collected indices, in order.
-    #[test]
-    fn age_decodes_to_an_ordered_index_subset((cfg, batch) in config_and_batch(), extra in 0usize..300) {
+/// Decoding an AGE message always succeeds and yields a subset of the
+/// collected indices, in order.
+#[test]
+fn age_decodes_to_an_ordered_index_subset() {
+    let mut rng = DetRng::seed_from_u64(0xA6E2);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let extra = rng.gen_range(0usize..300);
         let target = AgeEncoder::min_target_bytes(&cfg) + extra;
         let enc = AgeEncoder::new(target);
-        let out = enc.decode(&enc.encode(&batch, &cfg).unwrap(), &cfg).unwrap();
-        prop_assert!(out.len() <= batch.len());
-        prop_assert!(out.indices().windows(2).all(|w| w[0] < w[1]));
+        let out = enc
+            .decode(&enc.encode(&batch, &cfg).unwrap(), &cfg)
+            .unwrap();
+        assert!(out.len() <= batch.len());
+        assert!(out.indices().windows(2).all(|w| w[0] < w[1]));
         let mut iter = batch.indices().iter();
         for idx in out.indices() {
-            prop_assert!(iter.any(|i| i == idx), "decoded index {} not collected", idx);
+            assert!(iter.any(|i| i == idx), "decoded index {idx} not collected");
         }
     }
+}
 
-    /// Per-value error of surviving measurements is bounded by the half-step
-    /// of the *narrowest* width AGE may assign (given its pruning floor) —
-    /// as long as the target gives every value at least MIN_WIDTH bits plus
-    /// framing, i.e. whenever pruning is a no-op.
-    #[test]
-    fn age_error_bounded_when_pruning_is_inactive((cfg, batch) in config_and_batch()) {
+/// Per-value error of surviving measurements is bounded by the half-step
+/// of the *narrowest* width AGE may assign (given its pruning floor) —
+/// as long as the target gives every value at least MIN_WIDTH bits plus
+/// framing, i.e. whenever pruning is a no-op.
+#[test]
+fn age_error_bounded_when_pruning_is_inactive() {
+    let mut rng = DetRng::seed_from_u64(0xA6E3);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
         // A target generous enough that pruning never fires and the base
         // width is at least MIN_WIDTH.
         let generous = AgeEncoder::min_target_bytes(&cfg)
             + 300  // room for the full group directory
             + batch.len() * cfg.features() * usize::from(cfg.format().width()).div_ceil(8);
         let enc = AgeEncoder::new(generous);
-        let out = enc.decode(&enc.encode(&batch, &cfg).unwrap(), &cfg).unwrap();
-        prop_assert_eq!(out.len(), batch.len(), "no pruning under a generous budget");
+        let out = enc
+            .decode(&enc.encode(&batch, &cfg).unwrap(), &cfg)
+            .unwrap();
+        assert_eq!(out.len(), batch.len(), "no pruning under a generous budget");
         // Worst case: min(MIN_WIDTH, w0) bits (assigned widths never exceed
         // the original width) with a merged exponent of at most the format's
         // n0, so the step is at most 2^(n0 - min(MIN_WIDTH, w0)).
@@ -91,17 +100,25 @@ proptest! {
         let worst_width = AgeEncoder::MIN_WIDTH.min(cfg.format().width());
         let worst_step = f64::powi(2.0, n0 - i32::from(worst_width));
         for (a, b) in batch.values().iter().zip(out.values()) {
-            prop_assert!((a - b).abs() <= worst_step / 2.0 + 1e-9,
-                "value {} decoded {} exceeds bound {}", a, b, worst_step / 2.0);
+            assert!(
+                (a - b).abs() <= worst_step / 2.0 + 1e-9,
+                "value {} decoded {} exceeds bound {}",
+                a,
+                b,
+                worst_step / 2.0
+            );
         }
     }
+}
 
-    /// Variants share the fixed-length property.
-    #[test]
-    fn variants_are_fixed_length((cfg, batch) in config_and_batch(), extra in 8usize..300) {
-        let base = AgeEncoder::min_target_bytes(&cfg).max(
-            (16 + cfg.max_len() + 6 * 6).div_ceil(8),
-        );
+/// Variants share the fixed-length property.
+#[test]
+fn variants_are_fixed_length() {
+    let mut rng = DetRng::seed_from_u64(0xA6E4);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let extra = rng.gen_range(8usize..300);
+        let base = AgeEncoder::min_target_bytes(&cfg).max((16 + cfg.max_len() + 6 * 6).div_ceil(8));
         let target = base + extra;
         for enc in [
             Box::new(SingleEncoder::new(target)) as Box<dyn Encoder>,
@@ -109,51 +126,68 @@ proptest! {
             Box::new(PrunedEncoder::new(target)),
         ] {
             let msg = enc.encode(&batch, &cfg).unwrap();
-            prop_assert_eq!(msg.len(), target, "{}", enc.name());
+            assert_eq!(msg.len(), target, "{}", enc.name());
             // And they all decode without error.
             enc.decode(&msg, &cfg).unwrap();
         }
     }
+}
 
-    /// The standard encoder's size is a strictly increasing function of k —
-    /// this is exactly the leak AGE closes.
-    #[test]
-    fn standard_size_leaks_k((cfg, batch) in config_and_batch()) {
+/// The standard encoder's size is a strictly increasing function of k —
+/// this is exactly the leak AGE closes.
+#[test]
+fn standard_size_leaks_k() {
+    let mut rng = DetRng::seed_from_u64(0xA6E5);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
         let enc = StandardEncoder;
         let msg = enc.encode(&batch, &cfg).unwrap();
-        prop_assert_eq!(msg.len(), cfg.standard_message_bytes(batch.len()));
+        assert_eq!(msg.len(), cfg.standard_message_bytes(batch.len()));
         let out = enc.decode(&msg, &cfg).unwrap();
-        prop_assert_eq!(out.indices(), batch.indices());
+        assert_eq!(out.indices(), batch.indices());
     }
+}
 
-    /// Standard decoding is lossless for format-representable values.
-    #[test]
-    fn standard_roundtrip_is_lossless((cfg, batch) in config_and_batch()) {
+/// Standard decoding is lossless for format-representable values.
+#[test]
+fn standard_roundtrip_is_lossless() {
+    let mut rng = DetRng::seed_from_u64(0xA6E6);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
         let fmt = cfg.format();
         let snapped: Vec<f64> = batch.values().iter().map(|&x| fmt.round_trip(x)).collect();
         let b = Batch::new(batch.indices().to_vec(), snapped.clone()).unwrap();
         let enc = StandardEncoder;
         let out = enc.decode(&enc.encode(&b, &cfg).unwrap(), &cfg).unwrap();
         for (a, b) in snapped.iter().zip(out.values()) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    /// Padded messages are constant-length and lossless.
-    #[test]
-    fn padded_is_fixed_and_lossless((cfg, batch) in config_and_batch()) {
+/// Padded messages are constant-length and lossless.
+#[test]
+fn padded_is_fixed_and_lossless() {
+    let mut rng = DetRng::seed_from_u64(0xA6E7);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
         let enc = PaddedEncoder::for_config(&cfg);
         let msg = enc.encode(&batch, &cfg).unwrap();
-        prop_assert_eq!(msg.len(), cfg.standard_message_bytes(cfg.max_len()));
+        assert_eq!(msg.len(), cfg.standard_message_bytes(cfg.max_len()));
         let out = enc.decode(&msg, &cfg).unwrap();
-        prop_assert_eq!(out.indices(), batch.indices());
+        assert_eq!(out.indices(), batch.indices());
     }
+}
 
-    /// The integer-only MCU encode path is bit-identical to the
-    /// floating-point encoder on format-exact inputs.
-    #[test]
-    fn mcu_integer_path_matches_float_path((cfg, batch) in config_and_batch(), extra in 0usize..300) {
-        use age_core::mcu::{encode_raw, RawBatch};
+/// The integer-only MCU encode path is bit-identical to the
+/// floating-point encoder on format-exact inputs.
+#[test]
+fn mcu_integer_path_matches_float_path() {
+    use age_core::mcu::{encode_raw, RawBatch};
+    let mut rng = DetRng::seed_from_u64(0xA6E8);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let extra = rng.gen_range(0usize..300);
         let fmt = cfg.format();
         // Snap values to the format (the ADC would deliver exactly these).
         let snapped: Vec<f64> = batch.values().iter().map(|&x| fmt.round_trip(x)).collect();
@@ -163,12 +197,17 @@ proptest! {
         let enc = AgeEncoder::new(target);
         let float_msg = enc.encode(&fb, &cfg).unwrap();
         let int_msg = encode_raw(&enc, &rb, &cfg).unwrap();
-        prop_assert_eq!(float_msg, int_msg);
+        assert_eq!(float_msg, int_msg);
     }
+}
 
-    /// Decoding never panics on arbitrary bytes (errors are fine).
-    #[test]
-    fn age_decode_is_panic_free_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+/// Decoding never panics on arbitrary bytes (errors are fine).
+#[test]
+fn age_decode_is_panic_free_on_garbage() {
+    let mut rng = DetRng::seed_from_u64(0xA6E9);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..400);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
         let cfg = BatchConfig::new(50, 6, Format::new(16, 13).unwrap()).unwrap();
         let _ = AgeEncoder::new(220).decode(&bytes, &cfg);
         let _ = StandardEncoder.decode(&bytes, &cfg);

@@ -1,0 +1,118 @@
+//! Round-trip property tests tying emitted telemetry records to the wire:
+//! the record an encoder emits must agree field-for-field with what
+//! `inspect_message` parses back out of the message bytes.
+
+#![cfg(feature = "telemetry")]
+
+use std::sync::Arc;
+
+use age_core::{inspect_message, AgeEncoder, Batch, BatchConfig, Encoder, PaddedEncoder};
+use age_fixed::Format;
+use age_telemetry::{install_thread, DetRng, RecordingSink, SliceShuffle};
+
+const CASES: usize = 64;
+
+/// A random batch configuration plus a consistent batch (mirrors the
+/// generator in `properties.rs`).
+fn config_and_batch(rng: &mut DetRng) -> (BatchConfig, Batch) {
+    let max_len = rng.gen_range(2usize..120);
+    let features = rng.gen_range(1usize..6);
+    let width = rng.gen_range(4u32..=24) as u8;
+    let n = rng.gen_range(0i64..20) as i16;
+    let n = (n % i16::from(width)).max(1);
+    let fmt = Format::from_integer_bits(width, n as u8).expect("valid by construction");
+    let cfg = BatchConfig::new(max_len, features, fmt).expect("valid by construction");
+    let k = rng.gen_range(0usize..=max_len);
+    let lo = cfg.format().min_value();
+    let hi = cfg.format().max_value();
+    let values: Vec<f64> = (0..k * cfg.features())
+        .map(|_| rng.gen_range(lo..hi))
+        .collect();
+    let mut all: Vec<usize> = (0..cfg.max_len()).collect();
+    all.shuffle(rng);
+    all.truncate(k);
+    all.sort_unstable();
+    let batch = Batch::new(all, values).expect("generator builds valid batches");
+    (cfg, batch)
+}
+
+/// AGE: the emitted record is exactly the layout `inspect_message` recovers
+/// from the bytes, and the message hits its target.
+#[test]
+fn age_records_match_inspected_layouts() {
+    let mut rng = DetRng::seed_from_u64(0x1A70);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let extra = rng.gen_range(0usize..200);
+        let target = AgeEncoder::min_target_bytes(&cfg) + extra;
+        let enc = AgeEncoder::new(target);
+
+        let sink = Arc::new(RecordingSink::new());
+        let message = {
+            let _guard = install_thread(sink.clone());
+            enc.encode(&batch, &cfg).unwrap()
+        };
+        let records = sink.records();
+        assert_eq!(records.len(), 1, "one encode must emit one record");
+        let rec = &records[0];
+
+        assert_eq!(rec.encoder, "AGE");
+        assert_eq!(rec.input_len, batch.len());
+        assert_eq!(rec.message_len, message.len());
+        assert_eq!(rec.message_len, target);
+        assert_eq!(rec.target_bytes, Some(target));
+
+        let layout = inspect_message(&message, &cfg).unwrap();
+        assert_eq!(rec.kept_len, layout.measurements);
+        assert_eq!(rec.header_bits, layout.header_bits);
+        assert_eq!(rec.directory_bits, layout.directory_bits);
+        assert_eq!(rec.data_bits, layout.data_bits);
+        assert_eq!(rec.padding_bits, layout.padding_bits);
+        assert_eq!(rec.groups_final, layout.groups.len());
+        assert_eq!(rec.groups.len(), layout.groups.len());
+        for (got, wire) in rec.groups.iter().zip(&layout.groups) {
+            assert_eq!(got.count, wire.count);
+            assert_eq!(got.exponent, i32::from(wire.exponent));
+            assert_eq!(got.width, wire.width);
+            assert_eq!(
+                got.count * cfg.features() * usize::from(got.width),
+                wire.data_bits
+            );
+        }
+        // No relation is asserted between `groups_initial` and
+        // `groups_final`: merging shrinks the partition but the §4.3
+        // utilization expansion can split it again.
+    }
+}
+
+/// Padded: the record's length equals the buffer and the configured pad,
+/// and the four sections tile the message exactly.
+#[test]
+fn padded_records_match_buffer_and_pad_target() {
+    let mut rng = DetRng::seed_from_u64(0x1A71);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let enc = PaddedEncoder::for_config(&cfg);
+
+        let sink = Arc::new(RecordingSink::new());
+        let message = {
+            let _guard = install_thread(sink.clone());
+            enc.encode(&batch, &cfg).unwrap()
+        };
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+
+        assert_eq!(rec.encoder, "Padded");
+        assert_eq!(rec.message_len, message.len());
+        assert_eq!(rec.message_len, enc.pad_to());
+        assert_eq!(rec.target_bytes, Some(enc.pad_to()));
+        assert_eq!(rec.input_len, batch.len());
+        assert_eq!(rec.kept_len, batch.len(), "padding never drops data");
+        assert_eq!(
+            rec.header_bits + rec.directory_bits + rec.data_bits + rec.padding_bits,
+            rec.message_len * 8,
+            "layout sections must tile the padded message"
+        );
+    }
+}

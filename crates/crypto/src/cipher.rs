@@ -8,7 +8,7 @@ use std::fmt;
 pub enum CipherKind {
     /// Ciphertext length equals plaintext length plus a fixed overhead.
     Stream,
-    /// Ciphertext is padded up to a multiple of [`CipherKind::block`]'s size.
+    /// Ciphertext is padded up to a multiple of [`CipherKind::Block`]'s size.
     Block,
 }
 

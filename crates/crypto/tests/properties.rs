@@ -1,4 +1,5 @@
-//! Property-based tests for the cipher suite.
+//! Randomized property tests for the cipher suite, driven by the
+//! workspace's deterministic PRNG (no external test deps).
 //!
 //! The side-channel defense rests on two cipher properties: exact,
 //! content-independent framing (lengths are a function of plaintext length
@@ -6,7 +7,9 @@
 //! implementation.
 
 use age_crypto::{Aes128, AesCbc, AesCtr, ChaCha20, ChaCha20Poly1305, Cipher};
-use proptest::prelude::*;
+use age_telemetry::DetRng;
+
+const CASES: usize = 64;
 
 fn ciphers(key_byte: u8) -> Vec<Box<dyn Cipher>> {
     vec![
@@ -17,98 +20,132 @@ fn ciphers(key_byte: u8) -> Vec<Box<dyn Cipher>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bytes(rng: &mut DetRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
 
-    /// seal ∘ open = id for every cipher, plaintext, and sequence number.
-    #[test]
-    fn seal_open_roundtrip(
-        key in any::<u8>(),
-        seq in any::<u64>(),
-        plaintext in prop::collection::vec(any::<u8>(), 0..600),
-    ) {
+/// seal ∘ open = id for every cipher, plaintext, and sequence number.
+#[test]
+fn seal_open_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let key = rng.gen_range(0u32..256) as u8;
+        let seq = rng.next_u64();
+        let len = rng.gen_range(0usize..600);
+        let plaintext = random_bytes(&mut rng, len);
         for cipher in ciphers(key) {
             let sealed = cipher.seal(seq, &plaintext);
-            prop_assert_eq!(cipher.open(&sealed).unwrap(), plaintext.clone());
+            assert_eq!(cipher.open(&sealed).unwrap(), plaintext);
         }
     }
+}
 
-    /// The on-air length equals the documented framing exactly and depends
-    /// only on the plaintext length — never its content.
-    #[test]
-    fn message_length_is_content_independent(
-        key in any::<u8>(),
-        len in 0usize..600,
-        fill_a in any::<u8>(),
-        fill_b in any::<u8>(),
-    ) {
+/// The on-air length equals the documented framing exactly and depends
+/// only on the plaintext length — never its content.
+#[test]
+fn message_length_is_content_independent() {
+    let mut rng = DetRng::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let key = rng.gen_range(0u32..256) as u8;
+        let len = rng.gen_range(0usize..600);
+        let fill_a = rng.gen_range(0u32..256) as u8;
+        let fill_b = rng.gen_range(0u32..256) as u8;
         for cipher in ciphers(key) {
             let a = cipher.seal(1, &vec![fill_a; len]);
             let b = cipher.seal(2, &vec![fill_b; len]);
-            prop_assert_eq!(a.len(), b.len());
-            prop_assert_eq!(a.len(), cipher.message_len(len));
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), cipher.message_len(len));
         }
     }
+}
 
-    /// Distinct sequence numbers give distinct ciphertexts (nonce reuse
-    /// would break confidentiality silently).
-    #[test]
-    fn sequence_numbers_vary_ciphertexts(
-        key in any::<u8>(),
-        seq_a in any::<u64>(),
-        seq_b in any::<u64>(),
-        plaintext in prop::collection::vec(any::<u8>(), 1..200),
-    ) {
-        prop_assume!(seq_a != seq_b);
+/// Distinct sequence numbers give distinct ciphertexts (nonce reuse would
+/// break confidentiality silently).
+#[test]
+fn sequence_numbers_vary_ciphertexts() {
+    let mut rng = DetRng::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let key = rng.gen_range(0u32..256) as u8;
+        let seq_a = rng.next_u64();
+        let seq_b = rng.next_u64();
+        if seq_a == seq_b {
+            continue;
+        }
+        let len = rng.gen_range(1usize..200);
+        let plaintext = random_bytes(&mut rng, len);
         for cipher in ciphers(key) {
             let a = cipher.seal(seq_a, &plaintext);
             let b = cipher.seal(seq_b, &plaintext);
-            prop_assert_ne!(a, b);
+            assert_ne!(a, b);
         }
     }
+}
 
-    /// AES block encrypt/decrypt are inverses on arbitrary blocks.
-    #[test]
-    fn aes_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+/// AES block encrypt/decrypt are inverses on arbitrary blocks.
+#[test]
+fn aes_block_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let mut key = [0u8; 16];
+        let mut block = [0u8; 16];
+        for b in key.iter_mut().chain(block.iter_mut()) {
+            *b = rng.gen_range(0u32..256) as u8;
+        }
         let aes = Aes128::new(key);
-        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+        assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
     }
+}
 
-    /// The AEAD rejects any single-bit corruption.
-    #[test]
-    fn aead_detects_all_single_bit_flips(
-        plaintext in prop::collection::vec(any::<u8>(), 0..128),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
+/// The AEAD rejects any single-bit corruption.
+#[test]
+fn aead_detects_all_single_bit_flips() {
+    let mut rng = DetRng::seed_from_u64(0xC5);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..128);
+        let plaintext = random_bytes(&mut rng, len);
         let aead = ChaCha20Poly1305::new([0x77; 32]);
         let sealed = aead.seal(3, &plaintext);
         let mut forged = sealed.clone();
-        let pos = flip_byte.index(forged.len());
-        forged[pos] ^= 1 << flip_bit;
-        prop_assert!(aead.open(&forged).is_err());
+        let pos = rng.gen_range(0usize..forged.len());
+        let bit = rng.gen_range(0u32..8);
+        forged[pos] ^= 1 << bit;
+        assert!(aead.open(&forged).is_err(), "flip at {pos}:{bit} accepted");
     }
+}
 
-    /// Opening never panics on arbitrary byte soup.
-    #[test]
-    fn open_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+/// Opening never panics on arbitrary byte soup.
+#[test]
+fn open_is_panic_free() {
+    let mut rng = DetRng::seed_from_u64(0xC6);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..300);
+        let bytes = random_bytes(&mut rng, len);
         for cipher in ciphers(0x11) {
             let _ = cipher.open(&bytes);
         }
     }
+}
 
-    /// ChaCha20 keystream application is an involution.
-    #[test]
-    fn chacha_keystream_is_involution(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        counter in any::<u32>(),
-        mut data in prop::collection::vec(any::<u8>(), 0..300),
-    ) {
+/// ChaCha20 keystream application is an involution.
+#[test]
+fn chacha_keystream_is_involution() {
+    let mut rng = DetRng::seed_from_u64(0xC7);
+    for _ in 0..CASES {
+        let mut key = [0u8; 32];
+        for b in &mut key {
+            *b = rng.gen_range(0u32..256) as u8;
+        }
+        let mut nonce = [0u8; 12];
+        for b in &mut nonce {
+            *b = rng.gen_range(0u32..256) as u8;
+        }
+        let counter = rng.gen_range(0u32..u32::MAX);
+        let len = rng.gen_range(0usize..300);
+        let mut data = random_bytes(&mut rng, len);
         let original = data.clone();
         let cipher = ChaCha20::new(key);
         cipher.apply_keystream(&nonce, counter, &mut data);
         cipher.apply_keystream(&nonce, counter, &mut data);
-        prop_assert_eq!(data, original);
+        assert_eq!(data, original);
     }
 }

@@ -1,7 +1,6 @@
 //! Dataset assembly: label profiles per dataset, quantization, splits.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use age_telemetry::DetRng;
 
 use crate::signal::LabelProfile;
 use crate::spec::{DatasetKind, DatasetSpec, Scale};
@@ -24,7 +23,7 @@ impl Dataset {
     pub fn generate(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
         let spec = kind.spec();
         let count = scale.sequences(&spec);
-        let mut rng = StdRng::seed_from_u64(seed ^ kind_salt(kind));
+        let mut rng = DetRng::seed_from_u64(seed ^ kind_salt(kind));
         let profiles = label_profiles(kind);
         debug_assert_eq!(profiles.len(), spec.num_labels);
 

@@ -1,7 +1,6 @@
 //! The signal engine: parameterized stochastic processes per event label.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use age_telemetry::DetRng;
 
 /// Parameters of one label's signal process.
 ///
@@ -56,7 +55,7 @@ impl LabelProfile {
     /// Generates a `len × features` row-major sequence of raw (unquantized)
     /// values. Features are phase-shifted, slightly rescaled copies driven
     /// by independent noise, mimicking multi-axis sensors.
-    pub fn generate(&self, len: usize, features: usize, rng: &mut StdRng) -> Vec<f64> {
+    pub fn generate(&self, len: usize, features: usize, rng: &mut DetRng) -> Vec<f64> {
         let mut values = Vec::with_capacity(len * features);
         let mut ar_state = vec![0.0f64; features];
         let phase: Vec<f64> = (0..features).map(|f| f as f64 * 2.399_963).collect();
@@ -114,7 +113,7 @@ impl LabelProfile {
 
     /// Mean absolute step `E|x_{t+1} − x_t|` of the profile, estimated on a
     /// fresh sequence — a proxy for the volatility adaptive policies see.
-    pub fn volatility(&self, len: usize, rng: &mut StdRng) -> f64 {
+    pub fn volatility(&self, len: usize, rng: &mut DetRng) -> f64 {
         let vals = self.generate(len, 1, rng);
         if vals.len() < 2 {
             return 0.0;
@@ -126,11 +125,10 @@ impl LabelProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn generate_has_requested_shape() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let p = LabelProfile::default();
         assert_eq!(p.generate(50, 6, &mut rng).len(), 300);
         assert_eq!(p.generate(0, 3, &mut rng).len(), 0);
@@ -138,7 +136,7 @@ mod tests {
 
     #[test]
     fn amplitude_scales_the_signal() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let quiet = LabelProfile {
             amp: 0.1,
             noise: 0.01,
@@ -164,7 +162,7 @@ mod tests {
 
     #[test]
     fn volatility_orders_profiles() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let calm = LabelProfile {
             amp: 0.2,
             freq: 0.01,
@@ -184,7 +182,7 @@ mod tests {
 
     #[test]
     fn bursts_raise_variance() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let base = LabelProfile {
             amp: 0.5,
             noise: 0.05,
@@ -206,7 +204,7 @@ mod tests {
 
     #[test]
     fn pauses_create_flat_segments() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let p = LabelProfile {
             pause_frac: 0.9,
             noise: 0.3,
@@ -219,7 +217,7 @@ mod tests {
 
     #[test]
     fn sequences_differ_across_draws() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = DetRng::seed_from_u64(6);
         let p = LabelProfile::default();
         let a = p.generate(100, 1, &mut rng);
         let b = p.generate(100, 1, &mut rng);

@@ -5,23 +5,23 @@ use age_fixed::Format;
 /// The nine evaluation datasets from Table 3 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
-    /// Human activity recognition from smartphone accelerometers [8].
+    /// Human activity recognition from smartphone accelerometers \[8\].
     Activity,
-    /// Handwriting motion primitives [116].
+    /// Handwriting motion primitives \[116\].
     Characters,
-    /// Electrooculography eye-writing signals [37].
+    /// Electrooculography eye-writing signals \[37\].
     Eog,
-    /// Epileptic seizure recognition from wrist accelerometers [112].
+    /// Epileptic seizure recognition from wrist accelerometers \[112\].
     Epilepsy,
-    /// Handwritten digits scanned as pixel sequences [64].
+    /// Handwritten digits scanned as pixel sequences \[64\].
     Mnist,
-    /// Graphical password traces [1].
+    /// Graphical password traces \[1\].
     Password,
-    /// Asphalt pavement classification from accelerometers [100].
+    /// Asphalt pavement classification from accelerometers \[100\].
     Pavement,
-    /// Fourier-transform infrared spectra of fruit purees [53].
+    /// Fourier-transform infrared spectra of fruit purees \[53\].
     Strawberry,
-    /// Satellite image time series for land-cover classification [55].
+    /// Satellite image time series for land-cover classification \[55\].
     Tiselac,
 }
 

@@ -1,79 +1,93 @@
-//! Property-based tests for the synthetic dataset generators.
+//! Randomized property tests for the synthetic dataset generators, driven
+//! by the workspace's deterministic PRNG (no external test deps).
 
 use age_datasets::{Dataset, DatasetKind, LabelProfile, Scale};
-use proptest::prelude::*;
+use age_telemetry::DetRng;
 
-fn any_kind() -> impl Strategy<Value = DatasetKind> {
-    prop::sample::select(DatasetKind::all().to_vec())
+const CASES: usize = 32;
+
+fn random_kind(rng: &mut DetRng) -> DatasetKind {
+    let all = DatasetKind::all();
+    all[rng.gen_range(0usize..all.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Generation is a pure function of (kind, scale, seed).
-    #[test]
-    fn generation_is_deterministic(kind in any_kind(), seed in any::<u64>()) {
+/// Generation is a pure function of (kind, scale, seed).
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = DetRng::seed_from_u64(0xD1);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let seed = rng.next_u64();
         let a = Dataset::generate(kind, Scale::Small, seed);
         let b = Dataset::generate(kind, Scale::Small, seed);
-        prop_assert_eq!(a.sequences(), b.sequences());
+        assert_eq!(a.sequences(), b.sequences());
     }
+}
 
-    /// Every value is exactly representable in the dataset's fixed-point
-    /// format — the generator models an ADC, not a float sensor.
-    #[test]
-    fn values_are_format_exact(kind in any_kind(), seed in any::<u64>()) {
-        let data = Dataset::generate(kind, Scale::Small, seed);
+/// Every value is exactly representable in the dataset's fixed-point
+/// format — the generator models an ADC, not a float sensor.
+#[test]
+fn values_are_format_exact() {
+    let mut rng = DetRng::seed_from_u64(0xD2);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let data = Dataset::generate(kind, Scale::Small, rng.next_u64());
         let fmt = data.spec().format;
         for seq in data.sequences() {
             for &v in &seq.values {
-                prop_assert_eq!(v, fmt.round_trip(v));
+                assert_eq!(v, fmt.round_trip(v));
             }
         }
     }
+}
 
-    /// Shapes always match the Table 3 spec.
-    #[test]
-    fn shapes_match_spec(kind in any_kind(), seed in any::<u64>()) {
-        let data = Dataset::generate(kind, Scale::Small, seed);
+/// Shapes always match the Table 3 spec.
+#[test]
+fn shapes_match_spec() {
+    let mut rng = DetRng::seed_from_u64(0xD3);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let data = Dataset::generate(kind, Scale::Small, rng.next_u64());
         let spec = data.spec();
         for seq in data.sequences() {
-            prop_assert_eq!(seq.values.len(), spec.seq_len * spec.features);
-            prop_assert!(seq.label < spec.num_labels);
+            assert_eq!(seq.values.len(), spec.seq_len * spec.features);
+            assert!(seq.label < spec.num_labels);
         }
     }
+}
 
-    /// Label profiles produce finite values for arbitrary parameters in
-    /// sane ranges.
-    #[test]
-    fn profiles_generate_finite_signals(
-        amp in 0.0f64..1e4,
-        freq in 0.0f64..0.5,
-        noise in 0.0f64..1e3,
-        ar in 0.0f64..0.99,
-        burst_prob in 0.0f64..0.3,
-        seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
+/// Label profiles produce finite values for arbitrary parameters in
+/// sane ranges.
+#[test]
+fn profiles_generate_finite_signals() {
+    let mut rng = DetRng::seed_from_u64(0xD4);
+    for _ in 0..CASES {
+        let amp = rng.gen_range(0.0f64..1e4);
         let profile = LabelProfile {
             amp,
-            freq,
-            noise,
-            ar,
-            burst_prob,
+            freq: rng.gen_range(0.0f64..0.5),
+            noise: rng.gen_range(0.0f64..1e3),
+            ar: rng.gen_range(0.0f64..0.99),
+            burst_prob: rng.gen_range(0.0f64..0.3),
             burst_amp: amp * 0.5,
             ..Default::default()
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let values = profile.generate(200, 3, &mut rng);
-        prop_assert_eq!(values.len(), 600);
-        prop_assert!(values.iter().all(|v| v.is_finite()));
+        let mut sig_rng = DetRng::seed_from_u64(rng.next_u64());
+        let values = profile.generate(200, 3, &mut sig_rng);
+        assert_eq!(values.len(), 600);
+        assert!(values.iter().all(|v| v.is_finite()));
     }
+}
 
-    /// Different seeds give different datasets (no accidental collapse).
-    #[test]
-    fn seeds_vary_content(kind in any_kind(), seed in any::<u64>()) {
+/// Different seeds give different datasets (no accidental collapse).
+#[test]
+fn seeds_vary_content() {
+    let mut rng = DetRng::seed_from_u64(0xD5);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let seed = rng.next_u64();
         let a = Dataset::generate(kind, Scale::Small, seed);
         let b = Dataset::generate(kind, Scale::Small, seed.wrapping_add(1));
-        prop_assert_ne!(a.sequences(), b.sequences());
+        assert_ne!(a.sequences(), b.sequences());
     }
 }

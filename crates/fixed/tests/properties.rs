@@ -1,96 +1,141 @@
-//! Property-based tests for fixed-point formats and bit packing.
+//! Randomized property tests for fixed-point formats and bit packing,
+//! driven by the workspace's deterministic PRNG (no external test deps).
 
 use age_fixed::{required_integer_bits, BitReader, BitWriter, Format};
-use proptest::prelude::*;
+use age_telemetry::DetRng;
 
-/// Strategy producing a valid format: width 1..=32, integer bits 1..=40.
-fn format_strategy() -> impl Strategy<Value = Format> {
-    (1u8..=32, 1i16..=40).prop_map(|(width, n)| {
-        let frac = i16::from(width) - n;
-        Format::new(width, frac).expect("strategy produces valid formats")
-    })
+const CASES: usize = 512;
+
+/// A valid random format: width 1..=32, integer bits 1..=40.
+fn random_format(rng: &mut DetRng) -> Format {
+    let width = rng.gen_range(1u32..=32) as u8;
+    let n = rng.gen_range(1i64..=40) as i16;
+    let frac = i16::from(width) - n;
+    Format::new(width, frac).expect("generator produces valid formats")
 }
 
-proptest! {
-    #[test]
-    fn quantize_never_leaves_raw_range(fmt in format_strategy(), x in -1e12f64..1e12) {
+#[test]
+fn quantize_never_leaves_raw_range() {
+    let mut rng = DetRng::seed_from_u64(0xF1);
+    for _ in 0..CASES {
+        let fmt = random_format(&mut rng);
+        let x = rng.gen_range(-1e12f64..1e12);
         let raw = fmt.quantize(x);
-        prop_assert!(raw >= fmt.min_raw());
-        prop_assert!(raw <= fmt.max_raw());
+        assert!(raw >= fmt.min_raw(), "{fmt:?} x={x} raw={raw}");
+        assert!(raw <= fmt.max_raw(), "{fmt:?} x={x} raw={raw}");
     }
+}
 
-    #[test]
-    fn quantize_is_idempotent(fmt in format_strategy(), x in -1e9f64..1e9) {
+#[test]
+fn quantize_is_idempotent() {
+    let mut rng = DetRng::seed_from_u64(0xF2);
+    for _ in 0..CASES {
+        let fmt = random_format(&mut rng);
+        let x = rng.gen_range(-1e9f64..1e9);
         let once = fmt.round_trip(x);
         let twice = fmt.round_trip(once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "{fmt:?} x={x}");
     }
+}
 
-    #[test]
-    fn in_range_error_bounded_by_half_step(fmt in format_strategy(), t in 0.0f64..1.0) {
+#[test]
+fn in_range_error_bounded_by_half_step() {
+    let mut rng = DetRng::seed_from_u64(0xF3);
+    for _ in 0..CASES {
+        let fmt = random_format(&mut rng);
+        let t = rng.gen_range(0.0f64..1.0);
         // Pick x inside the representable range.
         let x = fmt.min_value() + t * (fmt.max_value() - fmt.min_value());
         let err = (fmt.round_trip(x) - x).abs();
-        prop_assert!(err <= fmt.half_step() * (1.0 + 1e-9),
-            "x={} err={} half_step={}", x, err, fmt.half_step());
+        assert!(
+            err <= fmt.half_step() * (1.0 + 1e-9),
+            "x={} err={} half_step={}",
+            x,
+            err,
+            fmt.half_step()
+        );
     }
+}
 
-    #[test]
-    fn bits_roundtrip(fmt in format_strategy(), seed in any::<u64>()) {
-        // Derive an in-range raw value from the seed.
+#[test]
+fn bits_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xF4);
+    for _ in 0..CASES {
+        let fmt = random_format(&mut rng);
+        // Derive an in-range raw value from a random draw.
         let span = (fmt.max_raw() - fmt.min_raw()) as u64 + 1;
-        let raw = fmt.min_raw() + (seed % span) as i64;
-        prop_assert_eq!(fmt.from_bits(fmt.to_bits(raw)), raw);
+        let raw = fmt.min_raw() + (rng.next_u64() % span) as i64;
+        assert_eq!(fmt.from_bits(fmt.to_bits(raw)), raw, "{fmt:?} raw={raw}");
     }
+}
 
-    #[test]
-    fn required_bits_is_sufficient(x in -1e6f64..1e6) {
+#[test]
+fn required_bits_is_sufficient() {
+    let mut rng = DetRng::seed_from_u64(0xF5);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-1e6f64..1e6);
         let n = required_integer_bits(x, 40);
         // A format with n integer bits and plenty of width represents x
         // without saturating.
         let width = (n + 20).min(32);
         if let Ok(fmt) = Format::new(width, i16::from(width) - i16::from(n)) {
             let err = (fmt.round_trip(x) - x).abs();
-            prop_assert!(err <= fmt.half_step() + 1e-9,
-                "x={} n={} err={}", x, n, err);
+            assert!(err <= fmt.half_step() + 1e-9, "x={x} n={n} err={err}");
         }
     }
+}
 
-    #[test]
-    fn required_bits_is_minimal(x in -1e6f64..1e6) {
+#[test]
+fn required_bits_is_minimal() {
+    let mut rng = DetRng::seed_from_u64(0xF6);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-1e6f64..1e6);
         let n = required_integer_bits(x, 40);
         if n > 1 {
             // One fewer integer bit must fail to cover x.
             let hi = f64::powi(2.0, i32::from(n) - 2);
-            prop_assert!(x >= hi || x < -hi, "x={} n={}", x, n);
+            assert!(x >= hi || x < -hi, "x={x} n={n}");
         }
     }
+}
 
-    #[test]
-    fn writer_reader_roundtrip(fields in prop::collection::vec((any::<u64>(), 1u8..=64), 0..50)) {
+#[test]
+fn writer_reader_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(0xF7);
+    for _ in 0..CASES {
+        let n_fields = rng.gen_range(0usize..50);
+        let fields: Vec<(u64, u8)> = (0..n_fields)
+            .map(|_| (rng.next_u64(), rng.gen_range(1u32..=64) as u8))
+            .collect();
         let mut w = BitWriter::new();
         for &(v, c) in &fields {
             w.write_bits(v, c);
         }
         let expected_bits: usize = fields.iter().map(|&(_, c)| usize::from(c)).sum();
-        prop_assert_eq!(w.bit_len(), expected_bits);
+        assert_eq!(w.bit_len(), expected_bits);
         let bytes = w.into_bytes();
-        prop_assert_eq!(bytes.len(), expected_bits.div_ceil(8));
+        assert_eq!(bytes.len(), expected_bits.div_ceil(8));
         let mut r = BitReader::new(&bytes);
         for &(v, c) in &fields {
             let mask = if c == 64 { u64::MAX } else { (1u64 << c) - 1 };
-            prop_assert_eq!(r.read_bits(c).unwrap(), v & mask);
+            assert_eq!(r.read_bits(c).unwrap(), v & mask);
         }
     }
+}
 
-    #[test]
-    fn pad_to_bytes_is_byte_exact(fields in prop::collection::vec((any::<u64>(), 1u8..=16), 0..20), extra in 0usize..16) {
+#[test]
+fn pad_to_bytes_is_byte_exact() {
+    let mut rng = DetRng::seed_from_u64(0xF8);
+    for _ in 0..CASES {
+        let n_fields = rng.gen_range(0usize..20);
         let mut w = BitWriter::new();
-        for &(v, c) in &fields {
-            w.write_bits(v, c);
+        for _ in 0..n_fields {
+            let c = rng.gen_range(1u32..=16) as u8;
+            w.write_bits(rng.next_u64(), c);
         }
+        let extra = rng.gen_range(0usize..16);
         let target = w.bit_len().div_ceil(8) + extra;
         w.pad_to_bytes(target);
-        prop_assert_eq!(w.into_bytes().len(), target);
+        assert_eq!(w.into_bytes().len(), target);
     }
 }

@@ -1,5 +1,5 @@
 //! A minimal neural-network substrate implementing the Skip RNN adaptive
-//! sampling policy (Campos et al. [22], paper §5.5).
+//! sampling policy (Campos et al. \[22\], paper §5.5).
 //!
 //! The Skip RNN is a recurrent network with a binary *state-update gate*:
 //! at each step the gate decides whether to collect the measurement and

@@ -1,7 +1,6 @@
 //! Minimal dense matrix support for the Skip RNN.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use age_telemetry::DetRng;
 
 /// A row-major dense matrix of `f64`.
 ///
@@ -32,7 +31,7 @@ impl Mat {
 
     /// A matrix with entries drawn uniformly from `[-scale, scale]` —
     /// the usual fan-in scaled initialization.
-    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut StdRng) -> Self {
+    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut DetRng) -> Self {
         let data = (0..rows * cols)
             .map(|_| rng.gen_range(-scale..=scale))
             .collect();
@@ -200,7 +199,6 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn matvec_and_transpose_agree() {
@@ -229,10 +227,10 @@ mod tests {
 
     #[test]
     fn random_is_bounded_and_seeded() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let m = Mat::random(10, 10, 0.3, &mut rng);
         assert!((0..10).all(|r| (0..10).all(|c| m.get(r, c).abs() <= 0.3)));
-        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut rng2 = DetRng::seed_from_u64(1);
         assert_eq!(m, Mat::random(10, 10, 0.3, &mut rng2));
     }
 

@@ -1,7 +1,6 @@
 //! The Skip RNN cell (Campos et al. [22]).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use age_telemetry::DetRng;
 
 use crate::linalg::{dot, Mat};
 
@@ -68,7 +67,7 @@ impl SkipRnn {
     /// Panics if `features` or `hidden` is zero.
     pub fn new(features: usize, hidden: usize, seed: u64) -> Self {
         assert!(features > 0 && hidden > 0, "dimensions must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let s_in = (1.0 / features as f64).sqrt();
         let s_rec = (1.0 / hidden as f64).sqrt();
         SkipRnn {

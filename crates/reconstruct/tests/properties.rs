@@ -1,45 +1,53 @@
-//! Property-based tests for server-side reconstruction.
+//! Randomized property tests for server-side reconstruction, driven by the
+//! workspace's deterministic PRNG (no external test deps).
 
 use age_reconstruct::{interpolate, mae, median, quartiles, std_deviation, ErrorAccumulator};
-use proptest::prelude::*;
+use age_telemetry::{DetRng, SliceShuffle};
 
-/// Strategy: a full-length truth sequence plus a sorted subset of indices.
-fn truth_and_subset() -> impl Strategy<Value = (Vec<f64>, Vec<usize>, usize)> {
-    (2usize..80, 1usize..4)
-        .prop_flat_map(|(len, features)| {
-            let truth = prop::collection::vec(-50.0f64..50.0, len * features);
-            let subset = prop::collection::btree_set(0..len, 1..=len);
-            (truth, subset, Just(features))
-        })
-        .prop_map(|(truth, subset, features)| {
-            (truth, subset.into_iter().collect::<Vec<_>>(), features)
-        })
+const CASES: usize = 128;
+
+/// A full-length truth sequence plus a sorted non-empty subset of indices.
+fn truth_and_subset(rng: &mut DetRng) -> (Vec<f64>, Vec<usize>, usize) {
+    let len = rng.gen_range(2usize..80);
+    let features = rng.gen_range(1usize..4);
+    let truth: Vec<f64> = (0..len * features)
+        .map(|_| rng.gen_range(-50.0f64..50.0))
+        .collect();
+    let mut all: Vec<usize> = (0..len).collect();
+    all.shuffle(rng);
+    all.truncate(rng.gen_range(1usize..=len));
+    all.sort_unstable();
+    (truth, all, features)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Interpolation always passes exactly through the collected points.
-    #[test]
-    fn interpolation_is_exact_at_samples((truth, indices, features) in truth_and_subset()) {
+/// Interpolation always passes exactly through the collected points.
+#[test]
+fn interpolation_is_exact_at_samples() {
+    let mut rng = DetRng::seed_from_u64(0x4E1);
+    for _ in 0..CASES {
+        let (truth, indices, features) = truth_and_subset(&mut rng);
         let len = truth.len() / features;
         let values: Vec<f64> = indices
             .iter()
             .flat_map(|&t| truth[t * features..(t + 1) * features].iter().copied())
             .collect();
         let recon = interpolate(&indices, &values, len, features);
-        prop_assert_eq!(recon.len(), truth.len());
+        assert_eq!(recon.len(), truth.len());
         for &t in &indices {
             for f in 0..features {
-                prop_assert_eq!(recon[t * features + f], truth[t * features + f]);
+                assert_eq!(recon[t * features + f], truth[t * features + f]);
             }
         }
     }
+}
 
-    /// Reconstructed values never leave the envelope of the collected
-    /// values (linear interpolation cannot overshoot).
-    #[test]
-    fn interpolation_stays_in_envelope((truth, indices, features) in truth_and_subset()) {
+/// Reconstructed values never leave the envelope of the collected
+/// values (linear interpolation cannot overshoot).
+#[test]
+fn interpolation_stays_in_envelope() {
+    let mut rng = DetRng::seed_from_u64(0x4E2);
+    for _ in 0..CASES {
+        let (truth, indices, features) = truth_and_subset(&mut rng);
         let len = truth.len() / features;
         let values: Vec<f64> = indices
             .iter()
@@ -47,60 +55,98 @@ proptest! {
             .collect();
         let recon = interpolate(&indices, &values, len, features);
         for f in 0..features {
-            let lo = values.iter().skip(f).step_by(features).cloned().fold(f64::INFINITY, f64::min);
-            let hi = values.iter().skip(f).step_by(features).cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = values
+                .iter()
+                .skip(f)
+                .step_by(features)
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let hi = values
+                .iter()
+                .skip(f)
+                .step_by(features)
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             for t in 0..len {
                 let v = recon[t * features + f];
-                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "feature {f} step {t}: {v} outside [{lo}, {hi}]");
+                assert!(
+                    v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "feature {f} step {t}: {v} outside [{lo}, {hi}]"
+                );
             }
         }
     }
+}
 
-    /// Collecting everything reconstructs the truth exactly: zero MAE.
-    #[test]
-    fn full_collection_gives_zero_error(truth in prop::collection::vec(-50.0f64..50.0, 2..120)) {
+/// Collecting everything reconstructs the truth exactly: zero MAE.
+#[test]
+fn full_collection_gives_zero_error() {
+    let mut rng = DetRng::seed_from_u64(0x4E3);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2usize..120);
+        let truth: Vec<f64> = (0..len).map(|_| rng.gen_range(-50.0f64..50.0)).collect();
         let indices: Vec<usize> = (0..truth.len()).collect();
         let recon = interpolate(&indices, &truth, truth.len(), 1);
-        prop_assert_eq!(mae(&recon, &truth), 0.0);
+        assert_eq!(mae(&recon, &truth), 0.0);
     }
+}
 
-    /// Adding samples never hurts on convex subsets: a superset of samples
-    /// reconstructs the sampled points at least as faithfully.
-    #[test]
-    fn mae_is_nonnegative_and_scale_covariant(truth in prop::collection::vec(-50.0f64..50.0, 2..100), scale in 0.1f64..10.0) {
+/// MAE is translation-consistent and scales with the data.
+#[test]
+fn mae_is_nonnegative_and_scale_covariant() {
+    let mut rng = DetRng::seed_from_u64(0x4E4);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2usize..100);
+        let truth: Vec<f64> = (0..len).map(|_| rng.gen_range(-50.0f64..50.0)).collect();
+        let scale = rng.gen_range(0.1f64..10.0);
         let recon: Vec<f64> = truth.iter().map(|v| v + 1.0).collect();
         let base = mae(&recon, &truth);
-        prop_assert!((base - 1.0).abs() < 1e-9);
+        assert!((base - 1.0).abs() < 1e-9);
         let scaled_truth: Vec<f64> = truth.iter().map(|v| v * scale).collect();
         let scaled_recon: Vec<f64> = recon.iter().map(|v| v * scale).collect();
-        prop_assert!((mae(&scaled_recon, &scaled_truth) - scale).abs() < 1e-9);
+        assert!((mae(&scaled_recon, &scaled_truth) - scale).abs() < 1e-9);
     }
+}
 
-    /// Summary statistics are order-invariant and bounded by extremes.
-    #[test]
-    fn summary_statistics_are_sane(mut values in prop::collection::vec(-100.0f64..100.0, 1..60)) {
+/// Summary statistics are order-invariant and bounded by extremes.
+#[test]
+fn summary_statistics_are_sane() {
+    let mut rng = DetRng::seed_from_u64(0x4E5);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..60);
+        let mut values: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0f64..100.0)).collect();
         let med = median(&values).expect("non-empty");
         let (q1, q3) = quartiles(&values).expect("non-empty");
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(lo <= q1 && q1 <= med && med <= q3 && q3 <= hi);
+        assert!(lo <= q1 && q1 <= med && med <= q3 && q3 <= hi);
         values.reverse();
-        prop_assert_eq!(median(&values), Some(med));
-        prop_assert!(std_deviation(&values) >= 0.0);
+        assert_eq!(median(&values), Some(med));
+        assert!(std_deviation(&values) >= 0.0);
     }
+}
 
-    /// The accumulator's weighted mean lies between the min and max MAE.
-    #[test]
-    fn weighted_mean_is_a_mean(pairs in prop::collection::vec((0.0f64..10.0, 0.01f64..5.0), 1..40)) {
+/// The accumulator's weighted mean lies between the min and max MAE.
+#[test]
+fn weighted_mean_is_a_mean() {
+    let mut rng = DetRng::seed_from_u64(0x4E6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..40);
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0f64..10.0), rng.gen_range(0.01f64..5.0)))
+            .collect();
         let mut acc = ErrorAccumulator::new();
         for &(e, w) in &pairs {
             acc.record(e, w);
         }
         let lo = pairs.iter().map(|&(e, _)| e).fold(f64::INFINITY, f64::min);
-        let hi = pairs.iter().map(|&(e, _)| e).fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(acc.weighted_mean() >= lo - 1e-9);
-        prop_assert!(acc.weighted_mean() <= hi + 1e-9);
-        prop_assert!(acc.mean() >= lo - 1e-9 && acc.mean() <= hi + 1e-9);
-        prop_assert_eq!(acc.count(), pairs.len());
+        let hi = pairs
+            .iter()
+            .map(|&(e, _)| e)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(acc.weighted_mean() >= lo - 1e-9);
+        assert!(acc.weighted_mean() <= hi + 1e-9);
+        assert!(acc.mean() >= lo - 1e-9 && acc.mean() <= hi + 1e-9);
+        assert_eq!(acc.count(), pairs.len());
     }
 }

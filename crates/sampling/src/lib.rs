@@ -9,10 +9,10 @@
 //! - [`UniformPolicy`] — non-adaptive, evenly spaced. The rate is fixed, so
 //!   message sizes carry no information (but error is suboptimal).
 //! - [`RandomPolicy`] — non-adaptive Bernoulli baseline.
-//! - [`LinearPolicy`] — the adaptive policy of Chatterjea & Havinga [25]:
+//! - [`LinearPolicy`] — the adaptive policy of Chatterjea & Havinga \[25\]:
 //!   grows its collection period while consecutive samples stay similar,
 //!   and resets it when they differ.
-//! - [`DeviationPolicy`] — the adaptive policy of Silva et al. [96]
+//! - [`DeviationPolicy`] — the adaptive policy of Silva et al. \[96\]
 //!   (LiteSense): tracks a weighted moving deviation and doubles/halves the
 //!   collection rate around a threshold.
 //!

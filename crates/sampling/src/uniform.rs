@@ -1,7 +1,6 @@
 //! Non-adaptive baselines: uniform and random sampling.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use age_telemetry::DetRng;
 
 use crate::{seq_len, Policy};
 
@@ -102,7 +101,7 @@ impl Policy for RandomPolicy {
         for &v in values.iter().take(8) {
             h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(v.to_bits());
         }
-        let mut rng = StdRng::seed_from_u64(h);
+        let mut rng = DetRng::seed_from_u64(h);
         let mut out: Vec<usize> = (0..len).filter(|_| rng.gen_bool(self.rate)).collect();
         if out.is_empty() && len > 0 {
             out.push(0);

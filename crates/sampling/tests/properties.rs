@@ -1,126 +1,178 @@
-//! Property-based tests for the sampling policies.
+//! Randomized property tests for the sampling policies, driven by the
+//! workspace's deterministic PRNG (no external test deps).
 
 use age_sampling::{
     average_rate, DeviationPolicy, FeedbackPolicy, LinearPolicy, Policy, RandomPolicy,
     UniformPolicy,
 };
-use proptest::prelude::*;
+use age_telemetry::DetRng;
+
+const CASES: usize = 128;
 
 /// A random row-major sequence plus its feature count.
-fn sequence() -> impl Strategy<Value = (Vec<f64>, usize)> {
-    (1usize..6, 2usize..120).prop_flat_map(|(features, len)| {
-        prop::collection::vec(-100.0f64..100.0, len * features)
-            .prop_map(move |values| (values, features))
-    })
+fn sequence(rng: &mut DetRng) -> (Vec<f64>, usize) {
+    let features = rng.gen_range(1usize..6);
+    let len = rng.gen_range(2usize..120);
+    let values = (0..len * features)
+        .map(|_| rng.gen_range(-100.0f64..100.0))
+        .collect();
+    (values, features)
 }
 
-/// Every implemented policy behind one strategy choice.
-fn any_policy() -> impl Strategy<Value = Box<dyn Policy>> {
-    prop_oneof![
-        (0.01f64..=1.0).prop_map(|r| Box::new(UniformPolicy::new(r)) as Box<dyn Policy>),
-        (0.01f64..=1.0, any::<u64>())
-            .prop_map(|(r, s)| Box::new(RandomPolicy::new(r, s)) as Box<dyn Policy>),
-        (0.0f64..200.0).prop_map(|t| Box::new(LinearPolicy::new(t)) as Box<dyn Policy>),
-        (0.0f64..200.0).prop_map(|t| Box::new(DeviationPolicy::new(t)) as Box<dyn Policy>),
-    ]
+/// Every implemented policy behind one random choice.
+fn any_policy(rng: &mut DetRng) -> Box<dyn Policy> {
+    match rng.gen_range(0u32..4) {
+        0 => Box::new(UniformPolicy::new(rng.gen_range(0.01f64..=1.0))),
+        1 => Box::new(RandomPolicy::new(
+            rng.gen_range(0.01f64..=1.0),
+            rng.next_u64(),
+        )),
+        2 => Box::new(LinearPolicy::new(rng.gen_range(0.0f64..200.0))),
+        _ => Box::new(DeviationPolicy::new(rng.gen_range(0.0f64..200.0))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Structural invariants every policy must uphold: strictly increasing
-    /// in-range indices, never empty on non-empty input, first index 0 for
-    /// the walk-based policies.
-    #[test]
-    fn policies_produce_valid_index_sets((values, features) in sequence(), policy in any_policy()) {
+/// Structural invariants every policy must uphold: strictly increasing
+/// in-range indices, never empty on non-empty input.
+#[test]
+fn policies_produce_valid_index_sets() {
+    let mut rng = DetRng::seed_from_u64(0x5A1);
+    for _ in 0..CASES {
+        let (values, features) = sequence(&mut rng);
+        let policy = any_policy(&mut rng);
         let len = values.len() / features;
         let indices = policy.sample(&values, features);
-        prop_assert!(!indices.is_empty());
-        prop_assert!(indices.windows(2).all(|w| w[0] < w[1]), "{}", policy.name());
-        prop_assert!(*indices.last().unwrap() < len, "{}", policy.name());
+        assert!(!indices.is_empty());
+        assert!(indices.windows(2).all(|w| w[0] < w[1]), "{}", policy.name());
+        assert!(*indices.last().unwrap() < len, "{}", policy.name());
     }
+}
 
-    /// Adaptive walks always collect the first measurement (the server
-    /// needs an anchor for interpolation).
-    #[test]
-    fn adaptive_policies_anchor_at_zero((values, features) in sequence(), thr in 0.0f64..50.0) {
-        prop_assert_eq!(LinearPolicy::new(thr).sample(&values, features)[0], 0);
-        prop_assert_eq!(DeviationPolicy::new(thr).sample(&values, features)[0], 0);
+/// Adaptive walks always collect the first measurement (the server
+/// needs an anchor for interpolation).
+#[test]
+fn adaptive_policies_anchor_at_zero() {
+    let mut rng = DetRng::seed_from_u64(0x5A2);
+    for _ in 0..CASES {
+        let (values, features) = sequence(&mut rng);
+        let thr = rng.gen_range(0.0f64..50.0);
+        assert_eq!(LinearPolicy::new(thr).sample(&values, features)[0], 0);
+        assert_eq!(DeviationPolicy::new(thr).sample(&values, features)[0], 0);
     }
+}
 
-    /// Uniform's count never depends on the values.
-    #[test]
-    fn uniform_count_is_value_independent(
-        (values, features) in sequence(),
-        rate in 0.05f64..=1.0,
-        offset in -5.0f64..5.0,
-    ) {
+/// Uniform's count never depends on the values.
+#[test]
+fn uniform_count_is_value_independent() {
+    let mut rng = DetRng::seed_from_u64(0x5A3);
+    for _ in 0..CASES {
+        let (values, features) = sequence(&mut rng);
+        let rate = rng.gen_range(0.05f64..=1.0);
+        let offset = rng.gen_range(-5.0f64..5.0);
         let policy = UniformPolicy::new(rate);
         let shifted: Vec<f64> = values.iter().map(|v| v + offset).collect();
-        prop_assert_eq!(
+        assert_eq!(
             policy.sample(&values, features).len(),
             policy.sample(&shifted, features).len()
         );
     }
+}
 
-    /// Raising the Linear threshold reduces collection *on average*: the
-    /// per-sequence walk is path-dependent (a higher threshold visits
-    /// different indices and can occasionally collect a few more), so the
-    /// offline fit relies only on ensemble-level coarse monotonicity, which
-    /// is what we assert here.
-    #[test]
-    fn linear_threshold_is_coarsely_monotone_on_average(
-        seqs in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 40..120), 8..16),
-        t1 in 0.0f64..50.0,
-        t2 in 0.0f64..50.0,
-    ) {
+/// Raising the Linear threshold reduces collection *on average*: the
+/// per-sequence walk is path-dependent (a higher threshold visits
+/// different indices and can occasionally collect a few more), so the
+/// offline fit relies only on ensemble-level coarse monotonicity, which
+/// is what we assert here.
+#[test]
+fn linear_threshold_is_coarsely_monotone_on_average() {
+    let mut rng = DetRng::seed_from_u64(0x5A4);
+    for _ in 0..CASES {
+        let n_seqs = rng.gen_range(8usize..16);
+        let seqs: Vec<Vec<f64>> = (0..n_seqs)
+            .map(|_| {
+                let len = rng.gen_range(40usize..120);
+                (0..len).map(|_| rng.gen_range(-100.0f64..100.0)).collect()
+            })
+            .collect();
+        let t1 = rng.gen_range(0.0f64..50.0);
+        let t2 = rng.gen_range(0.0f64..50.0);
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
         let rate_lo = average_rate(&LinearPolicy::new(lo), &seqs, 1);
         let rate_hi = average_rate(&LinearPolicy::new(hi), &seqs, 1);
-        prop_assert!(
+        assert!(
             rate_hi <= rate_lo + 0.1,
             "thr {lo}->{hi} raised the mean rate {rate_lo}->{rate_hi}"
         );
     }
+}
 
-    /// Policies are deterministic: same input, same output.
-    #[test]
-    fn policies_are_deterministic((values, features) in sequence(), policy in any_policy()) {
-        prop_assert_eq!(policy.sample(&values, features), policy.sample(&values, features));
+/// Policies are deterministic: same input, same output.
+#[test]
+fn policies_are_deterministic() {
+    let mut rng = DetRng::seed_from_u64(0x5A5);
+    for _ in 0..CASES {
+        let (values, features) = sequence(&mut rng);
+        let policy = any_policy(&mut rng);
+        assert_eq!(
+            policy.sample(&values, features),
+            policy.sample(&values, features)
+        );
     }
+}
 
-    /// A period cap bounds every gap for the walk-based policies.
-    #[test]
-    fn period_caps_bound_gaps((values, features) in sequence(), cap in 1usize..12) {
+/// A period cap bounds every gap for the walk-based policies.
+#[test]
+fn period_caps_bound_gaps() {
+    let mut rng = DetRng::seed_from_u64(0x5A6);
+    for _ in 0..CASES {
+        let (values, features) = sequence(&mut rng);
+        let cap = rng.gen_range(1usize..12);
         for indices in [
-            LinearPolicy::new(1e12).with_max_period(cap).sample(&values, features),
-            DeviationPolicy::new(1e12).with_max_period(cap).sample(&values, features),
+            LinearPolicy::new(1e12)
+                .with_max_period(cap)
+                .sample(&values, features),
+            DeviationPolicy::new(1e12)
+                .with_max_period(cap)
+                .sample(&values, features),
         ] {
-            prop_assert!(indices.windows(2).all(|w| w[1] - w[0] <= cap));
+            assert!(indices.windows(2).all(|w| w[1] - w[0] <= cap));
         }
     }
+}
 
-    /// The feedback controller's threshold stays positive and finite under
-    /// arbitrary data streams.
-    #[test]
-    fn feedback_controller_is_stable(
-        seqs in prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 20..80), 1..20),
-        target in 0.05f64..=1.0,
-    ) {
+/// The feedback controller's threshold stays positive and finite under
+/// arbitrary data streams.
+#[test]
+fn feedback_controller_is_stable() {
+    let mut rng = DetRng::seed_from_u64(0x5A7);
+    for _ in 0..CASES {
+        let n_seqs = rng.gen_range(1usize..20);
+        let seqs: Vec<Vec<f64>> = (0..n_seqs)
+            .map(|_| {
+                let len = rng.gen_range(20usize..80);
+                (0..len).map(|_| rng.gen_range(-50.0f64..50.0)).collect()
+            })
+            .collect();
+        let target = rng.gen_range(0.05f64..=1.0);
         let mut policy = FeedbackPolicy::new(target);
         for seq in &seqs {
             let indices = policy.sample_and_adapt(seq, 1);
-            prop_assert!(!indices.is_empty());
-            prop_assert!(policy.threshold().is_finite() && policy.threshold() > 0.0);
-            prop_assert!(policy.smoothed_rate().is_finite());
+            assert!(!indices.is_empty());
+            assert!(policy.threshold().is_finite() && policy.threshold() > 0.0);
+            assert!(policy.smoothed_rate().is_finite());
         }
     }
+}
 
-    /// `average_rate` is always within [0, 1].
-    #[test]
-    fn average_rate_is_a_rate((values, features) in sequence(), policy in any_policy()) {
+/// `average_rate` is always within [0, 1].
+#[test]
+fn average_rate_is_a_rate() {
+    let mut rng = DetRng::seed_from_u64(0x5A8);
+    for _ in 0..CASES {
+        let (values, features) = sequence(&mut rng);
+        let policy = any_policy(&mut rng);
         let seqs = vec![values];
         let rate = average_rate(policy.as_ref(), &seqs, features);
-        prop_assert!((0.0..=1.0).contains(&rate), "rate={rate}");
+        assert!((0.0..=1.0).contains(&rate), "rate={rate}");
     }
 }

@@ -39,8 +39,7 @@ use age_core::{Batch, BatchConfig, DecodeError, Encoder};
 use age_crypto::{Cipher, OpenError};
 use age_reconstruct::interpolate;
 use age_sampling::Policy;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use age_telemetry::DetRng;
 
 /// The sensor side: policy → encoder → cipher, with a running message
 /// counter for nonce uniqueness.
@@ -50,6 +49,7 @@ pub struct Sensor {
     encoder: Box<dyn Encoder>,
     cipher: Box<dyn Cipher>,
     sequence_number: u64,
+    label: Option<String>,
 }
 
 impl std::fmt::Debug for Sensor {
@@ -58,6 +58,7 @@ impl std::fmt::Debug for Sensor {
             .field("policy", &self.policy.name())
             .field("encoder", &self.encoder.name())
             .field("sequence_number", &self.sequence_number)
+            .field("label", &self.label)
             .finish()
     }
 }
@@ -76,7 +77,17 @@ impl Sensor {
             encoder,
             cipher,
             sequence_number: 0,
+            label: None,
         }
+    }
+
+    /// Names this sensor's telemetry stream: every per-batch record emitted
+    /// while [`Sensor::process`] runs is stamped with `label`. Has no effect
+    /// unless the `telemetry` feature is on and a sink is installed. Labeled
+    /// sensors sharing one thread interleave their stream numbering.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
     }
 
     /// Messages produced so far.
@@ -92,6 +103,10 @@ impl Sensor {
     /// configuration, or if the encoder's target cannot hold its framing
     /// (a configuration error, not a data error).
     pub fn process(&mut self, values: &[f64]) -> Vec<u8> {
+        #[cfg(feature = "telemetry")]
+        if let Some(label) = &self.label {
+            age_telemetry::set_context_label(label);
+        }
         let d = self.cfg.features();
         let indices = self.policy.sample(values, d);
         let mut collected = Vec::with_capacity(indices.len() * d);
@@ -188,7 +203,7 @@ impl Server {
 #[derive(Debug, Clone)]
 pub struct Link {
     drop_prob: f64,
-    rng: StdRng,
+    rng: DetRng,
     delivered: u64,
     dropped: u64,
 }
@@ -198,7 +213,7 @@ impl Link {
     pub fn reliable() -> Self {
         Link {
             drop_prob: 0.0,
-            rng: StdRng::seed_from_u64(0),
+            rng: DetRng::seed_from_u64(0),
             delivered: 0,
             dropped: 0,
         }
@@ -216,7 +231,7 @@ impl Link {
         );
         Link {
             drop_prob,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             delivered: 0,
             dropped: 0,
         }

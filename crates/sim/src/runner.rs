@@ -15,8 +15,7 @@ use age_reconstruct::{interpolate, mae, std_deviation};
 use age_sampling::{
     fit_threshold, DeviationPolicy, LinearPolicy, Policy, RandomPolicy, UniformPolicy,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use age_telemetry::DetRng;
 
 /// Which sampling policy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,11 +25,11 @@ pub enum PolicyKind {
     /// Bernoulli, non-adaptive (omitted from the paper's tables; Uniform
     /// dominates it).
     Random,
-    /// Chatterjea & Havinga's difference-threshold policy [25].
+    /// Chatterjea & Havinga's difference-threshold policy \[25\].
     Linear,
-    /// Silva et al.'s moving-deviation policy [96].
+    /// Silva et al.'s moving-deviation policy \[96\].
     Deviation,
-    /// The trained Skip RNN policy [22] (§5.5).
+    /// The trained Skip RNN policy \[22\] (§5.5).
     SkipRnn,
 }
 
@@ -513,7 +512,21 @@ impl Runner {
         let encoder = self.encoder(defense, rate, cipher.as_ref(), policy.as_ref(), test);
         let budget_per_seq = self.budget_per_seq(rate, cipher_choice);
         let mut ledger = BudgetLedger::new(budget_per_seq * test.len() as f64);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBAD_B0D6E7);
+        let mut rng = DetRng::seed_from_u64(self.seed ^ 0xBAD_B0D6E7);
+
+        // Name the telemetry stream for this experiment cell; the encoders
+        // stamp every per-batch record with it. The collection rate is part
+        // of the name because the fixed message target (AGE, Padded) is
+        // chosen per rate — pooling rates would show size variance that no
+        // eavesdropper of a single deployment ever observes.
+        #[cfg(feature = "telemetry")]
+        age_telemetry::set_context_label(&format!(
+            "{}/{}/{}/r{:.2}",
+            self.data.spec().name,
+            policy_kind.name(),
+            defense.name(),
+            rate
+        ));
 
         let mut records = Vec::with_capacity(test.len());
         for (i, seq) in test.iter().enumerate() {

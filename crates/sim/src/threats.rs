@@ -17,8 +17,7 @@
 use age_core::{target, AgeEncoder, Batch, BatchConfig, Encoder, StandardEncoder};
 
 use age_datasets::Sequence;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use age_telemetry::DetRng;
 
 use crate::runner::{CipherChoice, Defense, PolicyKind, Runner};
 
@@ -62,7 +61,7 @@ pub fn run_with_faults(
     seed: u64,
 ) -> FaultyRun {
     let result = runner.run(policy, defense, rate, cipher, false);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut delivered = Vec::new();
     let mut dropped_labels = Vec::new();
     for record in result.records.iter().filter(|r| !r.violated) {

@@ -1,91 +1,112 @@
-//! Property-based tests for the experiment runner: the security invariant
+//! Randomized tests for the experiment runner: the security invariant
 //! must hold for every dataset, cipher, policy, and budget combination.
+//! Driven by the workspace's deterministic PRNG (no external test deps).
 
 use age_datasets::{DatasetKind, Scale};
 use age_sim::{CipherChoice, Defense, PolicyKind, Runner};
-use proptest::prelude::*;
+use age_telemetry::DetRng;
 
-fn any_kind() -> impl Strategy<Value = DatasetKind> {
-    prop::sample::select(DatasetKind::all().to_vec())
+const CASES: usize = 12;
+
+fn random_kind(rng: &mut DetRng) -> DatasetKind {
+    let all = DatasetKind::all();
+    all[rng.gen_range(0usize..all.len())]
 }
 
-fn any_cipher() -> impl Strategy<Value = CipherChoice> {
-    prop::sample::select(vec![
-        CipherChoice::ChaCha20,
-        CipherChoice::ChaCha20Poly1305,
-        CipherChoice::Aes128Ctr,
-        CipherChoice::Aes128Cbc,
-    ])
+fn random_cipher(rng: &mut DetRng) -> CipherChoice {
+    match rng.gen_range(0u32..4) {
+        0 => CipherChoice::ChaCha20,
+        1 => CipherChoice::ChaCha20Poly1305,
+        2 => CipherChoice::Aes128Ctr,
+        _ => CipherChoice::Aes128Cbc,
+    }
 }
 
-fn any_policy() -> impl Strategy<Value = PolicyKind> {
-    // Skip RNN excluded here: training per proptest case is too slow.
-    prop::sample::select(vec![
-        PolicyKind::Uniform,
-        PolicyKind::Linear,
-        PolicyKind::Deviation,
-    ])
+fn random_policy(rng: &mut DetRng) -> PolicyKind {
+    // Skip RNN excluded here: training per case is too slow.
+    match rng.gen_range(0u32..3) {
+        0 => PolicyKind::Uniform,
+        1 => PolicyKind::Linear,
+        _ => PolicyKind::Deviation,
+    }
 }
 
-fn fixed_defense() -> impl Strategy<Value = Defense> {
-    prop::sample::select(vec![
-        Defense::Age,
-        Defense::Single,
-        Defense::Unshifted,
-        Defense::Pruned,
-    ])
+fn random_fixed_defense(rng: &mut DetRng) -> Defense {
+    match rng.gen_range(0u32..4) {
+        0 => Defense::Age,
+        1 => Defense::Single,
+        2 => Defense::Unshifted,
+        _ => Defense::Pruned,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// THE invariant, over the whole configuration space: fixed-length
-    /// defenses produce one message size and zero NMI for every dataset,
-    /// cipher, policy, and budget.
-    #[test]
-    fn fixed_defenses_never_leak(
-        kind in any_kind(),
-        cipher in any_cipher(),
-        policy in any_policy(),
-        defense in fixed_defense(),
-        rate_pct in 30u32..=100,
-    ) {
+/// THE invariant, over the whole configuration space: fixed-length
+/// defenses produce one message size and zero NMI for every dataset,
+/// cipher, policy, and budget.
+#[test]
+fn fixed_defenses_never_leak() {
+    let mut rng = DetRng::seed_from_u64(0x51A1);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let cipher = random_cipher(&mut rng);
+        let policy = random_policy(&mut rng);
+        let defense = random_fixed_defense(&mut rng);
+        let rate_pct = rng.gen_range(30u32..=100);
         let runner = Runner::new(kind, Scale::Small, 5);
         let res = runner.run(policy, defense, f64::from(rate_pct) / 100.0, cipher, false);
         let sizes: std::collections::HashSet<usize> =
             res.observations().iter().map(|&(_, s)| s).collect();
-        prop_assert!(sizes.len() <= 1, "{kind} {cipher:?} {policy:?} {defense:?}: {sizes:?}");
-        prop_assert_eq!(res.nmi(), 0.0);
+        assert!(
+            sizes.len() <= 1,
+            "{kind} {cipher:?} {policy:?} {defense:?}: {sizes:?}"
+        );
+        assert_eq!(res.nmi(), 0.0);
     }
+}
 
-    /// Reconstruction errors are always finite and non-negative, and the
-    /// records cover the whole test split.
-    #[test]
-    fn runs_are_well_formed(
-        kind in any_kind(),
-        policy in any_policy(),
-        rate_pct in 30u32..=100,
-        enforce in any::<bool>(),
-    ) {
+/// Reconstruction errors are always finite and non-negative, and the
+/// records cover the whole test split.
+#[test]
+fn runs_are_well_formed() {
+    let mut rng = DetRng::seed_from_u64(0x51A2);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let policy = random_policy(&mut rng);
+        let rate_pct = rng.gen_range(30u32..=100);
+        let enforce = rng.gen_bool(0.5);
         let runner = Runner::new(kind, Scale::Small, 6);
-        let res = runner.run(policy, Defense::Standard, f64::from(rate_pct) / 100.0, CipherChoice::ChaCha20, enforce);
-        prop_assert_eq!(res.records.len(), runner.test_sequences().len());
+        let res = runner.run(
+            policy,
+            Defense::Standard,
+            f64::from(rate_pct) / 100.0,
+            CipherChoice::ChaCha20,
+            enforce,
+        );
+        assert_eq!(res.records.len(), runner.test_sequences().len());
         for r in &res.records {
-            prop_assert!(r.mae.is_finite() && r.mae >= 0.0);
-            prop_assert!(r.energy_mj >= 0.0);
-            prop_assert!(r.violated == (r.message_bytes == 0));
+            assert!(r.mae.is_finite() && r.mae >= 0.0);
+            assert!(r.energy_mj >= 0.0);
+            assert!(r.violated == (r.message_bytes == 0));
         }
     }
+}
 
-    /// Without budget enforcement nothing is ever lost.
-    #[test]
-    fn unenforced_runs_never_violate(
-        kind in any_kind(),
-        policy in any_policy(),
-        rate_pct in 30u32..=100,
-    ) {
+/// Without budget enforcement nothing is ever lost.
+#[test]
+fn unenforced_runs_never_violate() {
+    let mut rng = DetRng::seed_from_u64(0x51A3);
+    for _ in 0..CASES {
+        let kind = random_kind(&mut rng);
+        let policy = random_policy(&mut rng);
+        let rate_pct = rng.gen_range(30u32..=100);
         let runner = Runner::new(kind, Scale::Small, 7);
-        let res = runner.run(policy, Defense::Age, f64::from(rate_pct) / 100.0, CipherChoice::ChaCha20, false);
-        prop_assert_eq!(res.violations(), 0);
+        let res = runner.run(
+            policy,
+            Defense::Age,
+            f64::from(rate_pct) / 100.0,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        assert_eq!(res.violations(), 0);
     }
 }

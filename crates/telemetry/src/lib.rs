@@ -1,0 +1,46 @@
+//! Zero-dependency observability for the AGE reproduction.
+//!
+//! AGE's claims are quantitative: message sizes must be constant under the
+//! defense, and the encoder's prune/group/merge/quantize/pack pipeline must
+//! stay cheap enough for low-power sensors. This crate provides the
+//! instrumentation to observe both, with no external dependencies so the
+//! workspace builds offline, and no heap allocation or locking on the
+//! disabled path so instrumentation can't itself become a timing side
+//! channel on the MCU.
+//!
+//! Components:
+//!
+//! - [`metrics`] — lock-free [`Counter`]s and fixed-bucket [`Histogram`]s.
+//! - [`span`] — a [`Stopwatch`] for per-stage wall-clock timings.
+//! - [`record`] — the per-batch [`BatchRecord`] schema (mirrors
+//!   `age-core`'s `inspect_message` layout) with stable JSONL output.
+//! - [`sink`] — pluggable destinations: [`NullSink`], [`RecordingSink`]
+//!   (tests), [`JsonlSink`] (runs), [`FanoutSink`], with thread-local and
+//!   process-global installation.
+//! - [`summary`] — [`Summary`] rollups whose message-size stddev column is
+//!   the machine-checkable constant-size invariant.
+//! - [`rng`] — [`DetRng`], the deterministic SplitMix64/xoshiro256**
+//!   generator the rest of the workspace uses instead of an external `rand`
+//!   dependency.
+//!
+//! Producers (the `age-core` encoders) gate their instrumentation behind a
+//! `telemetry` cargo feature; with it off, every call site compiles away
+//! and this crate is only linked for [`rng`].
+
+pub mod metrics;
+pub mod record;
+pub mod rng;
+pub mod sink;
+pub mod span;
+pub mod summary;
+
+pub use metrics::{Counter, Histogram};
+pub use record::{BatchRecord, GroupRecord, StageTimings};
+pub use rng::{DetRng, SliceShuffle};
+pub use sink::{
+    active, clear_global, emit, install_global, install_thread, set_context_label,
+    set_timings_enabled, stamp, timings_enabled, FanoutSink, JsonlSink, NullSink, RecordingSink,
+    Sink, ThreadSinkGuard,
+};
+pub use span::Stopwatch;
+pub use summary::{StreamStats, Summary, SummarySink};

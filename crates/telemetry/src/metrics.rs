@@ -1,0 +1,231 @@
+//! Lock-free counters and fixed-bucket histograms.
+//!
+//! These are the primitives suitable for the MCU-flavored hot paths in
+//! `age-core`: a [`Counter`] is one relaxed atomic add, a [`Histogram`] is
+//! one index computation plus one relaxed atomic add. Neither allocates,
+//! locks, or branches on sink state, so they can sit inside the encoder
+//! without creating a new timing side-channel of their own.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use age_telemetry::metrics::Counter;
+///
+/// static ENCODED: Counter = Counter::new();
+/// ENCODED.add(1);
+/// assert!(ENCODED.get() >= 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter, usable in `static` position.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` (relaxed; totals are read out-of-band).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and between experiment cells).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one per power of two up to `2^62`,
+/// plus the zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples with no heap allocation.
+///
+/// Bucket `0` counts zero samples; bucket `i ≥ 1` counts samples whose
+/// most-significant bit is `i - 1` (i.e. values in `[2^(i-1), 2^i)`).
+///
+/// # Examples
+///
+/// ```
+/// use age_telemetry::metrics::Histogram;
+///
+/// static SIZES: Histogram = Histogram::new();
+/// SIZES.record(220);
+/// SIZES.record(220);
+/// assert_eq!(SIZES.count(), 2);
+/// assert!(SIZES.mean() > 219.0 && SIZES.mean() < 221.0);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram, usable in `static` position.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; splat a fresh zero per array slot.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value).min(HISTOGRAM_BUCKETS - 1)]
+            .fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts (`counts[i]` covers `[2^(i-1), 2^i)`, `counts[0]`
+    /// covers zero).
+    pub fn snapshot(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Resets all buckets (tests and between experiment cells).
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Workspace-global counters the instrumented crates feed. All remain zero
+/// when the `telemetry` feature is compiled out of the producers.
+pub mod global {
+    use super::{Counter, Histogram};
+
+    /// Batches encoded (any encoder).
+    pub static ENCODE_CALLS: Counter = Counter::new();
+    /// Nanoseconds spent inside `encode` (any encoder).
+    pub static ENCODE_NANOS: Counter = Counter::new();
+    /// Measurements dropped by AGE's pruning stage.
+    pub static PRUNED_MEASUREMENTS: Counter = Counter::new();
+    /// On-air message sizes in bytes.
+    pub static MESSAGE_BYTES: Histogram = Histogram::new();
+
+    /// Resets every global metric (between experiment cells).
+    pub fn reset() {
+        ENCODE_CALLS.reset();
+        ENCODE_NANOS.reset();
+        PRUNED_MEASUREMENTS.reset();
+        MESSAGE_BYTES.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_resets() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1); // zero
+        assert_eq!(snap[1], 1); // [1, 2)
+        assert_eq!(snap[2], 2); // [2, 4)
+        assert_eq!(snap[11], 1); // [1024, 2048)
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn histogram_mean_matches_samples() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        static SHARED: Counter = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        SHARED.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(SHARED.get(), 4000);
+    }
+}

@@ -1,0 +1,408 @@
+//! Pluggable destinations for [`BatchRecord`]s.
+//!
+//! Instrumented code calls [`emit`]; where the record goes is decided by
+//! whichever [`Sink`] is installed. Two scopes exist:
+//!
+//! - **Thread-local** ([`install_thread`]): scoped to the current thread and
+//!   restored on guard drop. This is what tests use — cargo runs tests on
+//!   concurrent threads, and a thread-local sink keeps their records from
+//!   bleeding into each other.
+//! - **Global** ([`install_global`]): process-wide fallback, used by the
+//!   `repro` binary whose experiment harness fans work out across scoped
+//!   threads that all need to reach one `JsonlSink`.
+//!
+//! With no sink installed, [`emit`] drops the record; call sites can check
+//! [`active`] first and skip building records entirely, so the uninstalled
+//! cost is one thread-local read and one relaxed atomic load.
+
+use std::cell::{Cell, RefCell};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::record::BatchRecord;
+
+/// A destination for per-batch telemetry records.
+///
+/// Implementations take `&self` (interior mutability) so one sink can be
+/// shared across threads behind an `Arc`.
+pub trait Sink: Send + Sync {
+    /// Consumes one batch record.
+    fn record_batch(&self, record: &BatchRecord);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Discards everything. The behavior you get with no sink installed; exists
+/// so code can hold a `Arc<dyn Sink>` unconditionally.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record_batch(&self, _record: &BatchRecord) {}
+}
+
+/// Buffers records in memory for test assertions.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    records: Mutex<Vec<BatchRecord>>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clone of every record seen so far.
+    pub fn records(&self) -> Vec<BatchRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Number of records seen so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// Whether no records have been seen.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns all records.
+    pub fn take(&self) -> Vec<BatchRecord> {
+        std::mem::take(&mut *self.records.lock().unwrap())
+    }
+}
+
+impl Sink for RecordingSink {
+    fn record_batch(&self, record: &BatchRecord) {
+        self.records.lock().unwrap().push(record.clone());
+    }
+}
+
+/// Writes one compact JSON object per record to a buffered writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<BufWriter<W>>,
+    include_timings: bool,
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncating) `path` and writes records to it.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer; timings are included.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+            include_timings: true,
+        }
+    }
+
+    /// Zeroes the `timings_ns` fields on write, so identical runs produce
+    /// byte-identical files. This is the mode the determinism tests use:
+    /// wall-clock stage timings are the one non-deterministic field in a
+    /// record.
+    pub fn without_timings(mut self) -> Self {
+        self.include_timings = false;
+        self
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record_batch(&self, record: &BatchRecord) {
+        let line = if self.include_timings {
+            record.to_json()
+        } else {
+            let mut stripped = record.clone();
+            stripped.timings = Default::default();
+            stripped.to_json()
+        };
+        let mut w = self.writer.lock().unwrap();
+        // Telemetry must never take down the workload it observes.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+/// Broadcasts each record to several sinks (e.g. JSONL file + summary).
+pub struct FanoutSink(pub Vec<Arc<dyn Sink>>);
+
+impl Sink for FanoutSink {
+    fn record_batch(&self, record: &BatchRecord) {
+        for sink in &self.0 {
+            sink.record_batch(record);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.0 {
+            sink.flush();
+        }
+    }
+}
+
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static GLOBAL_SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+thread_local! {
+    static THREAD_SINK: RefCell<Vec<Arc<dyn Sink>>> = const { RefCell::new(Vec::new()) };
+    static THREAD_TIMINGS: Cell<bool> = const { Cell::new(true) };
+    static CONTEXT_LABEL: RefCell<String> = const { RefCell::new(String::new()) };
+    static BATCH_COUNTER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Sets the stream label stamped onto records emitted from this thread.
+/// Callers (the simulator's runner, the `repro` binary) name the stream;
+/// producers (the encoders) never need to know it.
+///
+/// *Changing* the label resets the per-stream batch counter, which keeps
+/// record numbering a pure function of the call sequence (the determinism
+/// tests rely on this). Setting the label already in effect is a no-op, so
+/// long-lived callers like the simulator's `Sensor` can re-assert their
+/// label on every message without restarting the count.
+pub fn set_context_label(label: &str) {
+    let changed = CONTEXT_LABEL.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.as_str() == label {
+            return false;
+        }
+        l.clear();
+        l.push_str(label);
+        true
+    });
+    if changed {
+        BATCH_COUNTER.with(|c| c.set(0));
+    }
+}
+
+/// Fills a record's `label` from the thread context and assigns it the next
+/// batch sequence number. Producers call this just before [`emit`].
+pub fn stamp(record: &mut BatchRecord) {
+    record.label = CONTEXT_LABEL.with(|l| l.borrow().clone());
+    record.batch = BATCH_COUNTER.with(|c| {
+        let n = c.get();
+        c.set(n + 1);
+        n
+    });
+}
+
+/// Installs the process-wide fallback sink; replaces any previous one.
+/// Pass-through threads (no thread-local sink) emit here.
+pub fn install_global(sink: Arc<dyn Sink>) {
+    *GLOBAL_SINK.write().unwrap() = Some(sink);
+    GLOBAL_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the process-wide sink, flushing it first.
+pub fn clear_global() {
+    let prev = GLOBAL_SINK.write().unwrap().take();
+    GLOBAL_ACTIVE.store(false, Ordering::Release);
+    if let Some(sink) = prev {
+        sink.flush();
+    }
+}
+
+/// Installs a sink for the current thread only, shadowing the global sink
+/// (and any outer thread-local sink) until the returned guard drops.
+#[must_use = "the sink is uninstalled when the guard drops"]
+pub fn install_thread(sink: Arc<dyn Sink>) -> ThreadSinkGuard {
+    THREAD_SINK.with(|stack| stack.borrow_mut().push(sink));
+    ThreadSinkGuard { _priv: () }
+}
+
+/// Uninstalls the matching [`install_thread`] sink on drop.
+pub struct ThreadSinkGuard {
+    _priv: (),
+}
+
+impl Drop for ThreadSinkGuard {
+    fn drop(&mut self) {
+        if let Some(sink) = THREAD_SINK.with(|stack| stack.borrow_mut().pop()) {
+            sink.flush();
+        }
+    }
+}
+
+/// Whether any sink would receive an emitted record. Instrumented code
+/// checks this before assembling a [`BatchRecord`] so the uninstalled path
+/// does no allocation or timing work.
+#[inline]
+pub fn active() -> bool {
+    THREAD_SINK.with(|stack| !stack.borrow().is_empty()) || GLOBAL_ACTIVE.load(Ordering::Acquire)
+}
+
+/// Sends a record to the innermost thread-local sink, falling back to the
+/// global sink; drops it if neither is installed.
+pub fn emit(record: &BatchRecord) {
+    let local = THREAD_SINK.with(|stack| stack.borrow().last().cloned());
+    if let Some(sink) = local {
+        sink.record_batch(record);
+        return;
+    }
+    let global = GLOBAL_SINK.read().unwrap().clone();
+    if let Some(sink) = global {
+        sink.record_batch(record);
+    }
+}
+
+/// Whether instrumented encoders should collect wall-clock stage timings on
+/// this thread. Defaults to `true`; determinism tests turn it off so two
+/// identical runs produce identical records.
+#[inline]
+pub fn timings_enabled() -> bool {
+    THREAD_TIMINGS.with(Cell::get)
+}
+
+/// Sets [`timings_enabled`] for the current thread.
+pub fn set_timings_enabled(enabled: bool) {
+    THREAD_TIMINGS.with(|t| t.set(enabled));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that read or write the process-global sink state,
+    /// since cargo runs tests on concurrent threads.
+    static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+    fn rec(batch: u64) -> BatchRecord {
+        BatchRecord {
+            encoder: "age",
+            batch,
+            message_len: 52,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_sink_is_inactive_and_emit_is_a_noop() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        assert!(!active());
+        emit(&rec(0)); // must not panic
+    }
+
+    #[test]
+    fn thread_sink_records_and_uninstalls_on_drop() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        let sink = Arc::new(RecordingSink::new());
+        {
+            let _guard = install_thread(sink.clone());
+            assert!(active());
+            emit(&rec(1));
+            emit(&rec(2));
+        }
+        assert!(!active());
+        emit(&rec(3)); // after the guard, this is dropped
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].batch, 1);
+        assert_eq!(records[1].batch, 2);
+    }
+
+    #[test]
+    fn inner_thread_sink_shadows_outer() {
+        let outer = Arc::new(RecordingSink::new());
+        let inner = Arc::new(RecordingSink::new());
+        let _outer_guard = install_thread(outer.clone());
+        {
+            let _inner_guard = install_thread(inner.clone());
+            emit(&rec(1));
+        }
+        emit(&rec(2));
+        assert_eq!(inner.len(), 1);
+        assert_eq!(outer.len(), 1);
+        assert_eq!(outer.records()[0].batch, 2);
+    }
+
+    #[test]
+    fn global_sink_reaches_spawned_threads() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        let sink = Arc::new(RecordingSink::new());
+        install_global(sink.clone());
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                s.spawn(move || emit(&rec(i)));
+            }
+        });
+        clear_global();
+        assert_eq!(sink.len(), 4);
+        emit(&rec(99));
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = JsonlSink::new(std::io::Cursor::new(buf));
+        sink.record_batch(&rec(1));
+        sink.record_batch(&rec(2));
+        let writer = sink.writer.into_inner().unwrap();
+        let bytes = writer.into_inner().unwrap().into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"batch\":1"));
+        assert!(lines[1].contains("\"batch\":2"));
+    }
+
+    #[test]
+    fn jsonl_without_timings_zeroes_them() {
+        let mut record = rec(1);
+        record.timings.pack_ns = 12345;
+        let sink = JsonlSink::new(std::io::Cursor::new(Vec::new())).without_timings();
+        sink.record_batch(&record);
+        let writer = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(writer.into_inner().unwrap().into_inner()).unwrap();
+        assert!(text.contains("\"pack\":0"), "{text}");
+        assert!(!text.contains("12345"));
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(RecordingSink::new());
+        let b = Arc::new(RecordingSink::new());
+        let fan = FanoutSink(vec![a.clone(), b.clone()]);
+        fan.record_batch(&rec(7));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn stamp_labels_and_numbers_records() {
+        set_context_label("epilepsy/Linear");
+        let mut a = rec(0);
+        let mut b = rec(0);
+        stamp(&mut a);
+        stamp(&mut b);
+        assert_eq!(a.label, "epilepsy/Linear");
+        assert_eq!((a.batch, b.batch), (0, 1));
+        set_context_label("other");
+        let mut c = rec(0);
+        stamp(&mut c);
+        assert_eq!((c.label.as_str(), c.batch), ("other", 0));
+    }
+
+    #[test]
+    fn timings_toggle_is_thread_local() {
+        assert!(timings_enabled());
+        set_timings_enabled(false);
+        assert!(!timings_enabled());
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(timings_enabled()));
+        });
+        set_timings_enabled(true);
+    }
+}

@@ -1,0 +1,293 @@
+//! Rollups of batch records into a human-readable run summary.
+//!
+//! The headline column is message-size standard deviation: AGE's defense
+//! claim is that every message a node emits has the same length, so for the
+//! AGE and Padded encoders the stddev must be exactly 0 while the Standard
+//! baseline's is positive. [`Summary`] makes that invariant machine-checkable
+//! ([`StreamStats::size_stddev`]) and prints it as a table for humans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::record::BatchRecord;
+use crate::sink::Sink;
+
+/// Online statistics for one `(label, encoder)` stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Batches observed.
+    pub batches: u64,
+    /// Smallest message in bytes.
+    pub min_len: usize,
+    /// Largest message in bytes.
+    pub max_len: usize,
+    /// Measurements in minus measurements kept, accumulated.
+    pub pruned_total: u64,
+    /// Total encode time across batches, nanoseconds.
+    pub encode_ns_total: u64,
+    // Welford accumulators for message length.
+    mean: f64,
+    m2: f64,
+}
+
+impl StreamStats {
+    fn new() -> Self {
+        StreamStats {
+            batches: 0,
+            min_len: usize::MAX,
+            max_len: 0,
+            pruned_total: 0,
+            encode_ns_total: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    fn observe(&mut self, record: &BatchRecord) {
+        self.batches += 1;
+        self.min_len = self.min_len.min(record.message_len);
+        self.max_len = self.max_len.max(record.message_len);
+        self.pruned_total += record.input_len.saturating_sub(record.kept_len) as u64;
+        self.encode_ns_total += record.timings.total_ns();
+        let x = record.message_len as f64;
+        let delta = x - self.mean;
+        self.mean += delta / self.batches as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Mean message length in bytes.
+    pub fn size_mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation of message length in bytes.
+    ///
+    /// Exactly `0.0` when every observed message had the same length — the
+    /// property the AGE and Padded defenses must exhibit.
+    pub fn size_stddev(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.m2 / self.batches as f64).sqrt()
+        }
+    }
+
+    /// Whether every observed message had the identical length.
+    pub fn is_constant_size(&self) -> bool {
+        self.batches > 0 && self.min_len == self.max_len
+    }
+
+    /// Mean encode time per batch in microseconds.
+    pub fn encode_us_mean(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.encode_ns_total as f64 / self.batches as f64 / 1000.0
+        }
+    }
+}
+
+/// A run-level rollup keyed by `(label, encoder)`.
+#[derive(Debug, Default)]
+pub struct Summary {
+    streams: BTreeMap<(String, &'static str), StreamStats>,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from already-collected records.
+    pub fn from_records<'a, I: IntoIterator<Item = &'a BatchRecord>>(records: I) -> Self {
+        let mut summary = Self::new();
+        for record in records {
+            summary.observe(record);
+        }
+        summary
+    }
+
+    /// Folds one record into the rollup.
+    pub fn observe(&mut self, record: &BatchRecord) {
+        self.streams
+            .entry((record.label.clone(), record.encoder))
+            .or_insert_with(StreamStats::new)
+            .observe(record);
+    }
+
+    /// Stats for one `(label, encoder)` stream, if observed.
+    pub fn stream(&self, label: &str, encoder: &str) -> Option<&StreamStats> {
+        self.streams
+            .iter()
+            .find(|((l, e), _)| l == label && *e == encoder)
+            .map(|(_, stats)| stats)
+    }
+
+    /// Stats for an encoder regardless of label, merged in observation
+    /// order. Returns `None` if the encoder never appeared.
+    pub fn encoder_streams(&self, encoder: &str) -> Vec<&StreamStats> {
+        self.streams
+            .iter()
+            .filter(|((_, e), _)| *e == encoder)
+            .map(|(_, stats)| stats)
+            .collect()
+    }
+
+    /// All `(label, encoder)` keys in deterministic (sorted) order.
+    pub fn keys(&self) -> Vec<(String, String)> {
+        self.streams
+            .keys()
+            .map(|(l, e)| (l.clone(), e.to_string()))
+            .collect()
+    }
+
+    /// Whether nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+impl fmt::Display for Summary {
+    /// Renders the rollup as a fixed-width table:
+    ///
+    /// ```text
+    /// label                encoder    batches   min    max   mean  stddev  pruned  enc µs
+    /// -------------------- --------- -------- ----- ------ ------ ------- ------- -------
+    /// mimic                age            200    52     52   52.0   0.000    1042    11.3
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:<9} {:>8} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7}",
+            "label", "encoder", "batches", "min", "max", "mean", "stddev", "pruned", "enc µs"
+        )?;
+        writeln!(
+            f,
+            "{:-<20} {:-<9} {:-<8} {:-<5} {:-<6} {:-<6} {:-<7} {:-<7} {:-<7}",
+            "", "", "", "", "", "", "", "", ""
+        )?;
+        for ((label, encoder), stats) in &self.streams {
+            writeln!(
+                f,
+                "{:<20} {:<9} {:>8} {:>5} {:>6} {:>6.1} {:>7.3} {:>7} {:>7.1}",
+                label,
+                encoder,
+                stats.batches,
+                stats.min_len,
+                stats.max_len,
+                stats.size_mean(),
+                stats.size_stddev(),
+                stats.pruned_total,
+                stats.encode_us_mean(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`Sink`] that folds records straight into a [`Summary`], for use in a
+/// [`FanoutSink`](crate::sink::FanoutSink) alongside a `JsonlSink`.
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    summary: Mutex<Summary>,
+}
+
+impl SummarySink {
+    /// An empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the accumulated summary, leaving an empty one behind.
+    pub fn take(&self) -> Summary {
+        std::mem::take(&mut *self.summary.lock().unwrap())
+    }
+}
+
+impl Sink for SummarySink {
+    fn record_batch(&self, record: &BatchRecord) {
+        self.summary.lock().unwrap().observe(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(encoder: &'static str, label: &str, len: usize) -> BatchRecord {
+        BatchRecord {
+            encoder,
+            label: label.to_string(),
+            input_len: 64,
+            kept_len: 60,
+            message_len: len,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn constant_size_stream_has_zero_stddev() {
+        let records: Vec<_> = (0..50).map(|_| rec("age", "mimic", 52)).collect();
+        let summary = Summary::from_records(&records);
+        let stats = summary.stream("mimic", "age").unwrap();
+        assert_eq!(stats.batches, 50);
+        assert_eq!(stats.min_len, 52);
+        assert_eq!(stats.max_len, 52);
+        assert_eq!(stats.size_stddev(), 0.0);
+        assert!(stats.is_constant_size());
+        assert_eq!(stats.pruned_total, 50 * 4);
+    }
+
+    #[test]
+    fn variable_size_stream_has_positive_stddev() {
+        let records = vec![
+            rec("standard", "mimic", 40),
+            rec("standard", "mimic", 60),
+            rec("standard", "mimic", 50),
+        ];
+        let summary = Summary::from_records(&records);
+        let stats = summary.stream("mimic", "standard").unwrap();
+        assert!(stats.size_stddev() > 0.0);
+        assert!(!stats.is_constant_size());
+        assert_eq!(stats.min_len, 40);
+        assert_eq!(stats.max_len, 60);
+        // Population stddev of {40, 50, 60} is sqrt(200/3).
+        assert!((stats.size_stddev() - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streams_are_keyed_by_label_and_encoder() {
+        let records = vec![
+            rec("age", "a", 52),
+            rec("age", "b", 64),
+            rec("standard", "a", 33),
+        ];
+        let summary = Summary::from_records(&records);
+        assert_eq!(summary.keys().len(), 3);
+        assert_eq!(summary.stream("a", "age").unwrap().max_len, 52);
+        assert_eq!(summary.stream("b", "age").unwrap().max_len, 64);
+        assert_eq!(summary.encoder_streams("age").len(), 2);
+    }
+
+    #[test]
+    fn display_renders_every_stream_row() {
+        let records = vec![rec("age", "mimic", 52), rec("standard", "mimic", 33)];
+        let table = Summary::from_records(&records).to_string();
+        assert!(table.contains("stddev"));
+        assert!(table.contains("age"));
+        assert!(table.contains("standard"));
+        assert!(table.lines().count() >= 4, "{table}");
+    }
+
+    #[test]
+    fn summary_sink_accumulates_and_takes() {
+        let sink = SummarySink::new();
+        sink.record_batch(&rec("age", "x", 52));
+        sink.record_batch(&rec("age", "x", 52));
+        let summary = sink.take();
+        assert_eq!(summary.stream("x", "age").unwrap().batches, 2);
+        assert!(sink.take().is_empty());
+    }
+}

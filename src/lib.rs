@@ -23,6 +23,9 @@
 //! - `attack` ([`age_attack`]) — NMI, permutation tests, and the AdaBoost
 //!   message-size attack.
 //! - `sim` ([`age_sim`]) — the end-to-end experiment runner.
+//! - `telemetry` ([`age_telemetry`]) — counters, per-batch records, sinks,
+//!   and the deterministic PRNG (instrumentation is gated behind the
+//!   `telemetry` cargo feature, on by default).
 //!
 //! # Quickstart
 //!
@@ -47,3 +50,4 @@ pub use age_nn as nn;
 pub use age_reconstruct as reconstruct;
 pub use age_sampling as sampling;
 pub use age_sim as sim;
+pub use age_telemetry as telemetry;
