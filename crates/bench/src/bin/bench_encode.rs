@@ -1,0 +1,216 @@
+//! Encode-path and sweep benchmark, written to `BENCH_encode.json`.
+//!
+//! Measures, for every encoder: mean wall-clock per `encode_into` call on a
+//! full 50×6 batch, and heap traffic per call in steady state (which the
+//! `EncodeScratch` reuse design holds at zero — the same property
+//! `crates/core/tests/alloc.rs` enforces). Then times the parallel
+//! experiment sweep ([`age_sim::run_cells`]) over a 72-cell grid at 1, 2,
+//! and `available_parallelism` threads, checking the results stay
+//! byte-identical across thread counts.
+//!
+//! ```text
+//! cargo run -p age-bench --release --bin bench_encode
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use age_core::{
+    AgeEncoder, Batch, BatchConfig, DeltaCodec, EncodeScratch, Encoder, PaddedEncoder,
+    PrunedEncoder, SingleEncoder, StandardEncoder, UnshiftedEncoder,
+};
+use age_datasets::{DatasetKind, Scale};
+use age_fixed::Format;
+use age_sim::{default_threads, run_cells, Defense, PolicyKind, Runner, SweepCell, SweepOptions};
+use age_telemetry::alloc::{self, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const SWEEP_RATES: [f64; 4] = [0.3, 0.5, 0.7, 1.0];
+const SWEEP_POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Uniform,
+    PolicyKind::Linear,
+    PolicyKind::Deviation,
+];
+const SWEEP_DEFENSES: [Defense; 6] = [
+    Defense::Standard,
+    Defense::Padded,
+    Defense::Age,
+    Defense::Single,
+    Defense::Unshifted,
+    Defense::Pruned,
+];
+
+struct EncoderStats {
+    name: &'static str,
+    ns_per_batch: f64,
+    allocs_per_batch: f64,
+    bytes_allocated_per_batch: f64,
+}
+
+/// Times steady-state `encode_into` and its per-batch heap traffic.
+fn measure(encoder: &dyn Encoder, batch: &Batch, cfg: &BatchConfig) -> EncoderStats {
+    let mut scratch = EncodeScratch::new();
+    let mut out = Vec::new();
+    let mut run = |iters: u64| {
+        for _ in 0..iters {
+            encoder
+                .encode_into(batch, cfg, &mut scratch, &mut out)
+                .expect("benchmark encoders are feasible");
+            std::hint::black_box(out.len());
+        }
+    };
+
+    // Warm-up: grows scratch to its high-water mark and sizes the timing loop.
+    let warm_start = Instant::now();
+    let warm_iters = 200u64;
+    run(warm_iters);
+    let est_ns = (warm_start.elapsed().as_nanos() as u64 / warm_iters).max(1);
+    let iters = (300_000_000 / est_ns).clamp(100, 2_000_000);
+
+    let before = alloc::snapshot();
+    let start = Instant::now();
+    run(iters);
+    let elapsed = start.elapsed();
+    let heap = alloc::snapshot().since(before);
+
+    EncoderStats {
+        name: encoder.name(),
+        ns_per_batch: elapsed.as_nanos() as f64 / iters as f64,
+        allocs_per_batch: heap.allocations as f64 / iters as f64,
+        bytes_allocated_per_batch: heap.bytes as f64 / iters as f64,
+    }
+}
+
+fn sweep_grid() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &policy in &SWEEP_POLICIES {
+        for &defense in &SWEEP_DEFENSES {
+            for &rate in &SWEEP_RATES {
+                cells.push(SweepCell::new(policy, defense, rate));
+            }
+        }
+    }
+    cells
+}
+
+fn main() {
+    let cfg =
+        BatchConfig::new(50, 6, Format::new(16, 13).expect("valid format")).expect("valid config");
+    let d = cfg.features();
+    let k = cfg.max_len();
+    let batch = Batch::new(
+        (0..k).collect(),
+        (0..k * d)
+            .map(|i| {
+                let x = i as f64;
+                (x * 0.17).sin() * (1.0 + (i % 7) as f64) - 2.5
+            })
+            .collect(),
+    )
+    .expect("ramp batch is valid");
+
+    println!("encode path, full {k}x{d} batch:");
+    let encoders: Vec<Box<dyn Encoder>> = vec![
+        Box::new(AgeEncoder::new(220)),
+        Box::new(StandardEncoder),
+        Box::new(PaddedEncoder::for_config(&cfg)),
+        Box::new(SingleEncoder::new(220)),
+        Box::new(UnshiftedEncoder::new(220)),
+        Box::new(PrunedEncoder::new(220)),
+        Box::new(DeltaCodec),
+    ];
+    let stats: Vec<EncoderStats> = encoders
+        .iter()
+        .map(|e| {
+            let st = measure(e.as_ref(), &batch, &cfg);
+            println!(
+                "  {:<10} {:>10.0} ns/batch  {:>6.2} allocs/batch  {:>8.1} B/batch",
+                st.name, st.ns_per_batch, st.allocs_per_batch, st.bytes_allocated_per_batch
+            );
+            st
+        })
+        .collect();
+
+    // Sweep wall-clock. Thresholds are fitted once up front so every thread
+    // count times the same (cached) work.
+    let available = default_threads();
+    let runner = Runner::new(DatasetKind::Epilepsy, Scale::Small, 2022);
+    let cells = sweep_grid();
+    for &policy in &SWEEP_POLICIES {
+        for &rate in &SWEEP_RATES {
+            let _ = runner.policy(policy, rate);
+        }
+    }
+
+    let mut counts = vec![1usize, 2, available];
+    counts.sort_unstable();
+    counts.dedup();
+    println!(
+        "\nsweep, {} cells (Epilepsy/Small), available_parallelism={available}:",
+        cells.len()
+    );
+    let mut timings: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut deterministic = true;
+    for &threads in &counts {
+        let opts = SweepOptions {
+            threads,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let results = run_cells(&runner, &cells, &opts);
+        let seconds = start.elapsed().as_secs_f64();
+        let fingerprint = format!("{results:?}");
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(expected) => deterministic &= *expected == fingerprint,
+        }
+        println!("  {threads} thread(s): {seconds:.2}s");
+        timings.push((threads, seconds));
+    }
+    println!("  deterministic across thread counts: {deterministic}");
+
+    // Hand-rolled JSON (workspace policy: no external deps).
+    let mut json = String::from("{\n  \"schema\": \"age-bench/encode-v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"max_len\": {k}, \"features\": {d}, \"width\": {}}},",
+        cfg.format().width()
+    );
+    json.push_str("  \"encoders\": [\n");
+    for (i, st) in stats.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_batch\": {:.1}, \"allocs_per_batch\": {:.4}, \"bytes_allocated_per_batch\": {:.1}}}",
+            st.name, st.ns_per_batch, st.allocs_per_batch, st.bytes_allocated_per_batch
+        );
+        json.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"sweep\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"dataset\": \"Epilepsy\", \"scale\": \"Small\", \"cells\": {}, \"available_parallelism\": {available},",
+        cells.len()
+    );
+    json.push_str("    \"threads\": [\n");
+    let base = timings[0].1;
+    for (i, &(threads, seconds)) in timings.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"threads\": {threads}, \"seconds\": {seconds:.3}, \"speedup_vs_1\": {:.2}}}",
+            base / seconds.max(1e-9)
+        );
+        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(
+        json,
+        "    ],\n    \"deterministic_across_threads\": {deterministic}\n  }}\n}}"
+    );
+
+    let path = "BENCH_encode.json";
+    std::fs::write(path, &json).expect("can write benchmark report");
+    println!("\n[written to {path}]");
+    assert!(deterministic, "sweep results diverged across thread counts");
+}

@@ -21,11 +21,22 @@ fn main() {
     let mut settings = Settings::standard();
     let mut ids: Vec<String> = Vec::new();
     let mut telemetry_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => settings = Settings::quick(),
             "--full" => settings = Settings::full(),
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => threads = Some(n),
+                    _ => {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--telemetry" => {
                 i += 1;
                 match args.get(i) {
@@ -42,9 +53,14 @@ fn main() {
         }
         i += 1;
     }
+    // Applied after the scale flags so `--threads 2 --quick` still works.
+    if let Some(n) = threads {
+        settings.threads = n;
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick|--full] [--telemetry out.jsonl] <experiment...|all|extensions>"
+            "usage: repro [--quick|--full] [--threads N] [--telemetry out.jsonl] \
+             <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         eprintln!("extensions:  {}", EXTENSIONS.join(" "));

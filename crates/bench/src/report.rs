@@ -7,7 +7,7 @@ use age_core::{AgeEncoder, Batch, Encoder, StandardEncoder};
 use age_datasets::{DatasetKind, Scale};
 use age_reconstruct::{interpolate, mae, median, quartiles};
 use age_sampling::{LinearPolicy, Policy, RandomPolicy};
-use age_sim::{CipherChoice, Defense, PolicyKind, Runner};
+use age_sim::{run_cells, CipherChoice, Defense, PolicyKind, Runner, SweepCell, SweepOptions};
 
 /// The eight per-dataset energy budgets (§5.1): Uniform sampling's energy
 /// at these collection rates.
@@ -32,6 +32,9 @@ pub struct Settings {
     pub attack_estimators: usize,
     /// Permutations per NMI significance test (paper: 15,000).
     pub permutations: usize,
+    /// Worker threads for dataset/cell parallelism; `0` sizes the pool by
+    /// [`age_sim::default_threads`]. Never affects results, only wall-clock.
+    pub threads: usize,
 }
 
 impl Settings {
@@ -43,6 +46,7 @@ impl Settings {
             attack_samples: 1_500,
             attack_estimators: 50,
             permutations: 1_000,
+            threads: 0,
         }
     }
 
@@ -54,6 +58,7 @@ impl Settings {
             attack_samples: 300,
             attack_estimators: 10,
             permutations: 60,
+            threads: 0,
         }
     }
 
@@ -65,6 +70,7 @@ impl Settings {
             attack_samples: 10_000,
             attack_estimators: 50,
             permutations: 15_000,
+            threads: 0,
         }
     }
 
@@ -78,26 +84,53 @@ impl Settings {
     }
 }
 
-/// Runs `f` for every dataset on its own thread (each thread owns its
-/// `Runner`; results return in table order).
-pub(crate) fn per_dataset<T, F>(f: F) -> Vec<(DatasetKind, T)>
+/// Runs `f` for every dataset on a bounded worker pool (`threads == 0`
+/// sizes it by [`age_sim::default_threads`]); each worker owns the
+/// `Runner`s it builds and results return in table order regardless of
+/// which worker produced them.
+pub(crate) fn per_dataset<T, F>(threads: usize, f: F) -> Vec<(DatasetKind, T)>
 where
     T: Send,
     F: Fn(DatasetKind) -> T + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let kinds = DatasetKind::all();
+    let threads = match threads {
+        0 => age_sim::default_threads(),
+        n => n,
+    }
+    .clamp(1, kinds.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(DatasetKind, T)>> = Vec::new();
+    slots.resize_with(kinds.len(), || None);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = DatasetKind::all()
-            .into_iter()
-            .map(|kind| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
                 let f = &f;
-                scope.spawn(move || (kind, f(kind)))
+                let cursor = &cursor;
+                let kinds = &kinds;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&kind) = kinds.get(i) else { break };
+                        done.push((i, (kind, f(kind))));
+                    }
+                    done
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("dataset worker panicked"))
-            .collect()
-    })
+        for handle in handles {
+            for (i, out) in handle.join().expect("dataset worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every dataset index was claimed"))
+        .collect()
 }
 
 /// Dispatches an experiment id to its driver.
@@ -284,27 +317,37 @@ pub fn table45(s: &Settings) -> (String, String) {
     t4.push_str(&header);
     t5.push_str(&header);
 
-    // Per-dataset sweeps run in parallel; each returns its row sums plus
+    // Per-dataset sweeps run on the worker pool; each dataset's 56-cell
+    // grid (8 rates × [Uniform + 6 configs]) goes through the sim's sweep
+    // queue and comes back in cell order, then folds into row sums plus
     // the percent-vs-uniform cells for the Overall rows.
     type SweepOut = ([f64; 7], [f64; 7], Vec<Vec<f64>>, Vec<Vec<f64>>);
-    let sweeps = per_dataset(|kind| -> SweepOut {
+    let sweeps = per_dataset(s.threads, |kind| -> SweepOut {
         let runner = Runner::new(kind, s.scale, s.seed);
+        let mut cells = Vec::with_capacity(RATES.len() * (1 + ERROR_CONFIGS.len()));
+        for &rate in &RATES {
+            cells.push(SweepCell::new(PolicyKind::Uniform, Defense::Standard, rate));
+            for &(p, d) in &ERROR_CONFIGS {
+                cells.push(SweepCell::new(p, d, rate));
+            }
+        }
+        // Dataset-level parallelism already fills the pool; one worker per
+        // dataset grid avoids oversubscribing the machine.
+        let opts = SweepOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let results = run_cells(&runner, &cells, &opts);
+
         let mut sums4 = [0.0f64; 7];
         let mut sums5 = [0.0f64; 7];
         let mut pct4: Vec<Vec<f64>> = vec![Vec::new(); ERROR_CONFIGS.len()];
         let mut pct5: Vec<Vec<f64>> = vec![Vec::new(); ERROR_CONFIGS.len()];
-        for &rate in &RATES {
-            let unif = runner.run(
-                PolicyKind::Uniform,
-                Defense::Standard,
-                rate,
-                CipherChoice::ChaCha20,
-                true,
-            );
+        for per_rate in results.chunks(1 + ERROR_CONFIGS.len()) {
+            let unif = &per_rate[0];
             sums4[0] += unif.mean_mae();
             sums5[0] += unif.weighted_mae();
-            for (c, &(p, d)) in ERROR_CONFIGS.iter().enumerate() {
-                let res = runner.run(p, d, rate, CipherChoice::ChaCha20, true);
+            for (c, res) in per_rate[1..].iter().enumerate() {
                 sums4[c + 1] += res.mean_mae();
                 sums5[c + 1] += res.weighted_mae();
                 if unif.mean_mae() > 0.0 {
@@ -407,7 +450,7 @@ pub fn table6(s: &Settings) -> String {
         "Dataset", "Linear Std", "LinAGE", "Dev Std", "DevAGE", "sig(p<.01)"
     );
     type Table6Row = (Vec<f64>, Vec<f64>, f64, f64, usize, usize);
-    let rows = per_dataset(|kind| -> Table6Row {
+    let rows = per_dataset(s.threads, |kind| -> Table6Row {
         let runner = Runner::new(kind, s.scale, s.seed);
         let mut lin = Vec::new();
         let mut dev = Vec::new();
@@ -485,7 +528,7 @@ pub fn fig6(s: &Settings) -> String {
         "  {:<12} {:>22} {:>10} {:>22} {:>10} {:>9}",
         "Dataset", "Linear med[q1,q3]/max", "Lin AGE", "Dev med[q1,q3]/max", "Dev AGE", "baseline"
     );
-    let rows = per_dataset(|kind| -> (Vec<String>, f64) {
+    let rows = per_dataset(s.threads, |kind| -> (Vec<String>, f64) {
         let runner = Runner::new(kind, s.scale, s.seed);
         let mut cells: Vec<String> = Vec::new();
         let mut baseline = 0.0;
@@ -572,7 +615,7 @@ pub fn table7(s: &Settings) -> String {
         "  {:<12} {:>9} {:>9} {:>6} {:>6} {:>9} {:>9}",
         "Dataset", "MAE Std", "MAE AGE", "NMI", "NMIAGE", "Atk(%)", "AtkAGE(%)"
     );
-    let rows = per_dataset(|kind| -> [f64; 6] {
+    let rows = per_dataset(s.threads, |kind| -> [f64; 6] {
         let runner = Runner::new(kind, s.scale, s.seed);
         let mut mae_std = 0.0;
         let mut mae_age = 0.0;
@@ -625,7 +668,7 @@ pub fn table7(s: &Settings) -> String {
 /// Pruned variants relative to full AGE.
 pub fn table8(s: &Settings) -> String {
     let variants = [Defense::Single, Defense::Unshifted, Defense::Pruned];
-    let per_kind = per_dataset(|kind| -> Vec<Vec<Vec<f64>>> {
+    let per_kind = per_dataset(s.threads, |kind| -> Vec<Vec<Vec<f64>>> {
         let runner = Runner::new(kind, s.scale, s.seed);
         let mut pct: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 2]; variants.len()];
         for &rate in &RATES {

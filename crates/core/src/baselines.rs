@@ -4,9 +4,12 @@ use age_fixed::{BitReader, BitWriter};
 
 use crate::batch::{Batch, BatchConfig};
 use crate::error::{DecodeError, EncodeError};
+use crate::scratch::EncodeScratch;
 use crate::Encoder;
 
-pub(crate) fn encode_standard(batch: &Batch, cfg: &BatchConfig) -> Result<BitWriter, EncodeError> {
+/// Checks a batch against the standard layout's constraints. Split from the
+/// writing so encoders can validate before committing their output buffer.
+pub(crate) fn validate_standard(batch: &Batch, cfg: &BatchConfig) -> Result<(), EncodeError> {
     if batch.len() > cfg.max_len() {
         return Err(EncodeError::BatchTooLarge {
             len: batch.len(),
@@ -27,8 +30,13 @@ pub(crate) fn encode_standard(batch: &Batch, cfg: &BatchConfig) -> Result<BitWri
             expected: cfg.features(),
         });
     }
+    Ok(())
+}
+
+/// Writes the standard layout into `w`: a 16-bit count, then each collected
+/// index with its full-width values. Infallible once validated.
+pub(crate) fn write_standard(batch: &Batch, cfg: &BatchConfig, w: &mut BitWriter) {
     let fmt = cfg.format();
-    let mut w = BitWriter::with_capacity(cfg.standard_message_bytes(batch.len()));
     w.write_u16(batch.len() as u16);
     for t in 0..batch.len() {
         w.write_bits(batch.indices()[t] as u64, cfg.index_bits());
@@ -36,7 +44,6 @@ pub(crate) fn encode_standard(batch: &Batch, cfg: &BatchConfig) -> Result<BitWri
             w.write_bits(fmt.to_bits(fmt.quantize(x)), fmt.width());
         }
     }
-    Ok(w)
 }
 
 pub(crate) fn decode_standard(message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -88,13 +95,24 @@ impl Encoder for StandardEncoder {
         false
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        _scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         #[cfg(feature = "telemetry")]
         let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
-        let bytes = encode_standard(batch, cfg)?.into_bytes();
+        validate_standard(batch, cfg)?;
+        out.clear();
+        out.reserve(cfg.standard_message_bytes(batch.len()));
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        write_standard(batch, cfg, &mut w);
+        *out = w.into_bytes();
         #[cfg(feature = "telemetry")]
-        emit_flat_record("Standard", batch, cfg, bytes.len(), None, &mut stopwatch);
-        Ok(bytes)
+        emit_flat_record("Standard", batch, cfg, out.len(), None, &mut stopwatch);
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -141,28 +159,40 @@ impl Encoder for PaddedEncoder {
         true
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        _scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         #[cfg(feature = "telemetry")]
         let mut stopwatch = age_telemetry::active().then(age_telemetry::Stopwatch::start);
-        let mut w = encode_standard(batch, cfg)?;
-        if w.byte_len() > self.pad_to {
+        validate_standard(batch, cfg)?;
+        let min = cfg.standard_message_bytes(batch.len());
+        if min > self.pad_to {
             return Err(EncodeError::TargetTooSmall {
                 target: self.pad_to,
-                min: w.byte_len(),
+                min,
             });
         }
+        out.clear();
+        out.reserve(self.pad_to);
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        write_standard(batch, cfg, &mut w);
+        debug_assert_eq!(w.byte_len(), min);
         w.pad_to_bytes(self.pad_to);
-        let bytes = w.into_bytes();
+        *out = w.into_bytes();
         #[cfg(feature = "telemetry")]
         emit_flat_record(
             "Padded",
             batch,
             cfg,
-            bytes.len(),
+            out.len(),
             Some(self.pad_to),
             &mut stopwatch,
         );
-        Ok(bytes)
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {

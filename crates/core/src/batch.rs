@@ -112,7 +112,7 @@ fn bits_for(value: u64) -> u8 {
 /// assert_eq!(batch.measurement(1), &[1.1, 1.2, 1.3]);
 /// # Ok::<(), age_core::BatchError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Batch {
     indices: Vec<usize>,
     values: Vec<f64>,
@@ -195,21 +195,38 @@ impl Batch {
         &self.values[t * d..(t + 1) * d]
     }
 
+    /// Removes all measurements, keeping the buffers' allocations.
+    pub(crate) fn clear(&mut self) {
+        self.indices.clear();
+        self.values.clear();
+    }
+
+    /// Copies `src` into `self`, reusing this batch's buffer allocations
+    /// (the derived `Clone::clone_from` would clone-and-replace instead).
+    pub(crate) fn copy_from(&mut self, src: &Batch) {
+        self.indices.clone_from(&src.indices);
+        self.values.clone_from(&src.values);
+    }
+
     /// Returns a copy with only the measurements at `keep` positions
     /// (positions into this batch, not original indices), preserving order.
     pub(crate) fn retain_positions(&self, keep: &[bool]) -> Batch {
+        let mut out = Batch::empty();
+        self.retain_positions_into(keep, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`Batch::retain_positions`]: clears `out`
+    /// and fills it with the kept measurements, reusing its buffers.
+    pub(crate) fn retain_positions_into(&self, keep: &[bool], out: &mut Batch) {
         debug_assert_eq!(keep.len(), self.len());
-        let d = self.features();
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
+        out.clear();
         for (t, &flag) in keep.iter().enumerate() {
             if flag {
-                indices.push(self.indices[t]);
-                values.extend_from_slice(self.measurement(t));
+                out.indices.push(self.indices[t]);
+                out.values.extend_from_slice(self.measurement(t));
             }
         }
-        let _ = d;
-        Batch { indices, values }
     }
 }
 

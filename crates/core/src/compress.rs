@@ -15,6 +15,7 @@
 
 use crate::batch::{Batch, BatchConfig};
 use crate::error::{DecodeError, EncodeError};
+use crate::scratch::EncodeScratch;
 use crate::Encoder;
 
 /// Zig-zag maps a signed integer to unsigned (small magnitudes stay small).
@@ -120,29 +121,37 @@ impl Encoder for DeltaCodec {
         false
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         Self::validate(batch, cfg)?;
         let fmt = cfg.format();
         let d = cfg.features();
-        let mut out = Vec::new();
-        write_varint(&mut out, batch.len() as u64);
+        out.clear();
+        write_varint(out, batch.len() as u64);
         // Gap-encoded indices.
         let mut prev_idx = 0usize;
         for (t, &idx) in batch.indices().iter().enumerate() {
             let gap = if t == 0 { idx } else { idx - prev_idx };
-            write_varint(&mut out, gap as u64);
+            write_varint(out, gap as u64);
             prev_idx = idx;
         }
         // Delta-encoded raw values per feature column.
-        let mut prev_raw = vec![0i64; d];
+        let prev_raw = &mut scratch.prev_raw;
+        prev_raw.clear();
+        prev_raw.resize(d, 0);
         for t in 0..batch.len() {
             for (f, &x) in batch.measurement(t).iter().enumerate() {
                 let raw = fmt.quantize(x);
-                write_varint(&mut out, zigzag(raw - prev_raw[f]));
+                write_varint(out, zigzag(raw - prev_raw[f]));
                 prev_raw[f] = raw;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {

@@ -5,10 +5,11 @@ use age_fixed::{BitReader, BitWriter, Format};
 use crate::batch::{Batch, BatchConfig};
 use crate::error::{DecodeError, EncodeError};
 use crate::group::{
-    assign_widths, form_groups, measurement_exponents, merge_groups, merge_groups_rescoring,
-    optimize_partition, select_max_groups, Group,
+    assign_widths_into, form_groups_into, measurement_exponents_into, merge_groups_in_place,
+    merge_groups_rescoring, optimize_partition_in_place, select_max_groups, Group,
 };
-use crate::prune::{prune, prune_count, prune_incremental};
+use crate::prune::{prune_count, prune_incremental, prune_into};
+use crate::scratch::EncodeScratch;
 
 /// Bits used to store a group's exponent in the directory.
 pub(crate) const EXP_BITS: u8 = 6;
@@ -169,13 +170,32 @@ impl crate::Encoder for AgeEncoder {
         true
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         self.validate(batch, cfg)?;
         let d = cfg.features();
         let w0 = cfg.format().width();
         let target_bits = self.target_bytes * 8;
         let fixed_bits = Self::fixed_bits(cfg);
         let entry_bits = Self::entry_bits(cfg);
+        // Disjoint borrows of every scratch buffer, so the pruned batch can
+        // stay borrowed while the later stages fill their own buffers.
+        let EncodeScratch {
+            pruned,
+            prune: prune_scratch,
+            exponents,
+            groups,
+            widths,
+            merge,
+            split_log,
+            trial_widths,
+            ..
+        } = scratch;
         #[cfg(feature = "telemetry")]
         let input_len = batch.len();
         #[cfg(feature = "telemetry")]
@@ -189,14 +209,13 @@ impl crate::Encoder for AgeEncoder {
             .saturating_sub(fixed_bits)
             .saturating_sub(entry_bits * self.min_groups);
         let drop = prune_count(batch.len(), d, self.min_width, prune_budget);
-        let pruned;
         let batch = if drop > 0 {
-            pruned = if self.refined {
-                prune_incremental(batch, drop)
+            if self.refined {
+                *pruned = prune_incremental(batch, drop);
             } else {
-                prune(batch, drop)
-            };
-            &pruned
+                prune_into(batch, drop, prune_scratch, pruned);
+            }
+            &*pruned
         } else {
             batch
         };
@@ -207,8 +226,8 @@ impl crate::Encoder for AgeEncoder {
         }
 
         // §4.3: exponent-aware groups, merged down to at most G.
-        let exponents = measurement_exponents(batch, cfg.format().integer_bits());
-        let groups = form_groups(&exponents);
+        measurement_exponents_into(batch, cfg.format().integer_bits(), exponents);
+        form_groups_into(exponents, groups);
         #[cfg(feature = "telemetry")]
         let groups_initial = groups.len();
         #[cfg(feature = "telemetry")]
@@ -222,25 +241,25 @@ impl crate::Encoder for AgeEncoder {
             self.min_groups,
         )
         .min(MAX_GROUPS);
-        let groups = if self.refined {
-            merge_groups_rescoring(groups, max_groups)
+        if self.refined {
+            *groups = merge_groups_rescoring(std::mem::take(groups), max_groups);
         } else {
-            merge_groups(groups, max_groups)
-        };
+            merge_groups_in_place(groups, max_groups, merge);
+        }
         // §4.3's utilization expansion: split homogeneous runs when a
         // directory entry buys back more padding than it costs.
-        let groups = if self.split_groups {
-            optimize_partition(
+        if self.split_groups {
+            optimize_partition_in_place(
                 groups,
                 d,
                 w0,
                 target_bits.saturating_sub(fixed_bits),
                 entry_bits,
                 max_groups,
-            )
-        } else {
-            groups
-        };
+                split_log,
+                trial_widths,
+            );
+        }
         #[cfg(feature = "telemetry")]
         if let Some(sw) = stopwatch.as_mut() {
             stage_ns.merge_ns = sw.lap();
@@ -250,14 +269,17 @@ impl crate::Encoder for AgeEncoder {
         let data_budget = target_bits
             .saturating_sub(fixed_bits)
             .saturating_sub(entry_bits * groups.len());
-        let widths = assign_widths(&groups, d, w0, data_budget);
+        assign_widths_into(groups, d, w0, data_budget, widths);
         #[cfg(feature = "telemetry")]
         if let Some(sw) = stopwatch.as_mut() {
             stage_ns.quantize_ns = sw.lap();
         }
 
-        // Assemble the message.
-        let mut w = BitWriter::with_capacity(self.target_bytes);
+        // Assemble the message, cycling `out`'s allocation through the
+        // writer (the reserve doubles as the capacity hint for cold buffers).
+        out.clear();
+        out.reserve(self.target_bytes);
+        let mut w = BitWriter::from_vec(std::mem::take(out));
         w.write_u16(k as u16);
         let mut mask_iter = batch.indices().iter().peekable();
         for t in 0..cfg.max_len() {
@@ -268,13 +290,13 @@ impl crate::Encoder for AgeEncoder {
             w.write_bits(u64::from(collected), 1);
         }
         w.write_u8(groups.len() as u8);
-        for (g, &width) in groups.iter().zip(&widths) {
+        for (g, &width) in groups.iter().zip(widths.iter()) {
             w.write_bits(g.count as u64, cfg.count_bits());
             w.write_bits(u64::from(g.exponent), EXP_BITS);
             w.write_bits(u64::from(width), WIDTH_BITS);
         }
         let mut t = 0usize;
-        for (g, &width) in groups.iter().zip(&widths) {
+        for (g, &width) in groups.iter().zip(widths.iter()) {
             if width == 0 {
                 t += g.count;
                 continue;
@@ -290,19 +312,19 @@ impl crate::Encoder for AgeEncoder {
         }
         debug_assert_eq!(t, k);
         w.pad_to_bytes(self.target_bytes);
-        let bytes = w.into_bytes();
-        debug_assert_eq!(bytes.len(), self.target_bytes);
+        *out = w.into_bytes();
+        debug_assert_eq!(out.len(), self.target_bytes);
         #[cfg(feature = "telemetry")]
         {
             if let Some(sw) = stopwatch.as_mut() {
                 stage_ns.pack_ns = sw.lap();
             }
-            crate::telemetry::count_encode(input_len, k, bytes.len(), stage_ns.total_ns());
+            crate::telemetry::count_encode(input_len, k, out.len(), stage_ns.total_ns());
             if stopwatch.is_some() {
                 let directory_bits = entry_bits * groups.len();
                 let data_bits: usize = groups
                     .iter()
-                    .zip(&widths)
+                    .zip(widths.iter())
                     .map(|(g, &width)| g.count * d * usize::from(width))
                     .sum();
                 crate::telemetry::emit_record(age_telemetry::BatchRecord {
@@ -313,7 +335,7 @@ impl crate::Encoder for AgeEncoder {
                     groups_final: groups.len(),
                     groups: groups
                         .iter()
-                        .zip(&widths)
+                        .zip(widths.iter())
                         .map(|(g, &width)| age_telemetry::GroupRecord {
                             count: g.count,
                             exponent: i32::from(g.exponent),
@@ -323,14 +345,14 @@ impl crate::Encoder for AgeEncoder {
                     header_bits: fixed_bits,
                     directory_bits,
                     data_bits,
-                    message_len: bytes.len(),
+                    message_len: out.len(),
                     target_bytes: Some(self.target_bytes),
                     timings: stage_ns,
                     ..Default::default()
                 });
             }
         }
-        Ok(bytes)
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -397,6 +419,7 @@ impl crate::Encoder for AgeEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::group::assign_widths;
     use crate::Encoder;
 
     fn cfg() -> BatchConfig {

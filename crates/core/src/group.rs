@@ -32,54 +32,97 @@ pub struct Group {
 /// Per-measurement exponent: the widest exponent needed by any of the
 /// measurement's features, clamped to `max_n`.
 pub fn measurement_exponents(batch: &Batch, max_n: u8) -> Vec<u8> {
-    (0..batch.len())
-        .map(|t| {
-            batch
-                .measurement(t)
-                .iter()
-                .map(|&x| required_integer_bits(x, max_n))
-                .max()
-                .unwrap_or(1)
-        })
-        .collect()
+    let mut out = Vec::new();
+    measurement_exponents_into(batch, max_n, &mut out);
+    out
+}
+
+/// Allocation-reusing form of [`measurement_exponents`]: clears `out` and
+/// fills it with one exponent per measurement.
+pub fn measurement_exponents_into(batch: &Batch, max_n: u8, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend((0..batch.len()).map(|t| {
+        batch
+            .measurement(t)
+            .iter()
+            .map(|&x| required_integer_bits(x, max_n))
+            .max()
+            .unwrap_or(1)
+    }));
 }
 
 /// Run-length encodes an exponent sequence into maximal groups.
 pub fn form_groups(exponents: &[u8]) -> Vec<Group> {
-    let mut groups: Vec<Group> = Vec::new();
+    let mut groups = Vec::new();
+    form_groups_into(exponents, &mut groups);
+    groups
+}
+
+/// Allocation-reusing form of [`form_groups`]: clears `out` and fills it
+/// with the maximal runs.
+pub fn form_groups_into(exponents: &[u8], out: &mut Vec<Group>) {
+    out.clear();
     for &n in exponents {
-        match groups.last_mut() {
+        match out.last_mut() {
             Some(g) if g.exponent == n => g.count += 1,
-            _ => groups.push(Group {
+            _ => out.push(Group {
                 count: 1,
                 exponent: n,
             }),
         }
     }
-    groups
+}
+
+/// Reusable buffers for [`merge_groups_in_place`], so steady-state merging
+/// performs no heap allocations once the buffers have grown to the group
+/// count.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    order: Vec<usize>,
+    scores: Vec<i64>,
+    parent: Vec<usize>,
 }
 
 /// Greedily merges adjacent groups (ascending initial score) until at most
 /// `max_groups` remain. Skipped entirely when already within the cap.
 pub fn merge_groups(groups: Vec<Group>, max_groups: usize) -> Vec<Group> {
+    let mut groups = groups;
+    merge_groups_in_place(&mut groups, max_groups, &mut MergeScratch::default());
+    groups
+}
+
+/// Allocation-reusing form of [`merge_groups`]: merges within `groups`
+/// itself (each union-find set is a contiguous span, so the collapse can
+/// compact forward in place) and keeps all working state in `scratch`.
+pub fn merge_groups_in_place(
+    groups: &mut Vec<Group>,
+    max_groups: usize,
+    scratch: &mut MergeScratch,
+) {
     let max_groups = max_groups.max(1);
     if groups.len() <= max_groups {
-        return groups;
+        return;
     }
     // Initial scores of each adjacent pair (i, i+1), fixed up-front.
     let initial_score = |a: &Group, b: &Group| -> i64 {
         a.count as i64 + b.count as i64 + 2 * (i64::from(a.exponent) - i64::from(b.exponent)).abs()
     };
-    let mut order: Vec<usize> = (0..groups.len() - 1).collect();
-    let scores: Vec<i64> = order
-        .iter()
-        .map(|&i| initial_score(&groups[i], &groups[i + 1]))
-        .collect();
-    order.sort_by_key(|&i| (scores[i], i));
+    scratch.scores.clear();
+    scratch
+        .scores
+        .extend((0..groups.len() - 1).map(|i| initial_score(&groups[i], &groups[i + 1])));
+    scratch.order.clear();
+    scratch.order.extend(0..groups.len() - 1);
+    let scores = &scratch.scores;
+    // The pair index tie-break makes the key unique, so the unstable sort is
+    // deterministic and avoids the stable sort's merge-buffer allocation.
+    scratch.order.sort_unstable_by_key(|&i| (scores[i], i));
 
     // Union-find over original group slots; each merge joins slot i+1 into
     // the set containing slot i.
-    let mut parent: Vec<usize> = (0..groups.len()).collect();
+    scratch.parent.clear();
+    scratch.parent.extend(0..groups.len());
+    let parent = &mut scratch.parent;
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
@@ -88,12 +131,12 @@ pub fn merge_groups(groups: Vec<Group>, max_groups: usize) -> Vec<Group> {
         x
     }
     let mut remaining = groups.len();
-    for &i in &order {
+    for &i in &scratch.order {
         if remaining <= max_groups {
             break;
         }
-        let left = find(&mut parent, i);
-        let right = find(&mut parent, i + 1);
+        let left = find(parent, i);
+        let right = find(parent, i + 1);
         if left != right {
             parent[right] = left;
             remaining -= 1;
@@ -101,24 +144,27 @@ pub fn merge_groups(groups: Vec<Group>, max_groups: usize) -> Vec<Group> {
     }
 
     // Collapse to final groups, preserving order; each set is a contiguous
-    // span because only adjacent pairs merge.
-    let mut merged: Vec<Group> = Vec::with_capacity(remaining);
+    // span because only adjacent pairs merge, so the write cursor never
+    // overtakes the read cursor.
+    let mut write = 0;
     let mut last_root: Option<usize> = None;
-    for (i, g) in groups.iter().enumerate() {
-        let root = find(&mut parent, i);
+    for i in 0..groups.len() {
+        let root = find(parent, i);
+        let g = groups[i];
         match last_root {
             Some(r) if r == root => {
-                let tail = merged.last_mut().expect("root seen implies a group exists");
+                let tail = &mut groups[write - 1];
                 tail.count += g.count;
                 tail.exponent = tail.exponent.max(g.exponent);
             }
             _ => {
-                merged.push(*g);
+                groups[write] = g;
+                write += 1;
                 last_root = Some(root);
             }
         }
     }
-    merged
+    groups.truncate(write);
 }
 
 /// Merging with score recomputation after every merge — the refinement the
@@ -178,12 +224,28 @@ pub fn assign_widths(
     full_width: u8,
     data_budget_bits: usize,
 ) -> Vec<u8> {
+    let mut widths = Vec::new();
+    assign_widths_into(groups, features, full_width, data_budget_bits, &mut widths);
+    widths
+}
+
+/// Allocation-reusing form of [`assign_widths`]: clears `widths` and fills
+/// it with one width per group (left empty when there are no values, like
+/// the owning form's empty return).
+pub fn assign_widths_into(
+    groups: &[Group],
+    features: usize,
+    full_width: u8,
+    data_budget_bits: usize,
+    widths: &mut Vec<u8>,
+) {
+    widths.clear();
     let total_values: usize = groups.iter().map(|g| g.count * features).sum();
     if total_values == 0 {
-        return Vec::new();
+        return;
     }
     let base = (data_budget_bits / total_values).min(usize::from(full_width)) as u8;
-    let mut widths = vec![base; groups.len()];
+    widths.resize(groups.len(), base);
     let mut used: usize = total_values * usize::from(base);
     loop {
         let mut changed = false;
@@ -199,7 +261,6 @@ pub fn assign_widths(
             break;
         }
     }
-    widths
 }
 
 /// Splits groups to improve byte utilization (§4.3: "by expanding the
@@ -222,39 +283,85 @@ pub fn optimize_partition(
     entry_bits: usize,
     max_groups: usize,
 ) -> Vec<Group> {
+    let mut groups = groups;
+    optimize_partition_in_place(
+        &mut groups,
+        features,
+        full_width,
+        avail_bits,
+        entry_bits,
+        max_groups,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    );
+    groups
+}
+
+/// Allocation-reusing form of [`optimize_partition`]: instead of cloning the
+/// whole partition at every candidate improvement, it records each split's
+/// index in `split_log` and — once the search stops — rewinds the splits
+/// beyond the best step in reverse order (a split is its own inverse: merge
+/// the two halves back at the recorded index). `trial_widths` backs the
+/// per-candidate width simulation.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_partition_in_place(
+    groups: &mut Vec<Group>,
+    features: usize,
+    full_width: u8,
+    avail_bits: usize,
+    entry_bits: usize,
+    max_groups: usize,
+    split_log: &mut Vec<usize>,
+    trial_widths: &mut Vec<u8>,
+) {
     let k: usize = groups.iter().map(|g| g.count).sum();
     if k == 0 || groups.is_empty() {
-        return groups;
+        return;
     }
     let cap = max_groups.min(k).max(groups.len());
     // Objective: maximize the bits that actually carry measurement data.
     // Directory growth is only worthwhile when it buys strictly more data
     // bits, so ties keep the smaller partition.
-    let used_of = |candidate: &[Group]| -> usize {
+    fn used_of(
+        candidate: &[Group],
+        features: usize,
+        full_width: u8,
+        avail_bits: usize,
+        entry_bits: usize,
+        widths: &mut Vec<u8>,
+    ) -> usize {
         let dir = candidate.len() * entry_bits;
         let data_budget = avail_bits.saturating_sub(dir);
-        let widths = assign_widths(candidate, features, full_width, data_budget);
+        assign_widths_into(candidate, features, full_width, data_budget, widths);
         candidate
             .iter()
-            .zip(&widths)
+            .zip(widths.iter())
             .map(|(g, &w)| g.count * features * usize::from(w))
             .sum()
-    };
+    }
 
-    let mut best = groups.clone();
-    let mut best_used = used_of(&best);
-    let mut current = groups;
-    while current.len() < cap {
+    split_log.clear();
+    let mut best_used = used_of(
+        groups,
+        features,
+        full_width,
+        avail_bits,
+        entry_bits,
+        trial_widths,
+    );
+    // Number of leading entries of `split_log` in the best partition so far.
+    let mut best_splits = 0;
+    while groups.len() < cap {
         // Split the group with the most measurements into two halves.
-        let (idx, _) = current
+        let (idx, _) = groups
             .iter()
             .enumerate()
             .max_by_key(|(i, g)| (g.count, usize::MAX - i))
             .expect("non-empty by construction");
-        if current[idx].count < 2 {
+        if groups[idx].count < 2 {
             break;
         }
-        let g = current[idx];
+        let g = groups[idx];
         let left = Group {
             count: g.count / 2 + g.count % 2,
             exponent: g.exponent,
@@ -263,18 +370,32 @@ pub fn optimize_partition(
             count: g.count / 2,
             exponent: g.exponent,
         };
-        current[idx] = left;
-        current.insert(idx + 1, right);
-        let used = used_of(&current);
+        groups[idx] = left;
+        groups.insert(idx + 1, right);
+        split_log.push(idx);
+        let used = used_of(
+            groups,
+            features,
+            full_width,
+            avail_bits,
+            entry_bits,
+            trial_widths,
+        );
         if used > best_used {
             best_used = used;
-            best = current.clone();
+            best_splits = split_log.len();
         } else if used + 4 * entry_bits < best_used {
             // The directory cost now dominates any granularity gain.
             break;
         }
     }
-    best
+    // Rewind to the best partition: undo the splits past `best_splits` in
+    // reverse, so every logged index refers to the layout it was made in.
+    while split_log.len() > best_splits {
+        let idx = split_log.pop().expect("loop condition implies non-empty");
+        groups[idx].count += groups[idx + 1].count;
+        groups.remove(idx + 1);
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub mod group;
 mod inspect;
 pub mod mcu;
 pub mod prune;
+mod scratch;
 pub mod target;
 #[cfg(feature = "telemetry")]
 mod telemetry;
@@ -66,6 +67,7 @@ pub use compress::DeltaCodec;
 pub use encoder::AgeEncoder;
 pub use error::{BatchError, DecodeError, EncodeError};
 pub use inspect::{inspect_message, GroupLayout, MessageLayout};
+pub use scratch::EncodeScratch;
 pub use variants::{PrunedEncoder, SingleEncoder, UnshiftedEncoder};
 
 /// A batch encoder: turns collected measurements into message bytes and back.
@@ -82,14 +84,41 @@ pub trait Encoder {
     /// batch content — the property that closes the size side-channel.
     fn is_fixed_length(&self) -> bool;
 
-    /// Encodes a batch into message bytes (plaintext; encryption framing is
-    /// applied by the caller).
+    /// Encodes a batch into `out` (plaintext; encryption framing is applied
+    /// by the caller), reusing the allocations in `scratch` and `out`.
+    ///
+    /// This is the primary entry point: after a warm-up call has grown the
+    /// scratch buffers, every implementation in this crate encodes without
+    /// touching the heap, which is what makes the encoder viable on an MCU
+    /// (§4.5) and keeps the simulation sweep allocation-quiet. `out` is
+    /// cleared first, so it always holds exactly one message on success; on
+    /// error its contents are unspecified.
     ///
     /// # Errors
     ///
     /// Returns [`EncodeError`] if the batch is inconsistent with `cfg` or the
     /// encoder's target size cannot accommodate its own framing.
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError>;
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError>;
+
+    /// Encodes a batch into freshly allocated message bytes — a convenience
+    /// wrapper over [`Encoder::encode_into`] for one-shot callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if the batch is inconsistent with `cfg` or the
+    /// encoder's target size cannot accommodate its own framing.
+    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+        let mut scratch = EncodeScratch::new();
+        let mut out = Vec::new();
+        self.encode_into(batch, cfg, &mut scratch, &mut out)?;
+        Ok(out)
+    }
 
     /// Decodes message bytes back into a (lossy) batch.
     ///

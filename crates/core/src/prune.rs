@@ -16,12 +16,30 @@
 
 use crate::batch::Batch;
 
+/// Reusable buffers for [`prune_into`], so steady-state pruning performs no
+/// heap allocations once the buffers have grown to the batch size.
+#[derive(Debug, Default)]
+pub struct PruneScratch {
+    scores: Vec<f64>,
+    order: Vec<usize>,
+    keep: Vec<bool>,
+}
+
 /// Distance scores for every measurement in `batch` (the last measurement
 /// has no successor and gets an infinite score, so it is never pruned before
 /// its predecessors).
 pub fn distance_scores(batch: &Batch) -> Vec<f64> {
+    let mut scores = Vec::new();
+    distance_scores_into(batch, &mut scores);
+    scores
+}
+
+/// Allocation-reusing form of [`distance_scores`]: clears `scores` and fills
+/// it with one score per measurement.
+pub fn distance_scores_into(batch: &Batch, scores: &mut Vec<f64>) {
     let k = batch.len();
-    let mut scores = vec![f64::INFINITY; k];
+    scores.clear();
+    scores.resize(k, f64::INFINITY);
     for (t, score) in scores.iter_mut().enumerate().take(k.saturating_sub(1)) {
         let a = batch.measurement(t);
         let b = batch.measurement(t + 1);
@@ -29,7 +47,6 @@ pub fn distance_scores(batch: &Batch) -> Vec<f64> {
         let gap = (batch.indices()[t + 1] - batch.indices()[t]) as f64;
         *score = l1 + gap / 8.0;
     }
-    scores
 }
 
 /// Number of measurements to drop so `min_width · (k − ℓ) · d` bits fit in
@@ -51,27 +68,43 @@ pub fn prune_count(k: usize, features: usize, min_width: u8, budget_bits: usize)
 /// Ties are broken toward earlier measurements, matching a deterministic
 /// MCU implementation that scans the score array once per removal.
 pub fn prune(batch: &Batch, drop: usize) -> Batch {
+    let mut scratch = PruneScratch::default();
+    let mut out = Batch::empty();
+    prune_into(batch, drop, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-reusing form of [`prune`]: writes the surviving measurements
+/// into `out`, reusing both the scratch buffers and `out`'s allocations.
+pub fn prune_into(batch: &Batch, drop: usize, scratch: &mut PruneScratch, out: &mut Batch) {
     let k = batch.len();
     if drop == 0 || k == 0 {
-        return batch.clone();
+        out.copy_from(batch);
+        return;
     }
     if drop >= k {
-        return Batch::empty();
+        out.clear();
+        return;
     }
-    let scores = distance_scores(batch);
-    // Select the `drop` smallest scores; stable tie-break by position.
-    let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| {
+    distance_scores_into(batch, &mut scratch.scores);
+    // Select the `drop` smallest scores; tie-break by position. The index
+    // tie-break makes the comparator a total order, so the unstable sort is
+    // as deterministic as a stable one — without its merge-buffer allocation.
+    scratch.order.clear();
+    scratch.order.extend(0..k);
+    let scores = &scratch.scores;
+    scratch.order.sort_unstable_by(|&a, &b| {
         scores[a]
             .partial_cmp(&scores[b])
             .expect("scores are never NaN")
             .then(a.cmp(&b))
     });
-    let mut keep = vec![true; k];
-    for &victim in order.iter().take(drop) {
-        keep[victim] = false;
+    scratch.keep.clear();
+    scratch.keep.resize(k, true);
+    for &victim in scratch.order.iter().take(drop) {
+        scratch.keep[victim] = false;
     }
-    batch.retain_positions(&keep)
+    batch.retain_positions_into(&scratch.keep, out);
 }
 
 /// Pruning with incremental score updates — the refinement the paper

@@ -1,0 +1,68 @@
+//! Reusable working memory for the encode hot path.
+//!
+//! AGE's premise (§4.5) is that the encoder must be cheap enough to run on
+//! an MCU, where heap churn is both a cost and a fragmentation hazard. Every
+//! intermediate the encoders need — the pruned batch, the exponent sequence,
+//! the group arena, width assignments, and assorted index/score buffers —
+//! lives in one [`EncodeScratch`] that the caller owns and threads through
+//! [`Encoder::encode_into`](crate::Encoder::encode_into). After a warm-up
+//! call has grown each buffer to its steady-state size, encoding performs
+//! zero heap allocations (enforced by the counting-allocator test in
+//! `tests/alloc.rs`).
+
+use crate::batch::Batch;
+use crate::group::{Group, MergeScratch};
+use crate::prune::PruneScratch;
+
+/// Caller-owned scratch buffers shared by every [`crate::Encoder`]
+/// implementation in this crate.
+///
+/// One scratch can be reused across different encoders and batch sizes; the
+/// buffers simply grow to the high-water mark. The contents after a call are
+/// unspecified — only the allocations are meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use age_core::{AgeEncoder, Batch, BatchConfig, EncodeScratch, Encoder};
+/// use age_fixed::Format;
+///
+/// let cfg = BatchConfig::new(50, 6, Format::new(16, 13)?)?;
+/// let encoder = AgeEncoder::new(220);
+/// let mut scratch = EncodeScratch::new();
+/// let mut message = Vec::new();
+/// for step in 0..3 {
+///     let batch = Batch::new(vec![step, step + 10], vec![0.5; 12])?;
+///     encoder.encode_into(&batch, &cfg, &mut scratch, &mut message)?;
+///     assert_eq!(message.len(), 220);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Output of the pruning stage (§4.2).
+    pub(crate) pruned: Batch,
+    /// Score/order/keep buffers for [`crate::prune::prune_into`].
+    pub(crate) prune: PruneScratch,
+    /// Per-measurement exponents (§4.3).
+    pub(crate) exponents: Vec<u8>,
+    /// Group arena: formed, merged, and split in place.
+    pub(crate) groups: Vec<Group>,
+    /// Final per-group bit widths (§4.4).
+    pub(crate) widths: Vec<u8>,
+    /// Order/score/union-find buffers for group merging.
+    pub(crate) merge: MergeScratch,
+    /// Split log for partition optimization.
+    pub(crate) split_log: Vec<usize>,
+    /// Width buffer for partition candidates.
+    pub(crate) trial_widths: Vec<u8>,
+    /// Per-feature previous raw values for delta encoding.
+    pub(crate) prev_raw: Vec<i64>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+}

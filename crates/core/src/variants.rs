@@ -16,7 +16,8 @@ use age_fixed::{BitReader, BitWriter, Format};
 
 use crate::batch::{Batch, BatchConfig};
 use crate::error::{DecodeError, EncodeError};
-use crate::prune::{prune, prune_count};
+use crate::prune::{prune_count, prune_into};
+use crate::scratch::EncodeScratch;
 use crate::Encoder;
 
 const K_BITS: usize = 16;
@@ -100,6 +101,14 @@ fn even_groups(k: usize, parts: usize) -> Vec<usize> {
     (0..parts).map(|i| base + usize::from(i < extra)).collect()
 }
 
+/// [`even_groups`] for the fixed [`UNSHIFTED_GROUPS`] partition, on the
+/// stack so the encode path stays allocation-free.
+fn even_groups_fixed(k: usize) -> [usize; UNSHIFTED_GROUPS] {
+    let base = k / UNSHIFTED_GROUPS;
+    let extra = k % UNSHIFTED_GROUPS;
+    std::array::from_fn(|i| base + usize::from(i < extra))
+}
+
 /// Fixed-point quantization alone: a single width, the original exponent
 /// (§5.6's "Single" variant). Fixed-length but wasteful: widths round down
 /// globally and large batches force dropping all measurements.
@@ -133,7 +142,13 @@ impl Encoder for SingleEncoder {
         true
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        _scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         let min = Self::fixed_bits(cfg).div_ceil(8);
         validate(batch, cfg, self.target_bytes, min)?;
         let d = cfg.features();
@@ -152,19 +167,21 @@ impl Encoder for SingleEncoder {
             .min(usize::from(fmt0.width())) as u8;
         // When even one bit per value does not fit, quantization alone must
         // drop the entire batch.
-        let batch = if width == 0 {
-            Batch::empty()
+        let empty = Batch::empty();
+        let (batch, width) = if width == 0 {
+            (&empty, 0)
         } else {
-            batch.clone()
+            (batch, width)
         };
-        let width = if batch.is_empty() { 0 } else { width };
         #[cfg(feature = "telemetry")]
         if let Some(sw) = stopwatch.as_mut() {
             stage_ns.quantize_ns = sw.lap();
         }
 
-        let mut w = BitWriter::with_capacity(self.target_bytes);
-        write_header_and_mask(&mut w, &batch, cfg);
+        out.clear();
+        out.reserve(self.target_bytes);
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        write_header_and_mask(&mut w, batch, cfg);
         w.write_bits(u64::from(width), WIDTH_BITS);
         if width > 0 {
             let fmt = Format::from_integer_bits(width, fmt0.integer_bits().min(width))
@@ -174,18 +191,13 @@ impl Encoder for SingleEncoder {
             }
         }
         w.pad_to_bytes(self.target_bytes);
-        let bytes = w.into_bytes();
+        *out = w.into_bytes();
         #[cfg(feature = "telemetry")]
         {
             if let Some(sw) = stopwatch.as_mut() {
                 stage_ns.pack_ns = sw.lap();
             }
-            crate::telemetry::count_encode(
-                input_len,
-                batch.len(),
-                bytes.len(),
-                stage_ns.total_ns(),
-            );
+            crate::telemetry::count_encode(input_len, batch.len(), out.len(), stage_ns.total_ns());
             if stopwatch.is_some() {
                 crate::telemetry::emit_record(age_telemetry::BatchRecord {
                     encoder: "Single",
@@ -203,14 +215,14 @@ impl Encoder for SingleEncoder {
                     header_bits: K_BITS + cfg.max_len(),
                     directory_bits: usize::from(WIDTH_BITS),
                     data_bits: batch.len() * d * usize::from(width),
-                    message_len: bytes.len(),
+                    message_len: out.len(),
                     target_bytes: Some(self.target_bytes),
                     timings: stage_ns,
                     ..Default::default()
                 });
             }
         }
-        Ok(bytes)
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -268,7 +280,13 @@ impl Encoder for UnshiftedEncoder {
         true
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        _scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         let min = Self::fixed_bits(cfg).div_ceil(8);
         validate(batch, cfg, self.target_bytes, min)?;
         let d = cfg.features();
@@ -282,19 +300,20 @@ impl Encoder for UnshiftedEncoder {
         let data_budget = self.target_bytes * 8 - Self::fixed_bits(cfg);
         let total = batch.len() * d;
         // Like Single, drop everything when nothing fits.
+        let empty = Batch::empty();
         let batch = if total > 0 && data_budget / total == 0 {
-            Batch::empty()
+            &empty
         } else {
-            batch.clone()
+            batch
         };
-        let counts = even_groups(batch.len(), UNSHIFTED_GROUPS);
+        let counts = even_groups_fixed(batch.len());
         let total = batch.len() * d;
 
         let base = data_budget
             .checked_div(total)
             .unwrap_or(0)
             .min(usize::from(fmt0.width())) as u8;
-        let mut widths = vec![base; UNSHIFTED_GROUPS];
+        let mut widths = [base; UNSHIFTED_GROUPS];
         let mut used = total * usize::from(base);
         if total > 0 {
             loop {
@@ -317,8 +336,10 @@ impl Encoder for UnshiftedEncoder {
             stage_ns.quantize_ns = sw.lap();
         }
 
-        let mut w = BitWriter::with_capacity(self.target_bytes);
-        write_header_and_mask(&mut w, &batch, cfg);
+        out.clear();
+        out.reserve(self.target_bytes);
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        write_header_and_mask(&mut w, batch, cfg);
         for &width in &widths {
             w.write_bits(u64::from(width), WIDTH_BITS);
         }
@@ -339,18 +360,13 @@ impl Encoder for UnshiftedEncoder {
             }
         }
         w.pad_to_bytes(self.target_bytes);
-        let bytes = w.into_bytes();
+        *out = w.into_bytes();
         #[cfg(feature = "telemetry")]
         {
             if let Some(sw) = stopwatch.as_mut() {
                 stage_ns.pack_ns = sw.lap();
             }
-            crate::telemetry::count_encode(
-                input_len,
-                batch.len(),
-                bytes.len(),
-                stage_ns.total_ns(),
-            );
+            crate::telemetry::count_encode(input_len, batch.len(), out.len(), stage_ns.total_ns());
             if stopwatch.is_some() {
                 crate::telemetry::emit_record(age_telemetry::BatchRecord {
                     encoder: "Unshifted",
@@ -374,14 +390,14 @@ impl Encoder for UnshiftedEncoder {
                         .zip(&widths)
                         .map(|(&c, &width)| c * d * usize::from(width))
                         .sum(),
-                    message_len: bytes.len(),
+                    message_len: out.len(),
                     target_bytes: Some(self.target_bytes),
                     timings: stage_ns,
                     ..Default::default()
                 });
             }
         }
-        Ok(bytes)
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
@@ -449,7 +465,13 @@ impl Encoder for PrunedEncoder {
         true
     }
 
-    fn encode(&self, batch: &Batch, cfg: &BatchConfig) -> Result<Vec<u8>, EncodeError> {
+    fn encode_into(
+        &self,
+        batch: &Batch,
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EncodeError> {
         let min = Self::fixed_bits(cfg).div_ceil(8);
         validate(batch, cfg, self.target_bytes, min)?;
         let d = cfg.features();
@@ -462,30 +484,32 @@ impl Encoder for PrunedEncoder {
         let mut stage_ns = age_telemetry::StageTimings::default();
         let data_budget = self.target_bytes * 8 - Self::fixed_bits(cfg);
         let drop = prune_count(batch.len(), d, fmt.width(), data_budget);
-        let batch = prune(batch, drop);
+        let batch = if drop > 0 {
+            prune_into(batch, drop, &mut scratch.prune, &mut scratch.pruned);
+            &scratch.pruned
+        } else {
+            batch
+        };
         #[cfg(feature = "telemetry")]
         if let Some(sw) = stopwatch.as_mut() {
             stage_ns.prune_ns = sw.lap();
         }
 
-        let mut w = BitWriter::with_capacity(self.target_bytes);
-        write_header_and_mask(&mut w, &batch, cfg);
+        out.clear();
+        out.reserve(self.target_bytes);
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        write_header_and_mask(&mut w, batch, cfg);
         for &x in batch.values() {
             w.write_bits(fmt.to_bits(fmt.quantize(x)), fmt.width());
         }
         w.pad_to_bytes(self.target_bytes);
-        let bytes = w.into_bytes();
+        *out = w.into_bytes();
         #[cfg(feature = "telemetry")]
         {
             if let Some(sw) = stopwatch.as_mut() {
                 stage_ns.pack_ns = sw.lap();
             }
-            crate::telemetry::count_encode(
-                input_len,
-                batch.len(),
-                bytes.len(),
-                stage_ns.total_ns(),
-            );
+            crate::telemetry::count_encode(input_len, batch.len(), out.len(), stage_ns.total_ns());
             if stopwatch.is_some() {
                 crate::telemetry::emit_record(age_telemetry::BatchRecord {
                     encoder: "Pruned",
@@ -503,14 +527,14 @@ impl Encoder for PrunedEncoder {
                     header_bits: K_BITS + cfg.max_len(),
                     directory_bits: 0,
                     data_bits: batch.len() * d * usize::from(fmt.width()),
-                    message_len: bytes.len(),
+                    message_len: out.len(),
                     target_bytes: Some(self.target_bytes),
                     timings: stage_ns,
                     ..Default::default()
                 });
             }
         }
-        Ok(bytes)
+        Ok(())
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {

@@ -1,0 +1,163 @@
+//! Allocation-regression tests for the encode hot path.
+//!
+//! `Encoder::encode_into` with a reused `EncodeScratch` and output buffer
+//! must perform **zero heap allocations** in steady state — after one
+//! warm-up call has grown every scratch buffer to its working size. A
+//! low-power sensor loop encodes thousands of batches; any per-batch
+//! allocation is a deterministic regression this test binary catches with a
+//! counting global allocator.
+//!
+//! This test binary owns its `#[global_allocator]`, so these checks live
+//! here rather than in the telemetry crate's unit tests. Counters are
+//! thread-local and each libtest test runs on its own thread, so the tests
+//! do not interfere with each other.
+
+use age_core::{
+    AgeEncoder, Batch, BatchConfig, DeltaCodec, EncodeScratch, Encoder, PaddedEncoder,
+    PrunedEncoder, SingleEncoder, StandardEncoder, UnshiftedEncoder,
+};
+use age_fixed::Format;
+use age_telemetry::alloc::{self, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn cfg() -> BatchConfig {
+    BatchConfig::new(50, 6, Format::new(16, 13).unwrap()).unwrap()
+}
+
+/// Deterministic batch of `k` measurements whose values ramp across several
+/// magnitudes, so grouping/merging/splitting all do real work.
+fn ramp_batch(k: usize, features: usize) -> Batch {
+    let indices: Vec<usize> = (0..k).collect();
+    let values: Vec<f64> = (0..k * features)
+        .map(|i| {
+            let x = i as f64;
+            (x * 0.17).sin() * (1.0 + (i % 7) as f64) - 2.5
+        })
+        .collect();
+    Batch::new(indices, values).unwrap()
+}
+
+fn test_batches() -> Vec<Batch> {
+    vec![
+        Batch::empty(),
+        ramp_batch(1, 6),
+        ramp_batch(25, 6),
+        ramp_batch(50, 6),
+    ]
+}
+
+/// After warming up on every batch once, re-encoding any of them must not
+/// touch the heap at all.
+fn assert_zero_alloc(name: &str, encoder: &dyn Encoder, batches: &[Batch], cfg: &BatchConfig) {
+    let mut scratch = EncodeScratch::new();
+    let mut out = Vec::new();
+    // Warm-up: grows every scratch buffer to its high-water mark.
+    for batch in batches {
+        encoder
+            .encode_into(batch, cfg, &mut scratch, &mut out)
+            .unwrap_or_else(|e| panic!("{name}: warm-up encode failed: {e}"));
+    }
+    for (bi, batch) in batches.iter().enumerate() {
+        let before = alloc::snapshot();
+        for _ in 0..5 {
+            encoder
+                .encode_into(batch, cfg, &mut scratch, &mut out)
+                .unwrap_or_else(|e| panic!("{name}: steady-state encode failed: {e}"));
+        }
+        let delta = alloc::snapshot().since(before);
+        assert_eq!(
+            delta.allocations,
+            0,
+            "{name}: batch #{bi} (k={}) allocated {} times ({} bytes) in steady state",
+            batch.len(),
+            delta.allocations,
+            delta.bytes,
+        );
+    }
+}
+
+#[test]
+fn age_encoder_is_allocation_free_in_steady_state() {
+    // Roomy target: no pruning needed.
+    assert_zero_alloc("AGE/220", &AgeEncoder::new(220), &test_batches(), &cfg());
+}
+
+#[test]
+fn age_encoder_prune_path_is_allocation_free() {
+    // Tight target: forces the §4.2 prune stage on full batches.
+    assert_zero_alloc("AGE/35", &AgeEncoder::new(35), &test_batches(), &cfg());
+}
+
+#[test]
+fn age_encoder_without_splitting_is_allocation_free() {
+    assert_zero_alloc(
+        "AGE/no-split",
+        &AgeEncoder::new(220).with_group_splitting(false),
+        &test_batches(),
+        &cfg(),
+    );
+}
+
+#[test]
+fn standard_encoder_is_allocation_free_in_steady_state() {
+    assert_zero_alloc("Standard", &StandardEncoder, &test_batches(), &cfg());
+}
+
+#[test]
+fn padded_encoder_is_allocation_free_in_steady_state() {
+    let cfg = cfg();
+    assert_zero_alloc(
+        "Padded",
+        &PaddedEncoder::for_config(&cfg),
+        &test_batches(),
+        &cfg,
+    );
+}
+
+#[test]
+fn ablation_encoders_are_allocation_free_in_steady_state() {
+    let cfg = cfg();
+    assert_zero_alloc("Single", &SingleEncoder::new(220), &test_batches(), &cfg);
+    assert_zero_alloc(
+        "Unshifted",
+        &UnshiftedEncoder::new(220),
+        &test_batches(),
+        &cfg,
+    );
+    assert_zero_alloc("Pruned", &PrunedEncoder::new(35), &test_batches(), &cfg);
+    assert_zero_alloc("Delta", &DeltaCodec, &test_batches(), &cfg);
+}
+
+#[test]
+fn encode_into_matches_encode_bytes() {
+    let cfg = cfg();
+    let encoders: Vec<Box<dyn Encoder>> = vec![
+        Box::new(AgeEncoder::new(220)),
+        Box::new(AgeEncoder::new(35)),
+        Box::new(StandardEncoder),
+        Box::new(PaddedEncoder::for_config(&cfg)),
+        Box::new(SingleEncoder::new(220)),
+        Box::new(UnshiftedEncoder::new(220)),
+        Box::new(PrunedEncoder::new(35)),
+        Box::new(DeltaCodec),
+    ];
+    let mut scratch = EncodeScratch::new();
+    let mut out = Vec::new();
+    for encoder in &encoders {
+        for batch in &test_batches() {
+            let fresh = encoder.encode(batch, &cfg).unwrap();
+            encoder
+                .encode_into(batch, &cfg, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(
+                fresh,
+                out,
+                "{}: encode and encode_into disagree for k={}",
+                encoder.name(),
+                batch.len()
+            );
+        }
+    }
+}

@@ -42,6 +42,19 @@ impl BitWriter {
         }
     }
 
+    /// Creates an empty writer backed by `bytes`, reusing its allocation.
+    ///
+    /// The vector's contents are cleared but its capacity is kept, so a
+    /// buffer recovered from [`BitWriter::into_bytes`] can be cycled through
+    /// repeated encodes without reallocating.
+    pub fn from_vec(mut bytes: Vec<u8>) -> Self {
+        bytes.clear();
+        BitWriter {
+            bytes,
+            pending_bits: 0,
+        }
+    }
+
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
         if self.pending_bits == 0 {
@@ -251,6 +264,23 @@ mod tests {
             let mask = if c == 64 { u64::MAX } else { (1 << c) - 1 };
             assert_eq!(r.read_bits(c).unwrap(), v & mask);
         }
+    }
+
+    #[test]
+    fn from_vec_reuses_capacity_and_clears_content() {
+        let mut w = BitWriter::new();
+        w.write_u16(0xBEEF);
+        w.pad_to_bytes(64);
+        let recovered = w.into_bytes();
+        let cap = recovered.capacity();
+        let ptr = recovered.as_ptr();
+        let mut w = BitWriter::from_vec(recovered);
+        assert_eq!(w.bit_len(), 0);
+        w.write_u8(0x7E);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x7E]);
+        assert_eq!(bytes.capacity(), cap);
+        assert_eq!(bytes.as_ptr(), ptr);
     }
 
     #[test]

@@ -38,7 +38,9 @@
 
 pub mod node;
 mod runner;
+pub mod sweep;
 pub mod threats;
 
 pub use runner::{CipherChoice, Defense, ExperimentResult, PolicyKind, Runner, SequenceRecord};
+pub use sweep::{default_threads, run_cells, SweepCell, SweepOptions};
 pub use threats::{run_multi_event, run_with_faults, FaultyRun, MultiEventRun};

@@ -1,11 +1,11 @@
 //! The experiment runner: policies × defenses × budgets over a dataset.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use age_core::{
-    target, AgeEncoder, Batch, BatchConfig, Encoder, PaddedEncoder, PrunedEncoder, SingleEncoder,
-    StandardEncoder, UnshiftedEncoder,
+    target, AgeEncoder, Batch, BatchConfig, EncodeScratch, Encoder, PaddedEncoder, PrunedEncoder,
+    SingleEncoder, StandardEncoder, UnshiftedEncoder,
 };
 use age_crypto::{AesCbc, AesCtr, ChaCha20, ChaCha20Poly1305, Cipher};
 use age_datasets::{Dataset, DatasetKind, Scale, Sequence};
@@ -130,7 +130,7 @@ pub struct SequenceRecord {
 }
 
 /// Aggregated result of one (policy, defense, budget) run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Per-sequence records in evaluation order.
     pub records: Vec<SequenceRecord>,
@@ -229,6 +229,11 @@ impl ExperimentResult {
 
 /// Caches a generated dataset, fitted thresholds, and the trained Skip RNN,
 /// and runs (policy × defense × budget) experiments over its test split.
+///
+/// The caches live behind [`Mutex`]es so a `&Runner` can be shared across
+/// sweep worker threads (see [`crate::sweep`]); all fitting is
+/// deterministic, so concurrent fill-in always converges to the same
+/// values regardless of thread interleaving.
 pub struct Runner {
     data: Dataset,
     batch_cfg: BatchConfig,
@@ -237,8 +242,8 @@ pub struct Runner {
     train_count: usize,
     bounds: (f64, f64),
     fit_margin: f64,
-    thresholds: RefCell<HashMap<(PolicyKind, u32), f64>>,
-    skip_rnn: RefCell<Option<SkipRnn>>,
+    thresholds: Mutex<HashMap<(PolicyKind, u32), f64>>,
+    skip_rnn: Mutex<Option<SkipRnn>>,
 }
 
 impl Runner {
@@ -276,8 +281,8 @@ impl Runner {
             train_count,
             bounds: (lo, hi),
             fit_margin: Self::FIT_MARGIN,
-            thresholds: RefCell::new(HashMap::new()),
-            skip_rnn: RefCell::new(None),
+            thresholds: Mutex::new(HashMap::new()),
+            skip_rnn: Mutex::new(None),
         }
     }
 
@@ -291,7 +296,10 @@ impl Runner {
     pub fn with_fit_margin(mut self, margin: f64) -> Self {
         assert!(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
         self.fit_margin = margin;
-        self.thresholds.borrow_mut().clear();
+        self.thresholds
+            .get_mut()
+            .expect("no other runner handles")
+            .clear();
         self
     }
 
@@ -368,14 +376,27 @@ impl Runner {
             PolicyKind::SkipRnn => {
                 let model = self.trained_rnn();
                 let key = (PolicyKind::SkipRnn, (rate * 1000.0) as u32);
-                let bias = *self.thresholds.borrow_mut().entry(key).or_insert_with(|| {
-                    fit_gate_bias(
+                let cached = self
+                    .thresholds
+                    .lock()
+                    .expect("no poisoned fits")
+                    .get(&key)
+                    .copied();
+                let bias = cached.unwrap_or_else(|| {
+                    // Fit outside the lock; a concurrent duplicate fit is
+                    // deterministic, so last-writer-wins is harmless.
+                    let bias = fit_gate_bias(
                         &model,
                         &self.train_slices(),
                         d,
                         (rate * Self::FIT_MARGIN).clamp(1e-3, 1.0),
                         18,
-                    )
+                    );
+                    self.thresholds
+                        .lock()
+                        .expect("no poisoned fits")
+                        .insert(key, bias);
+                    bias
                 });
                 Box::new(SkipRnnPolicy::new(model, bias))
             }
@@ -393,9 +414,12 @@ impl Runner {
         F: Fn(f64) -> Box<dyn Policy>,
     {
         let key = (kind, (rate * 1000.0) as u32);
-        if let Some(&thr) = self.thresholds.borrow().get(&key) {
+        if let Some(&thr) = self.thresholds.lock().expect("no poisoned fits").get(&key) {
             return thr;
         }
+        // Fit outside the lock so sweep workers fitting different cells
+        // don't serialize; the fit is deterministic, so two threads racing
+        // on the same key insert the same value.
         let span = (self.bounds.1 - self.bounds.0).max(1e-6);
         let hi = span * self.data.spec().features as f64;
         let train = self.train_slices();
@@ -407,12 +431,18 @@ impl Runner {
             hi,
             22,
         );
-        self.thresholds.borrow_mut().insert(key, thr);
+        self.thresholds
+            .lock()
+            .expect("no poisoned fits")
+            .insert(key, thr);
         thr
     }
 
     fn trained_rnn(&self) -> SkipRnn {
-        if let Some(model) = self.skip_rnn.borrow().as_ref() {
+        // Unlike threshold fits, training is expensive enough that we hold
+        // the lock for its duration rather than risk duplicate work.
+        let mut cache = self.skip_rnn.lock().expect("no poisoned training");
+        if let Some(model) = cache.as_ref() {
             return model.clone();
         }
         let d = self.data.spec().features;
@@ -428,7 +458,7 @@ impl Runner {
             .target_rate(0.5)
             .rate_weight(2.0)
             .train(&train);
-        *self.skip_rnn.borrow_mut() = Some(model.clone());
+        *cache = Some(model.clone());
         model
     }
 
@@ -529,6 +559,8 @@ impl Runner {
         ));
 
         let mut records = Vec::with_capacity(test.len());
+        let mut scratch = EncodeScratch::new();
+        let mut plaintext = Vec::new();
         for (i, seq) in test.iter().enumerate() {
             let truth = &seq.values;
             let weight = std_deviation(truth);
@@ -539,8 +571,8 @@ impl Runner {
                 values.extend_from_slice(&truth[t * d..(t + 1) * d]);
             }
             let batch = Batch::new(indices, values).expect("policy output is a valid batch");
-            let plaintext = encoder
-                .encode(&batch, &self.batch_cfg)
+            encoder
+                .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
                 .expect("experiment encoders are configured with feasible targets");
             let message = cipher.seal(i as u64, &plaintext);
             let cost = self
@@ -795,8 +827,8 @@ mod tests {
     fn thresholds_are_cached() {
         let r = runner();
         let _ = r.policy(PolicyKind::Linear, 0.5);
-        let before = r.thresholds.borrow().len();
+        let before = r.thresholds.lock().unwrap().len();
         let _ = r.policy(PolicyKind::Linear, 0.5);
-        assert_eq!(r.thresholds.borrow().len(), before);
+        assert_eq!(r.thresholds.lock().unwrap().len(), before);
     }
 }

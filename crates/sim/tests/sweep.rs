@@ -1,0 +1,62 @@
+//! Determinism of the parallel sweep: identically seeded sweeps must be
+//! byte-identical — experiment reports *and* telemetry rollups — no matter
+//! how many worker threads ran them.
+
+use std::sync::Arc;
+
+use age_datasets::{DatasetKind, Scale};
+use age_sim::{
+    run_cells, CipherChoice, Defense, ExperimentResult, PolicyKind, Runner, SweepCell, SweepOptions,
+};
+use age_telemetry::SummarySink;
+
+fn grid() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &rate in &[0.4, 0.7] {
+        cells.push(SweepCell::new(PolicyKind::Uniform, Defense::Standard, rate));
+        cells.push(SweepCell::new(PolicyKind::Linear, Defense::Age, rate));
+        cells.push(SweepCell::new(PolicyKind::Linear, Defense::Standard, rate));
+        cells.push(SweepCell::new(PolicyKind::Deviation, Defense::Age, rate));
+        cells.push(SweepCell {
+            cipher: CipherChoice::Aes128Cbc,
+            ..SweepCell::new(PolicyKind::Deviation, Defense::Padded, rate)
+        });
+    }
+    cells
+}
+
+fn sweep_at(threads: usize) -> (Vec<ExperimentResult>, String) {
+    // A fresh runner per sweep: cold fit caches are part of what must not
+    // depend on the thread count.
+    let runner = Runner::new(DatasetKind::Epilepsy, Scale::Small, 7);
+    let sink = Arc::new(SummarySink::new());
+    let opts = SweepOptions {
+        threads,
+        sink: Some(sink.clone()),
+        // Stage timings are wall-clock and appear in the summary table; they
+        // are the one legitimately non-deterministic field.
+        deterministic_timings: true,
+    };
+    let results = run_cells(&runner, &grid(), &opts);
+    (results, sink.take().to_string())
+}
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    let (one, _) = sweep_at(1);
+    let (four, _) = sweep_at(4);
+    assert_eq!(one.len(), four.len());
+    for (i, (a, b)) in one.iter().zip(&four).enumerate() {
+        assert_eq!(a, b, "cell #{i} diverged between 1 and 4 threads");
+    }
+    // Belt and braces: the Debug serialization (every float bit) matches.
+    assert_eq!(format!("{one:?}"), format!("{four:?}"));
+}
+
+#[test]
+fn telemetry_rollups_are_identical_across_thread_counts() {
+    let (_, one) = sweep_at(1);
+    let (_, four) = sweep_at(4);
+    assert!(!one.is_empty(), "sweep produced an empty telemetry summary");
+    assert_eq!(one, four, "summary rollups diverged between thread counts");
+}

@@ -1,0 +1,144 @@
+//! A counting global allocator for allocation-regression tests and benches.
+//!
+//! The encode hot path claims to be allocation-free after warm-up (see
+//! `age-core`'s `EncodeScratch`); that claim is only worth anything if it is
+//! machine-checked. [`CountingAllocator`] wraps the system allocator and
+//! counts every allocation and reallocation on **thread-local** counters, so
+//! a test (or bench) can snapshot before and after a code region and assert
+//! the delta — without interference from other test-harness threads.
+//!
+//! Deallocations are deliberately not counted: freeing reuses no budget we
+//! care about, and the regression target is "no new heap traffic", which
+//! alloc/realloc alone capture.
+//!
+//! # Examples
+//!
+//! ```ignore
+//! use age_telemetry::alloc::{self, CountingAllocator};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! let before = alloc::snapshot();
+//! hot_path();
+//! let delta = alloc::snapshot().since(before);
+//! assert_eq!(delta.allocations, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // Const-initialized cells: reading them never allocates, so the
+    // allocator cannot recurse into itself.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static ALLOCATED_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `#[global_allocator]` that forwards to [`System`] while counting
+/// allocations and allocated bytes per thread.
+#[derive(Debug, Default)]
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Creates the allocator (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        CountingAllocator
+    }
+}
+
+/// This thread's allocation counters at one instant; subtract two with
+/// [`AllocSnapshot::since`] to measure a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of `alloc`/`alloc_zeroed`/`realloc` calls on this thread.
+    pub allocations: u64,
+    /// Total bytes those calls requested.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas accumulated since `earlier`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations - earlier.allocations,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Reads this thread's counters. Zero unless a [`CountingAllocator`] is
+/// installed as the global allocator.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.with(Cell::get),
+        bytes: ALLOCATED_BYTES.with(Cell::get),
+    }
+}
+
+/// Bumps the counters; `try_with` so allocations during thread-local
+/// teardown (where the keys are already destroyed) stay safe, if uncounted.
+fn count(bytes: usize) {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    let _ = ALLOCATED_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
+
+// SAFETY: pure pass-through to `System`, which upholds the `GlobalAlloc`
+// contract; the counters touch no allocator state.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator here (other tests in this crate
+    // would be counted too); the end-to-end check lives in `age-core`'s
+    // `tests/alloc.rs`, which owns its test binary's allocator.
+    #[test]
+    fn snapshot_deltas_subtract() {
+        let a = AllocSnapshot {
+            allocations: 3,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocations: 5,
+            bytes: 164,
+        };
+        assert_eq!(
+            b.since(a),
+            AllocSnapshot {
+                allocations: 2,
+                bytes: 64
+            }
+        );
+    }
+
+    #[test]
+    fn counting_is_per_thread() {
+        count(8);
+        count(8);
+        let here = snapshot();
+        assert!(here.allocations >= 2);
+        let other = std::thread::spawn(snapshot).join().unwrap();
+        assert_eq!(other.allocations, 0);
+    }
+}

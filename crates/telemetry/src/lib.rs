@@ -27,6 +27,7 @@
 //! `telemetry` cargo feature; with it off, every call site compiles away
 //! and this crate is only linked for [`rng`].
 
+pub mod alloc;
 pub mod metrics;
 pub mod record;
 pub mod rng;
