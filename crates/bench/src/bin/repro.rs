@@ -8,6 +8,9 @@
 //! cargo run -p age-bench --release --bin repro -- --telemetry out.jsonl table4
 //! ```
 //!
+//! `--faults <rate>` overrides the drop/corruption rate used by the `faults`
+//! extension (a repro knob for the robustness experiments).
+//!
 //! `--telemetry <path>` streams one JSON object per encoded batch to `path`
 //! (stage timings, group layout, message length) and prints a per-stream
 //! summary table after the experiments; requires the `telemetry` feature.
@@ -22,6 +25,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut telemetry_path: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut fault_rate: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +37,16 @@ fn main() {
                     Some(n) if n > 0 => threads = Some(n),
                     _ => {
                         eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--faults" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<f64>().ok()) {
+                    Some(rate) if (0.0..=1.0).contains(&rate) => fault_rate = Some(rate),
+                    _ => {
+                        eprintln!("--faults needs a rate in 0.0..=1.0");
                         std::process::exit(2);
                     }
                 }
@@ -57,10 +71,13 @@ fn main() {
     if let Some(n) = threads {
         settings.threads = n;
     }
+    if fault_rate.is_some() {
+        settings.fault_rate = fault_rate;
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick|--full] [--threads N] [--telemetry out.jsonl] \
-             <experiment...|all|extensions>"
+            "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
+             [--telemetry out.jsonl] <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         eprintln!("extensions:  {}", EXTENSIONS.join(" "));

@@ -35,6 +35,9 @@ pub struct Settings {
     /// Worker threads for dataset/cell parallelism; `0` sizes the pool by
     /// [`age_sim::default_threads`]. Never affects results, only wall-clock.
     pub threads: usize,
+    /// Optional drop/corruption rate for the `faults` extension (the
+    /// `--faults <rate>` repro knob); `None` uses the extension's default.
+    pub fault_rate: Option<f64>,
 }
 
 impl Settings {
@@ -47,6 +50,7 @@ impl Settings {
             attack_estimators: 50,
             permutations: 1_000,
             threads: 0,
+            fault_rate: None,
         }
     }
 
@@ -59,6 +63,7 @@ impl Settings {
             attack_estimators: 10,
             permutations: 60,
             threads: 0,
+            fault_rate: None,
         }
     }
 
@@ -71,6 +76,7 @@ impl Settings {
             attack_estimators: 50,
             permutations: 15_000,
             threads: 0,
+            fault_rate: None,
         }
     }
 

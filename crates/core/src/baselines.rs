@@ -46,6 +46,10 @@ pub(crate) fn write_standard(batch: &Batch, cfg: &BatchConfig, w: &mut BitWriter
     }
 }
 
+/// Decodes a standard-layout prefix, ignoring any trailing bytes (the
+/// padded defense leaves zero padding after the payload). Callers that
+/// require an exact length check it against
+/// [`BatchConfig::standard_message_bytes`] for the decoded `k`.
 pub(crate) fn decode_standard(message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
     let fmt = cfg.format();
     let mut r = BitReader::new(message);
@@ -58,7 +62,13 @@ pub(crate) fn decode_standard(message: &[u8], cfg: &BatchConfig) -> Result<Batch
     let mut indices = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k * cfg.features());
     for _ in 0..k {
-        indices.push(r.read_bits(cfg.index_bits())? as usize);
+        // `index_bits` can address past `max_len` when it is not a power of
+        // two, so a corrupted index must be range-checked explicitly.
+        let index = r.read_bits(cfg.index_bits())? as usize;
+        if index >= cfg.max_len() {
+            return Err(DecodeError::Corrupt("decoded index out of range"));
+        }
+        indices.push(index);
         for _ in 0..cfg.features() {
             values.push(fmt.dequantize(fmt.from_bits(r.read_bits(fmt.width())?)));
         }
@@ -116,7 +126,17 @@ impl Encoder for StandardEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
-        decode_standard(message, cfg)
+        let batch = decode_standard(message, cfg)?;
+        // The standard layout has no padding: the message must be exactly
+        // as long as its declared measurement count implies.
+        let expected = cfg.standard_message_bytes(batch.len());
+        if message.len() != expected {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected,
+            });
+        }
+        Ok(batch)
     }
 }
 
@@ -196,6 +216,14 @@ impl Encoder for PaddedEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        // Padded frames are fixed-length by construction; anything else has
+        // been truncated or extended in transit.
+        if message.len() != self.pad_to {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected: self.pad_to,
+            });
+        }
         decode_standard(message, cfg)
     }
 }
@@ -300,6 +328,64 @@ mod tests {
             enc.encode(&batch(20), &c),
             Err(EncodeError::TargetTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn standard_pins_length_errors() {
+        let c = cfg();
+        let msg = StandardEncoder.encode(&batch(5), &c).unwrap();
+        let expected = c.standard_message_bytes(5);
+        assert_eq!(msg.len(), expected);
+        let mut long = msg.clone();
+        long.push(0);
+        assert_eq!(
+            StandardEncoder.decode(&long, &c),
+            Err(DecodeError::Length {
+                len: expected + 1,
+                expected
+            })
+        );
+        // Truncation starves the declared count of payload bits, so it is
+        // reported as the bit-level Truncated error.
+        assert!(matches!(
+            StandardEncoder.decode(&msg[..msg.len() - 1], &c),
+            Err(DecodeError::Truncated(_))
+        ));
+        // A forged count that understates the payload is caught by the
+        // exact-length check instead of being silently accepted.
+        let mut short_count = msg.clone();
+        short_count[0] = 0;
+        short_count[1] = 4;
+        assert_eq!(
+            StandardEncoder.decode(&short_count, &c),
+            Err(DecodeError::Length {
+                len: expected,
+                expected: c.standard_message_bytes(4)
+            })
+        );
+    }
+
+    #[test]
+    fn padded_pins_length_errors() {
+        let c = cfg();
+        let enc = PaddedEncoder::for_config(&c);
+        let msg = enc.encode(&batch(5), &c).unwrap();
+        assert_eq!(
+            enc.decode(&msg[..msg.len() - 1], &c),
+            Err(DecodeError::Length {
+                len: msg.len() - 1,
+                expected: enc.pad_to()
+            })
+        );
+        let mut long = msg.clone();
+        long.push(0);
+        assert_eq!(
+            enc.decode(&long, &c),
+            Err(DecodeError::Length {
+                len: msg.len() + 1,
+                expected: enc.pad_to()
+            })
+        );
     }
 
     #[test]

@@ -356,6 +356,12 @@ impl crate::Encoder for AgeEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        if message.len() != self.target_bytes {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected: self.target_bytes,
+            });
+        }
         let d = cfg.features();
         let mut r = BitReader::new(message);
         let k = usize::from(r.read_u16()?);
@@ -549,11 +555,24 @@ mod tests {
         bad[0] = 0xFF;
         bad[1] = 0xFF;
         assert!(enc.decode(&bad, &c).is_err());
-        // Truncated message.
-        assert!(matches!(
+        // Truncated and oversized messages are rejected by the exact-length
+        // check before any bit-level parsing.
+        assert_eq!(
             enc.decode(&msg[..4], &c),
-            Err(DecodeError::Truncated(_))
-        ));
+            Err(DecodeError::Length {
+                len: 4,
+                expected: 220
+            })
+        );
+        let mut long = msg.clone();
+        long.push(0);
+        assert_eq!(
+            enc.decode(&long, &c),
+            Err(DecodeError::Length {
+                len: 221,
+                expected: 220
+            })
+        );
     }
 
     #[test]

@@ -102,6 +102,16 @@ impl std::error::Error for EncodeError {}
 /// Error returned by [`crate::Encoder::decode`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
+    /// The message's byte length does not match the encoder's framing — a
+    /// truncated or oversized message. Every encoder checks this up front
+    /// so length tampering is reported structurally, not as a bit-level
+    /// read failure deep inside the payload.
+    Length {
+        /// Observed message length in bytes.
+        len: usize,
+        /// Length the encoder's framing requires.
+        expected: usize,
+    },
     /// The message ended before all declared fields were read.
     Truncated(BitReaderError),
     /// A structural invariant failed (e.g. group counts disagree with the
@@ -112,6 +122,10 @@ pub enum DecodeError {
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            DecodeError::Length { len, expected } => write!(
+                f,
+                "message of {len} bytes does not match the {expected}-byte framing"
+            ),
             DecodeError::Truncated(e) => write!(f, "message truncated: {e}"),
             DecodeError::Corrupt(what) => write!(f, "message corrupt: {what}"),
         }
@@ -122,7 +136,7 @@ impl std::error::Error for DecodeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DecodeError::Truncated(e) => Some(e),
-            DecodeError::Corrupt(_) => None,
+            DecodeError::Length { .. } | DecodeError::Corrupt(_) => None,
         }
     }
 }
@@ -148,5 +162,11 @@ mod tests {
         assert!(e.to_string().contains("11-byte"));
         let e = DecodeError::Corrupt("group counts exceed k");
         assert!(e.to_string().starts_with("message corrupt"));
+        let e = DecodeError::Length {
+            len: 7,
+            expected: 220,
+        };
+        assert!(e.to_string().contains("220-byte"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

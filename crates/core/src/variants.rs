@@ -226,6 +226,12 @@ impl Encoder for SingleEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        if message.len() != self.target_bytes {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected: self.target_bytes,
+            });
+        }
         let mut r = BitReader::new(message);
         let indices = read_header_and_mask(&mut r, cfg)?;
         let width = r.read_bits(WIDTH_BITS)? as u8;
@@ -401,6 +407,12 @@ impl Encoder for UnshiftedEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        if message.len() != self.target_bytes {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected: self.target_bytes,
+            });
+        }
         let mut r = BitReader::new(message);
         let indices = read_header_and_mask(&mut r, cfg)?;
         let mut widths = Vec::with_capacity(UNSHIFTED_GROUPS);
@@ -538,6 +550,12 @@ impl Encoder for PrunedEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        if message.len() != self.target_bytes {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected: self.target_bytes,
+            });
+        }
         let fmt = cfg.format();
         let mut r = BitReader::new(message);
         let indices = read_header_and_mask(&mut r, cfg)?;
@@ -669,6 +687,41 @@ mod tests {
             mae_age < mae_uns,
             "AGE {mae_age} should beat Unshifted {mae_uns}"
         );
+    }
+
+    #[test]
+    fn variants_pin_length_errors() {
+        let c = cfg();
+        let b = batch(5);
+        for enc in [
+            Box::new(SingleEncoder::new(150)) as Box<dyn Encoder>,
+            Box::new(UnshiftedEncoder::new(150)),
+            Box::new(PrunedEncoder::new(150)),
+        ] {
+            let msg = enc.encode(&b, &c).unwrap();
+            // Truncated message.
+            assert_eq!(
+                enc.decode(&msg[..msg.len() - 1], &c),
+                Err(DecodeError::Length {
+                    len: 149,
+                    expected: 150
+                }),
+                "{}",
+                enc.name()
+            );
+            // Oversized message.
+            let mut long = msg.clone();
+            long.push(0);
+            assert_eq!(
+                enc.decode(&long, &c),
+                Err(DecodeError::Length {
+                    len: 151,
+                    expected: 150
+                }),
+                "{}",
+                enc.name()
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! counterexample would reopen the side-channel.
 
 use age_core::{
-    AgeEncoder, Batch, BatchConfig, Encoder, PaddedEncoder, PrunedEncoder, SingleEncoder,
-    StandardEncoder, UnshiftedEncoder,
+    inspect_message, AgeEncoder, Batch, BatchConfig, Encoder, PaddedEncoder, PrunedEncoder,
+    SingleEncoder, StandardEncoder, UnshiftedEncoder,
 };
 use age_fixed::Format;
 use age_telemetry::{DetRng, SliceShuffle};
@@ -109,6 +109,93 @@ fn age_error_bounded_when_pruning_is_inactive() {
             );
         }
     }
+}
+
+/// The round-trip error bound, per group: every decoded value sits within
+/// half the quantization step its own group's directory entry declares —
+/// for any target, pruning active or not. This is tighter than the
+/// worst-case bound above: each group's `(exponent, width)` pair defines
+/// the step that bounds exactly the measurements in that group.
+#[test]
+fn decoded_values_respect_per_group_quantization_error() {
+    let mut rng = DetRng::seed_from_u64(0xA6EA);
+    for _ in 0..CASES {
+        let (cfg, batch) = config_and_batch(&mut rng);
+        let extra = rng.gen_range(0usize..300);
+        let target = AgeEncoder::min_target_bytes(&cfg) + extra;
+        let enc = AgeEncoder::new(target);
+        let msg = enc.encode(&batch, &cfg).unwrap();
+        let out = enc.decode(&msg, &cfg).unwrap();
+        let layout = inspect_message(&msg, &cfg).unwrap();
+        assert_eq!(layout.measurements, out.len());
+        // Walk the decoded measurements group by group, in wire order.
+        let mut t = 0;
+        for group in &layout.groups {
+            let step = f64::powi(2.0, i32::from(group.exponent) - i32::from(group.width));
+            for _ in 0..group.count {
+                let index = out.indices()[t];
+                let original = batch
+                    .indices()
+                    .iter()
+                    .position(|&i| i == index)
+                    .expect("decoded indices are a subset of the collected ones");
+                // The group's signed range tops out at 2^(n-1) - step; a
+                // value in the clamp gap just below 2^(n-1) saturates and
+                // loses up to a full step instead of half.
+                let max_repr = f64::powi(2.0, i32::from(group.exponent) - 1) - step;
+                for f in 0..cfg.features() {
+                    let a = batch.values()[original * cfg.features() + f];
+                    let b = out.values()[t * cfg.features() + f];
+                    let bound = if a > max_repr { step } else { step / 2.0 };
+                    assert!(
+                        (a - b).abs() <= bound + 1e-9,
+                        "index {index}: {a} decoded as {b}, outside ±{bound} \
+                         (group n={} w={})",
+                        group.exponent,
+                        group.width
+                    );
+                }
+                t += 1;
+            }
+        }
+        assert_eq!(t, out.len(), "groups must cover every decoded measurement");
+    }
+}
+
+/// The fixed-length property survives sealing: the transport frame around
+/// an AGE message has one constant on-air size, whatever the batch held.
+#[test]
+fn sealed_transport_frames_have_constant_size() {
+    use age_crypto::ChaCha20Poly1305;
+    use age_transport::Sensor;
+
+    let mut rng = DetRng::seed_from_u64(0xA6EB);
+    let cfg = BatchConfig::new(50, 6, Format::new(16, 13).unwrap()).unwrap();
+    let enc = AgeEncoder::new(220);
+    let mut sensor = Sensor::new(Box::new(ChaCha20Poly1305::new([7u8; 32])));
+    let mut frame_sizes = std::collections::HashSet::new();
+    for _ in 0..64 {
+        let k = rng.gen_range(0usize..=cfg.max_len());
+        let lo = cfg.format().min_value();
+        let hi = cfg.format().max_value();
+        let values: Vec<f64> = (0..k * cfg.features())
+            .map(|_| rng.gen_range(lo..hi))
+            .collect();
+        let mut all: Vec<usize> = (0..cfg.max_len()).collect();
+        all.shuffle(&mut rng);
+        all.truncate(k);
+        all.sort_unstable();
+        let batch = Batch::new(all, values).unwrap();
+        let msg = enc.encode(&batch, &cfg).unwrap();
+        let (_, frame) = sensor.seal(&msg);
+        assert_eq!(frame.len(), sensor.frame_len(msg.len()));
+        frame_sizes.insert(frame.len());
+    }
+    assert_eq!(
+        frame_sizes.len(),
+        1,
+        "sealed AGE frames must share one size: {frame_sizes:?}"
+    );
 }
 
 /// Variants share the fixed-length property.

@@ -117,6 +117,11 @@ impl Cipher for ChaCha20Poly1305 {
         ChaCha20::new(self.key).apply_keystream(&nonce, 1, &mut plain);
         Ok(plain)
     }
+
+    fn sequence_of(&self, message: &[u8]) -> Option<u64> {
+        let bytes: [u8; 8] = message.get(4..NONCE_LEN)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
+    }
 }
 
 #[cfg(test)]

@@ -290,6 +290,11 @@ impl Cipher for AesCtr {
         self.keystream_xor(&iv, &mut body);
         Ok(body)
     }
+
+    fn sequence_of(&self, message: &[u8]) -> Option<u64> {
+        let bytes: [u8; 8] = message.get(..8)?.try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
+    }
 }
 
 /// AES-128 in CBC mode with PKCS#7 padding: message framing is
@@ -383,6 +388,11 @@ impl Cipher for AesCbc {
         }
         plain.truncate(plain.len() - pad);
         Ok(plain)
+    }
+
+    fn sequence_of(&self, message: &[u8]) -> Option<u64> {
+        let bytes: [u8; 8] = message.get(..8)?.try_into().ok()?;
+        Some(u64::from_be_bytes(bytes))
     }
 }
 

@@ -91,6 +91,11 @@ impl Cipher for ChaCha20 {
         self.apply_keystream(&nonce, 0, &mut body);
         Ok(body)
     }
+
+    fn sequence_of(&self, message: &[u8]) -> Option<u64> {
+        let bytes: [u8; 8] = message.get(4..NONCE_LEN)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
+    }
 }
 
 /// Computes one 64-byte ChaCha20 keystream block (RFC 7539 §2.3).

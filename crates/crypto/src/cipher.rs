@@ -90,6 +90,16 @@ pub trait Cipher {
     ///
     /// Returns [`OpenError`] if the framing is malformed.
     fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError>;
+
+    /// Recovers the sequence number a framed message was sealed with, if
+    /// the framing carries one (`None` if the message is too short to hold
+    /// the nonce/IV). All workspace ciphers derive their nonce or IV
+    /// deterministically from the sequence number, so the receiver's replay
+    /// window can read it straight off the wire.
+    fn sequence_of(&self, message: &[u8]) -> Option<u64> {
+        let _ = message;
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,176 @@
+//! Known-answer tests against the published specifications.
+//!
+//! - ChaCha20 block function and encryption: RFC 7539 §2.3.2 and §2.4.2.
+//! - Poly1305 MAC: RFC 7539 §2.5.2.
+//! - AES-128 block cipher: FIPS-197 Appendix B.
+//! - AES-128 in CTR mode: NIST SP 800-38A §F.5.1/§F.5.2.
+//!
+//! The CTR vectors are checked with hand-rolled counter blocks because
+//! SP 800-38A increments the whole 128-bit block, while [`age_crypto::AesCtr`]
+//! uses its own explicit-IV framing; the block cipher underneath must still
+//! match the standard exactly.
+
+use age_crypto::{chacha20_block, poly1305, Aes128, ChaCha20};
+
+/// Decodes a whitespace-separated hex string (test-only helper).
+fn hex(s: &str) -> Vec<u8> {
+    let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(compact.len().is_multiple_of(2), "odd hex length");
+    (0..compact.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&compact[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+fn rfc7539_key() -> [u8; 32] {
+    let mut key = [0u8; 32];
+    for (i, byte) in key.iter_mut().enumerate() {
+        *byte = i as u8;
+    }
+    key
+}
+
+#[test]
+fn chacha20_block_function_rfc7539_2_3_2() {
+    let key = rfc7539_key();
+    let nonce = [
+        0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+    ];
+    let block = chacha20_block(&key, 1, &nonce);
+    let expected = hex("10 f1 e7 e4 d1 3b 59 15 50 0f dd 1f a3 20 71 c4
+         c7 d1 f4 c7 33 c0 68 03 04 22 aa 9a c3 d4 6c 4e
+         d2 82 64 46 07 9f aa 09 14 c2 d7 05 d9 8b 02 a2
+         b5 12 9c d1 de 16 4e b9 cb d0 83 e8 a2 50 3c 4e");
+    assert_eq!(block.as_slice(), expected.as_slice());
+}
+
+#[test]
+fn chacha20_encryption_rfc7539_2_4_2() {
+    let key = rfc7539_key();
+    let nonce = [
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+    ];
+    let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+                      only one tip for the future, sunscreen would be it.";
+    let mut data = plaintext.to_vec();
+    ChaCha20::new(key).apply_keystream(&nonce, 1, &mut data);
+    let expected = hex("6e 2e 35 9a 25 68 f9 80 41 ba 07 28 dd 0d 69 81
+         e9 7e 7a ec 1d 43 60 c2 0a 27 af cc fd 9f ae 0b
+         f9 1b 65 c5 52 47 33 ab 8f 59 3d ab cd 62 b3 57
+         16 39 d6 24 e6 51 52 ab 8f 53 0c 35 9f 08 61 d8
+         07 ca 0d bf 50 0d 6a 61 56 a3 8e 08 8a 22 b6 5e
+         52 bc 51 4d 16 cc f8 06 81 8c e9 1a b7 79 37 36
+         5a f9 0b bf 74 a3 5b e6 b4 0b 8e ed f2 78 5e 42
+         87 4d");
+    assert_eq!(data, expected);
+    // Applying the keystream again decrypts.
+    ChaCha20::new(key).apply_keystream(&nonce, 1, &mut data);
+    assert_eq!(data.as_slice(), plaintext.as_slice());
+}
+
+#[test]
+fn poly1305_mac_rfc7539_2_5_2() {
+    let key: [u8; 32] = hex("85 d6 be 78 57 55 6d 33 7f 44 52 fe 42 d5 06 a8
+         01 03 80 8a fb 0d b2 fd 4a bf f6 af 41 49 f5 1b")
+    .try_into()
+    .unwrap();
+    let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+    let expected: [u8; 16] = hex("a8 06 1d c1 30 51 36 c6 c2 2b 8b af 0c 01 27 a9")
+        .try_into()
+        .unwrap();
+    assert_eq!(tag, expected);
+}
+
+#[test]
+fn aes128_block_fips197_appendix_b() {
+    let key: [u8; 16] = hex("2b 7e 15 16 28 ae d2 a6 ab f7 15 88 09 cf 4f 3c")
+        .try_into()
+        .unwrap();
+    let plaintext: [u8; 16] = hex("32 43 f6 a8 88 5a 30 8d 31 31 98 a2 e0 37 07 34")
+        .try_into()
+        .unwrap();
+    let ciphertext: [u8; 16] = hex("39 25 84 1d 02 dc 09 fb dc 11 85 97 19 6a 0b 32")
+        .try_into()
+        .unwrap();
+    let aes = Aes128::new(key);
+    assert_eq!(aes.encrypt_block(plaintext), ciphertext);
+    assert_eq!(aes.decrypt_block(ciphertext), plaintext);
+}
+
+/// Key, initial counter, and the four plaintext/ciphertext block pairs of
+/// SP 800-38A §F.5, shared by the encrypt (F.5.1) and decrypt (F.5.2) cases.
+struct CtrVectors {
+    key: [u8; 16],
+    counter0: [u8; 16],
+    plaintext: Vec<Vec<u8>>,
+    ciphertext: Vec<Vec<u8>>,
+}
+
+fn sp800_38a_f5() -> CtrVectors {
+    let key = hex("2b 7e 15 16 28 ae d2 a6 ab f7 15 88 09 cf 4f 3c")
+        .try_into()
+        .unwrap();
+    let counter0 = hex("f0 f1 f2 f3 f4 f5 f6 f7 f8 f9 fa fb fc fd fe ff")
+        .try_into()
+        .unwrap();
+    let plaintext = [
+        "6b c1 be e2 2e 40 9f 96 e9 3d 7e 11 73 93 17 2a",
+        "ae 2d 8a 57 1e 03 ac 9c 9e b7 6f ac 45 af 8e 51",
+        "30 c8 1c 46 a3 5c e4 11 e5 fb c1 19 1a 0a 52 ef",
+        "f6 9f 24 45 df 4f 9b 17 ad 2b 41 7b e6 6c 37 10",
+    ]
+    .iter()
+    .map(|s| hex(s))
+    .collect();
+    let ciphertext = [
+        "87 4d 61 91 b6 20 e3 26 1b ef 68 64 99 0d b6 ce",
+        "98 06 f6 6b 79 70 fd ff 86 17 18 7b b9 ff fd ff",
+        "5a e4 df 3e db d5 d3 5e 5b 4f 09 02 0d b0 3e ab",
+        "1e 03 1d da 2f be 03 d1 79 21 70 a0 f3 00 9c ee",
+    ]
+    .iter()
+    .map(|s| hex(s))
+    .collect();
+    CtrVectors {
+        key,
+        counter0,
+        plaintext,
+        ciphertext,
+    }
+}
+
+/// Increments an SP 800-38A counter block as one big-endian 128-bit integer.
+fn bump_counter(block: &mut [u8; 16]) {
+    for byte in block.iter_mut().rev() {
+        *byte = byte.wrapping_add(1);
+        if *byte != 0 {
+            break;
+        }
+    }
+}
+
+#[test]
+fn aes128_ctr_sp800_38a_f5_1_encrypt() {
+    let v = sp800_38a_f5();
+    let mut counter = v.counter0;
+    let aes = Aes128::new(v.key);
+    for (pt, ct) in v.plaintext.iter().zip(&v.ciphertext) {
+        let keystream = aes.encrypt_block(counter);
+        let out: Vec<u8> = pt.iter().zip(keystream).map(|(p, k)| p ^ k).collect();
+        assert_eq!(&out, ct);
+        bump_counter(&mut counter);
+    }
+}
+
+#[test]
+fn aes128_ctr_sp800_38a_f5_2_decrypt() {
+    let v = sp800_38a_f5();
+    let mut counter = v.counter0;
+    let aes = Aes128::new(v.key);
+    for (pt, ct) in v.plaintext.iter().zip(&v.ciphertext) {
+        let keystream = aes.encrypt_block(counter);
+        let out: Vec<u8> = ct.iter().zip(keystream).map(|(c, k)| c ^ k).collect();
+        assert_eq!(&out, pt);
+        bump_counter(&mut counter);
+    }
+}

@@ -120,6 +120,16 @@ impl EnergyModel {
             + encode
     }
 
+    /// Energy charged for retransmitting a `frame_bytes`-byte frame
+    /// `retries` extra times after the initial send. Only the radio pays:
+    /// the batch is already collected and encoded, so each retry costs
+    /// exactly `comm_per_byte × frame_bytes` (the transport's
+    /// retry/backoff loop charges this against the same budget as the
+    /// first transmission).
+    pub fn retransmission_cost(&self, frame_bytes: usize, retries: u32) -> MilliJoules {
+        self.comm_per_byte * (frame_bytes as f64 * f64::from(retries))
+    }
+
     /// Per-sequence budget equal to what Uniform sampling at `rate` spends
     /// on a `seq_len × features` sequence whose standard message carries
     /// `message_bytes` (paper §5.1: budgets are set from Uniform's energy).

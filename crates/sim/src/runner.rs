@@ -16,6 +16,7 @@ use age_sampling::{
     fit_threshold, DeviationPolicy, LinearPolicy, Policy, RandomPolicy, UniformPolicy,
 };
 use age_telemetry::DetRng;
+use age_transport::{ChannelStats, FaultChannel, FaultPlan, Link, LinkStats, RetryPolicy};
 
 /// Which sampling policy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +111,42 @@ impl CipherChoice {
     }
 }
 
+/// Fault-injection setup for a transport-backed run: the channel's fault
+/// rates and the sensor's retry/backoff policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSetup {
+    /// Channel fault probabilities and base seed.
+    pub plan: FaultPlan,
+    /// Retry/timeout policy for unacknowledged frames.
+    pub retry: RetryPolicy,
+}
+
+impl FaultSetup {
+    /// A setup over `plan` with the default retry policy.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultSetup {
+            plan,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Transport-layer rollup of a fault-injected run. Deterministic per seed,
+/// so it participates in byte-identical result comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportSummary {
+    /// Link session counters (sent/retried/delivered/rejected/lost).
+    pub link: LinkStats,
+    /// Channel-side fault counters and wire-length extremes.
+    pub channel: ChannelStats,
+}
+
 /// Per-sequence outcome of an experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SequenceRecord {
@@ -127,6 +164,12 @@ pub struct SequenceRecord {
     pub violated: bool,
     /// Measurements the policy collected.
     pub collected: usize,
+    /// Transmissions the transport used (1 = no retries; 0 if never sent).
+    pub attempts: u32,
+    /// `true` if the transport abandoned the message or the server could
+    /// not decode what arrived (distinct from a budget violation: the
+    /// energy was spent and the attacker saw the frames).
+    pub lost: bool,
 }
 
 /// Aggregated result of one (policy, defense, budget) run.
@@ -142,6 +185,9 @@ pub struct ExperimentResult {
     pub defense: &'static str,
     /// Per-sequence energy budget.
     pub budget_per_seq: MilliJoules,
+    /// Transport counters when the run went through the fault-injected
+    /// link; `None` for the plain seal/open path.
+    pub transport: Option<TransportSummary>,
 }
 
 impl ExperimentResult {
@@ -198,6 +244,12 @@ impl ExperimentResult {
     /// Number of sequences lost to budget violations.
     pub fn violations(&self) -> usize {
         self.records.iter().filter(|r| r.violated).count()
+    }
+
+    /// Number of sequences lost in transit (transport gave up or the
+    /// server could not decode what arrived). Always 0 on the plain path.
+    pub fn losses(&self) -> usize {
+        self.records.iter().filter(|r| r.lost).count()
     }
 
     /// Mean and standard deviation of message sizes per event label
@@ -530,6 +582,64 @@ impl Runner {
         enforce_budget: bool,
         limit: Option<usize>,
     ) -> ExperimentResult {
+        self.run_with_transport(
+            policy_kind,
+            defense,
+            rate,
+            cipher_choice,
+            enforce_budget,
+            limit,
+            None,
+        )
+    }
+
+    /// Derives an independent, reproducible fault-stream seed for one
+    /// experiment cell: a pure function of the runner seed, the plan seed,
+    /// and the cell coordinates, so sweeps stay byte-identical at any
+    /// thread count while no two cells share a fault pattern.
+    fn transport_seed(
+        &self,
+        policy: PolicyKind,
+        defense: Defense,
+        rate: f64,
+        cipher: CipherChoice,
+        plan_seed: u64,
+    ) -> u64 {
+        let mut s = self.seed
+            ^ plan_seed.rotate_left(31)
+            ^ rate.to_bits().rotate_left(13)
+            ^ ((policy as u64) << 3)
+            ^ ((defense as u64) << 7)
+            ^ ((cipher as u64) << 11);
+        // SplitMix64 finalizer to decorrelate neighbouring cells.
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^ (s >> 31)
+    }
+
+    /// Like [`Runner::run_limited`] but optionally routing every message
+    /// through the real [`age_transport`] link: frames are sealed under
+    /// per-sequence nonces, pushed through a deterministic fault channel,
+    /// retried with exponential backoff (retransmission energy is charged
+    /// against the same budget), and decoded only if the receiver accepts
+    /// them. Undelivered or undecodable sequences become `lost` records —
+    /// the server substitutes a guess, exactly like a budget violation,
+    /// but the energy stays spent and the attacker still saw the frames.
+    ///
+    /// With `faults: None` this is byte-identical to [`Runner::run_limited`].
+    // One positional argument per experiment axis, mirroring `run_limited`;
+    // bundling them would just move the axis list into a one-off struct.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_transport(
+        &self,
+        policy_kind: PolicyKind,
+        defense: Defense,
+        rate: f64,
+        cipher_choice: CipherChoice,
+        enforce_budget: bool,
+        limit: Option<usize>,
+        faults: Option<FaultSetup>,
+    ) -> ExperimentResult {
         let spec = self.data.spec();
         let d = spec.features;
         let cipher = cipher_choice.build();
@@ -561,56 +671,219 @@ impl Runner {
         let mut records = Vec::with_capacity(test.len());
         let mut scratch = EncodeScratch::new();
         let mut plaintext = Vec::new();
-        for (i, seq) in test.iter().enumerate() {
-            let truth = &seq.values;
-            let weight = std_deviation(truth);
-            let indices = policy.sample(truth, d);
-            let k = indices.len();
-            let mut values = Vec::with_capacity(k * d);
-            for &t in &indices {
-                values.extend_from_slice(&truth[t * d..(t + 1) * d]);
-            }
-            let batch = Batch::new(indices, values).expect("policy output is a valid batch");
-            encoder
-                .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
-                .expect("experiment encoders are configured with feasible targets");
-            let message = cipher.seal(i as u64, &plaintext);
-            let cost = self
-                .energy
-                .sequence_cost(k, k * d, message.len(), defense.encoder_cost());
+        let mut transport = None;
 
-            if enforce_budget && !ledger.try_spend(cost) {
-                // Budget exhausted: the sequence is lost; the server can
-                // only guess within the data range (§5.1).
-                let guess: Vec<f64> = (0..truth.len())
-                    .map(|_| rng.gen_range(self.bounds.0..=self.bounds.1))
-                    .collect();
+        if let Some(setup) = faults {
+            let channel_seed =
+                self.transport_seed(policy_kind, defense, rate, cipher_choice, setup.plan.seed);
+            let mut link = Link::with_channel(
+                cipher_choice.build(),
+                cipher_choice.build(),
+                FaultChannel::with_seed(setup.plan, channel_seed),
+                setup.retry,
+            );
+
+            /// Sensor-side state of one sequence, pending the decode pass.
+            struct Pending {
+                label: usize,
+                weight: f64,
+                collected: usize,
+                frame_len: usize,
+                attempts: u32,
+                energy_mj: f64,
+                violated: bool,
+            }
+            // Pass 1 — transmit. Accepted payloads are keyed by sequence
+            // number because a reordered frame can surface during a later
+            // send (or only at the final flush).
+            let mut pending = Vec::with_capacity(test.len());
+            let mut arrived: HashMap<u64, Vec<u8>> = HashMap::new();
+            for (i, seq) in test.iter().enumerate() {
+                let truth = &seq.values;
+                let weight = std_deviation(truth);
+                let indices = policy.sample(truth, d);
+                let k = indices.len();
+                let mut values = Vec::with_capacity(k * d);
+                for &t in &indices {
+                    values.extend_from_slice(&truth[t * d..(t + 1) * d]);
+                }
+                let batch = Batch::new(indices, values).expect("policy output is a valid batch");
+                encoder
+                    .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
+                    .expect("experiment encoders are configured with feasible targets");
+                let frame_len = cipher.message_len(plaintext.len());
+                let base_cost =
+                    self.energy
+                        .sequence_cost(k, k * d, frame_len, defense.encoder_cost());
+                if enforce_budget && !ledger.try_spend(base_cost) {
+                    pending.push(Pending {
+                        label: seq.label,
+                        weight,
+                        collected: 0,
+                        frame_len: 0,
+                        attempts: 0,
+                        energy_mj: 0.0,
+                        violated: true,
+                    });
+                    continue;
+                }
+                let delivery = link.send_as(i as u64, &plaintext);
+                debug_assert_eq!(delivery.frame_len, frame_len);
+                // The radio spends retransmission energy before the sensor
+                // can veto it; charging it may exhaust the ledger and
+                // violate *later* sequences.
+                let retrans = self
+                    .energy
+                    .retransmission_cost(frame_len, delivery.attempts.saturating_sub(1));
+                if enforce_budget && retrans.0 > 0.0 {
+                    let _ = ledger.try_spend(retrans);
+                }
+                for (seq_no, payload) in delivery.payloads {
+                    arrived.entry(seq_no).or_insert(payload);
+                }
+                pending.push(Pending {
+                    label: seq.label,
+                    weight,
+                    collected: k,
+                    frame_len,
+                    attempts: delivery.attempts,
+                    energy_mj: base_cost.0 + retrans.0,
+                    violated: false,
+                });
+            }
+            for (seq_no, payload) in link.flush() {
+                arrived.entry(seq_no).or_insert(payload);
+            }
+
+            // Pass 2 — decode what arrived, in evaluation order.
+            for (i, info) in pending.into_iter().enumerate() {
+                let truth = &test[i].values;
+                if info.violated {
+                    let guess: Vec<f64> = (0..truth.len())
+                        .map(|_| rng.gen_range(self.bounds.0..=self.bounds.1))
+                        .collect();
+                    records.push(SequenceRecord {
+                        label: info.label,
+                        message_bytes: 0,
+                        mae: mae(&guess, truth),
+                        weight: info.weight,
+                        energy_mj: 0.0,
+                        violated: true,
+                        collected: 0,
+                        attempts: 0,
+                        lost: false,
+                    });
+                    continue;
+                }
+                let decoded = arrived.remove(&(i as u64)).and_then(|payload| {
+                    match encoder.decode(&payload, &self.batch_cfg) {
+                        Ok(batch) => Some(batch),
+                        Err(_) => {
+                            // Graceful degradation: an undecodable payload
+                            // (possible under unauthenticated ciphers) skips
+                            // the batch instead of panicking.
+                            #[cfg(feature = "telemetry")]
+                            age_telemetry::metrics::global::FRAMES_DECODE_FAILED.add(1);
+                            None
+                        }
+                    }
+                });
+                match decoded {
+                    Some(batch) => {
+                        let recon = interpolate(batch.indices(), batch.values(), spec.seq_len, d);
+                        records.push(SequenceRecord {
+                            label: info.label,
+                            message_bytes: info.frame_len,
+                            mae: mae(&recon, truth),
+                            weight: info.weight,
+                            energy_mj: info.energy_mj,
+                            violated: false,
+                            collected: info.collected,
+                            attempts: info.attempts,
+                            lost: false,
+                        });
+                    }
+                    None => {
+                        // Lost in transit or mangled beyond decoding: the
+                        // server guesses, the attacker still saw the
+                        // fixed-size frames, and the energy stays spent.
+                        let guess: Vec<f64> = (0..truth.len())
+                            .map(|_| rng.gen_range(self.bounds.0..=self.bounds.1))
+                            .collect();
+                        records.push(SequenceRecord {
+                            label: info.label,
+                            message_bytes: info.frame_len,
+                            mae: mae(&guess, truth),
+                            weight: info.weight,
+                            energy_mj: info.energy_mj,
+                            violated: false,
+                            collected: info.collected,
+                            attempts: info.attempts,
+                            lost: true,
+                        });
+                    }
+                }
+            }
+            transport = Some(TransportSummary {
+                link: *link.stats(),
+                channel: *link.channel_stats(),
+            });
+        } else {
+            for (i, seq) in test.iter().enumerate() {
+                let truth = &seq.values;
+                let weight = std_deviation(truth);
+                let indices = policy.sample(truth, d);
+                let k = indices.len();
+                let mut values = Vec::with_capacity(k * d);
+                for &t in &indices {
+                    values.extend_from_slice(&truth[t * d..(t + 1) * d]);
+                }
+                let batch = Batch::new(indices, values).expect("policy output is a valid batch");
+                encoder
+                    .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
+                    .expect("experiment encoders are configured with feasible targets");
+                let message = cipher.seal(i as u64, &plaintext);
+                let cost =
+                    self.energy
+                        .sequence_cost(k, k * d, message.len(), defense.encoder_cost());
+
+                if enforce_budget && !ledger.try_spend(cost) {
+                    // Budget exhausted: the sequence is lost; the server can
+                    // only guess within the data range (§5.1).
+                    let guess: Vec<f64> = (0..truth.len())
+                        .map(|_| rng.gen_range(self.bounds.0..=self.bounds.1))
+                        .collect();
+                    records.push(SequenceRecord {
+                        label: seq.label,
+                        message_bytes: 0,
+                        mae: mae(&guess, truth),
+                        weight,
+                        energy_mj: 0.0,
+                        violated: true,
+                        collected: 0,
+                        attempts: 0,
+                        lost: false,
+                    });
+                    continue;
+                }
+
+                let opened = cipher.open(&message).expect("sealed messages always open");
+                let decoded = encoder
+                    .decode(&opened, &self.batch_cfg)
+                    .expect("own messages always decode");
+                let recon = interpolate(decoded.indices(), decoded.values(), spec.seq_len, d);
                 records.push(SequenceRecord {
                     label: seq.label,
-                    message_bytes: 0,
-                    mae: mae(&guess, truth),
+                    message_bytes: message.len(),
+                    mae: mae(&recon, truth),
                     weight,
-                    energy_mj: 0.0,
-                    violated: true,
-                    collected: 0,
+                    energy_mj: cost.0,
+                    violated: false,
+                    collected: k,
+                    attempts: 1,
+                    lost: false,
                 });
-                continue;
             }
-
-            let opened = cipher.open(&message).expect("sealed messages always open");
-            let decoded = encoder
-                .decode(&opened, &self.batch_cfg)
-                .expect("own messages always decode");
-            let recon = interpolate(decoded.indices(), decoded.values(), spec.seq_len, d);
-            records.push(SequenceRecord {
-                label: seq.label,
-                message_bytes: message.len(),
-                mae: mae(&recon, truth),
-                weight,
-                energy_mj: cost.0,
-                violated: false,
-                collected: k,
-            });
         }
 
         ExperimentResult {
@@ -619,6 +892,7 @@ impl Runner {
             policy: policy_kind.name(),
             defense: defense.name(),
             budget_per_seq,
+            transport,
         }
     }
 }

@@ -24,9 +24,10 @@ use std::sync::Arc;
 
 use age_telemetry::Sink;
 
-use crate::runner::{CipherChoice, Defense, ExperimentResult, PolicyKind, Runner};
+use crate::runner::{CipherChoice, Defense, ExperimentResult, FaultSetup, PolicyKind, Runner};
 
-/// One experiment cell: the arguments of a [`Runner::run_limited`] call.
+/// One experiment cell: the arguments of a [`Runner::run_with_transport`]
+/// call.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepCell {
     /// Sampling policy to run.
@@ -41,6 +42,10 @@ pub struct SweepCell {
     pub enforce_budget: bool,
     /// Optional cap on evaluated test sequences.
     pub limit: Option<usize>,
+    /// Optional fault-injected transport; `None` is the plain seal/open
+    /// path. Each cell's fault stream is re-seeded from the cell identity,
+    /// so results stay byte-identical at any thread count.
+    pub faults: Option<FaultSetup>,
 }
 
 impl SweepCell {
@@ -54,7 +59,14 @@ impl SweepCell {
             cipher: CipherChoice::ChaCha20,
             enforce_budget: true,
             limit: None,
+            faults: None,
         }
+    }
+
+    /// Routes the cell's messages through the fault-injected transport.
+    pub fn with_faults(mut self, faults: FaultSetup) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -127,13 +139,14 @@ pub fn run_cells(
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    let result = runner.run_limited(
+                    let result = runner.run_with_transport(
                         cell.policy,
                         cell.defense,
                         cell.rate,
                         cell.cipher,
                         cell.enforce_budget,
                         cell.limit,
+                        cell.faults,
                     );
                     done.push((i, result));
                 }
@@ -190,13 +203,14 @@ mod tests {
             },
         );
         for (cell, result) in cells.iter().zip(&swept) {
-            let direct = runner.run_limited(
+            let direct = runner.run_with_transport(
                 cell.policy,
                 cell.defense,
                 cell.rate,
                 cell.cipher,
                 cell.enforce_budget,
                 cell.limit,
+                cell.faults,
             );
             assert_eq!(*result, direct);
         }

@@ -17,9 +17,9 @@
 use age_core::{target, AgeEncoder, Batch, BatchConfig, Encoder, StandardEncoder};
 
 use age_datasets::Sequence;
-use age_telemetry::DetRng;
+use age_transport::{FaultPlan, RetryPolicy};
 
-use crate::runner::{CipherChoice, Defense, PolicyKind, Runner};
+use crate::runner::{CipherChoice, Defense, FaultSetup, PolicyKind, Runner};
 
 /// Observations surviving an unreliable link.
 #[derive(Debug, Clone)]
@@ -49,23 +49,35 @@ impl FaultyRun {
     }
 }
 
-/// Runs an experiment over an unreliable link that drops each message with
-/// probability `drop_prob`, independently of content.
+/// Runs an experiment through the real [`age_transport`] link under `plan`'s
+/// fault rates and `retry`'s retransmission policy. Faults are drawn from a
+/// deterministic stream seeded by the plan and the cell coordinates, so the
+/// run is reproducible at any thread count. A message counts as *dropped*
+/// when the transport abandoned it (or the server could not decode what
+/// arrived) — retransmissions that eventually get through still count as
+/// delivered.
 pub fn run_with_faults(
     runner: &Runner,
     policy: PolicyKind,
     defense: Defense,
     rate: f64,
     cipher: CipherChoice,
-    drop_prob: f64,
-    seed: u64,
+    plan: FaultPlan,
+    retry: RetryPolicy,
 ) -> FaultyRun {
-    let result = runner.run(policy, defense, rate, cipher, false);
-    let mut rng = DetRng::seed_from_u64(seed);
+    let result = runner.run_with_transport(
+        policy,
+        defense,
+        rate,
+        cipher,
+        false,
+        None,
+        Some(FaultSetup { plan, retry }),
+    );
     let mut delivered = Vec::new();
     let mut dropped_labels = Vec::new();
     for record in result.records.iter().filter(|r| !r.violated) {
-        if rng.gen_bool(drop_prob.clamp(0.0, 1.0)) {
+        if record.lost {
             dropped_labels.push(record.label);
         } else {
             delivered.push((record.label, record.message_bytes));
@@ -181,8 +193,8 @@ mod tests {
             Defense::Age,
             0.5,
             CipherChoice::ChaCha20,
-            0.3,
-            1,
+            FaultPlan::drops(0.3, 1),
+            RetryPolicy::none(),
         );
         assert!(!run.delivered.is_empty());
         assert_eq!(run.delivered_nmi(), 0.0);
@@ -198,8 +210,8 @@ mod tests {
             Defense::Age,
             0.5,
             CipherChoice::ChaCha20,
-            0.2,
-            2,
+            FaultPlan::drops(0.2, 2),
+            RetryPolicy::none(),
         );
         // Small-sample noise only: far below the standard policy's leakage.
         assert!(
@@ -218,10 +230,40 @@ mod tests {
             Defense::Standard,
             0.5,
             CipherChoice::ChaCha20,
-            0.2,
-            3,
+            FaultPlan::drops(0.2, 3),
+            RetryPolicy::none(),
         );
         assert!(run.delivered_nmi() > 0.1);
+    }
+
+    #[test]
+    fn retries_recover_most_messages() {
+        let r = runner();
+        let fire_and_forget = run_with_faults(
+            &r,
+            PolicyKind::Linear,
+            Defense::Age,
+            0.5,
+            CipherChoice::ChaCha20Poly1305,
+            FaultPlan::drops(0.4, 9),
+            RetryPolicy::none(),
+        );
+        let with_retries = run_with_faults(
+            &r,
+            PolicyKind::Linear,
+            Defense::Age,
+            0.5,
+            CipherChoice::ChaCha20Poly1305,
+            FaultPlan::drops(0.4, 9),
+            RetryPolicy::default(),
+        );
+        assert!(
+            with_retries.dropped_labels.len() < fire_and_forget.dropped_labels.len(),
+            "retries must recover messages: {} vs {}",
+            with_retries.dropped_labels.len(),
+            fire_and_forget.dropped_labels.len()
+        );
+        assert_eq!(with_retries.delivered_nmi(), 0.0);
     }
 
     #[test]

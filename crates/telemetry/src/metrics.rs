@@ -161,6 +161,18 @@ pub mod global {
     pub static PRUNED_MEASUREMENTS: Counter = Counter::new();
     /// On-air message sizes in bytes.
     pub static MESSAGE_BYTES: Histogram = Histogram::new();
+    /// Transport frames put on the wire (including retransmissions).
+    pub static FRAMES_SENT: Counter = Counter::new();
+    /// Retransmission attempts after a send was not acknowledged.
+    pub static FRAMES_RETRIED: Counter = Counter::new();
+    /// Frames the (simulated) channel dropped in flight.
+    pub static FRAMES_DROPPED: Counter = Counter::new();
+    /// Frames the receiver rejected: failed authentication or malformed
+    /// cipher framing.
+    pub static FRAMES_AUTH_FAILED: Counter = Counter::new();
+    /// Delivered payloads whose batch decode failed (receiver skipped the
+    /// batch).
+    pub static FRAMES_DECODE_FAILED: Counter = Counter::new();
 
     /// Resets every global metric (between experiment cells).
     pub fn reset() {
@@ -168,6 +180,11 @@ pub mod global {
         ENCODE_NANOS.reset();
         PRUNED_MEASUREMENTS.reset();
         MESSAGE_BYTES.reset();
+        FRAMES_SENT.reset();
+        FRAMES_RETRIED.reset();
+        FRAMES_DROPPED.reset();
+        FRAMES_AUTH_FAILED.reset();
+        FRAMES_DECODE_FAILED.reset();
     }
 }
 

@@ -26,6 +26,9 @@
 //! - `telemetry` ([`age_telemetry`]) — counters, per-batch records, sinks,
 //!   and the deterministic PRNG (instrumentation is gated behind the
 //!   `telemetry` cargo feature, on by default).
+//! - `transport` ([`age_transport`]) — the framed, fault-tolerant
+//!   sensor→server link: sealed fixed-size frames, replay window,
+//!   deterministic fault injection, and retry/backoff.
 //!
 //! # Quickstart
 //!
@@ -51,3 +54,4 @@ pub use age_reconstruct as reconstruct;
 pub use age_sampling as sampling;
 pub use age_sim as sim;
 pub use age_telemetry as telemetry;
+pub use age_transport as transport;
