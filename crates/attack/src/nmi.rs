@@ -1,62 +1,35 @@
 //! Empirical mutual information between labels and message sizes (§5.3).
+//!
+//! The math lives in `age_telemetry::leakage` so the offline attack and the
+//! online leakage audit score leakage with literally the same code: the
+//! audit maintains streaming counts, this module scores complete traces,
+//! and both reduce to the same count-based NMI over `BTreeMap`-ordered
+//! sums (deterministic across runs and processes, unlike hash-map
+//! iteration).
+//!
+//! Degenerate inputs are hardened, not panics: empty traces, a single
+//! label class, or constant sizes all score 0.0 leakage — entropy
+//! normalization never divides by zero and never returns NaN.
 
-use std::collections::HashMap;
-
-use age_telemetry::rng::{DetRng, SliceShuffle};
+use age_telemetry::leakage;
 
 /// Shannon entropy (bits) of a discrete empirical distribution given by
 /// occurrence counts.
 pub fn entropy(counts: &[usize]) -> f64 {
-    let total: usize = counts.iter().sum();
-    if total == 0 {
-        return 0.0;
-    }
-    let n = total as f64;
-    counts
-        .iter()
-        .filter(|&&c| c > 0)
-        .map(|&c| {
-            let p = c as f64 / n;
-            -p * p.log2()
-        })
-        .sum()
+    leakage::entropy_from_counts(counts.iter().map(|&c| c as u64))
 }
 
 /// Empirical normalized mutual information between event labels and message
 /// sizes (paper Eq. 3): `2·I(L, M) / (H(L) + H(M))`, using maximum
 /// likelihood estimators of the entropies. Zero means sizes carry no
-/// information about the label; returns 0 when either marginal is constant.
+/// information about the label; returns 0 when either marginal is constant
+/// (including empty input).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn nmi(labels: &[usize], sizes: &[usize]) -> f64 {
-    assert_eq!(labels.len(), sizes.len(), "labels/sizes length mismatch");
-    if labels.is_empty() {
-        return 0.0;
-    }
-    let mut label_counts: HashMap<usize, usize> = HashMap::new();
-    let mut size_counts: HashMap<usize, usize> = HashMap::new();
-    let mut joint_counts: HashMap<(usize, usize), usize> = HashMap::new();
-    for (&l, &m) in labels.iter().zip(sizes) {
-        *label_counts.entry(l).or_default() += 1;
-        *size_counts.entry(m).or_default() += 1;
-        *joint_counts.entry((l, m)).or_default() += 1;
-    }
-    let h_l = entropy(&label_counts.values().copied().collect::<Vec<_>>());
-    let h_m = entropy(&size_counts.values().copied().collect::<Vec<_>>());
-    if h_l + h_m == 0.0 {
-        return 0.0;
-    }
-    let n = labels.len() as f64;
-    let mut mi = 0.0;
-    for (&(l, m), &c) in &joint_counts {
-        let p_joint = c as f64 / n;
-        let p_l = label_counts[&l] as f64 / n;
-        let p_m = size_counts[&m] as f64 / n;
-        mi += p_joint * (p_joint / (p_l * p_m)).log2();
-    }
-    (2.0 * mi / (h_l + h_m)).max(0.0)
+    leakage::nmi_pairs(labels, sizes)
 }
 
 /// Approximate permutation test for the significance of an observed NMI
@@ -66,24 +39,15 @@ pub fn nmi(labels: &[usize], sizes: &[usize]) -> f64 {
 /// correction for an unbiased estimator).
 ///
 /// The null hypothesis is that sizes and labels are independent; a small
-/// p-value means the observed NMI reflects real leakage.
+/// p-value means the observed NMI reflects real leakage. Degenerate inputs
+/// (empty traces or zero permutations) return 1.0: no evidence against
+/// the null.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn permutation_test(labels: &[usize], sizes: &[usize], permutations: usize, seed: u64) -> f64 {
-    assert_eq!(labels.len(), sizes.len(), "labels/sizes length mismatch");
-    let observed = nmi(labels, sizes);
-    let mut shuffled = sizes.to_vec();
-    let mut rng = DetRng::seed_from_u64(seed);
-    let mut at_least = 0usize;
-    for _ in 0..permutations {
-        shuffled.shuffle(&mut rng);
-        if nmi(labels, &shuffled) >= observed - 1e-12 {
-            at_least += 1;
-        }
-    }
-    (at_least + 1) as f64 / (permutations + 1) as f64
+    leakage::permutation_test_pairs(labels, sizes, permutations, seed)
 }
 
 #[cfg(test)]
@@ -108,10 +72,38 @@ mod tests {
     }
 
     #[test]
+    fn nmi_empty_input_is_zero() {
+        assert_eq!(nmi(&[], &[]), 0.0);
+        assert!(!nmi(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn nmi_single_label_class_is_zero() {
+        // Only one event ever occurs: H(L) = 0, nothing to leak. The
+        // normalization must not divide 0 by 0.
+        let labels = vec![3usize; 200];
+        let sizes: Vec<usize> = (0..200).map(|i| 100 + i % 7).collect();
+        let v = nmi(&labels, &sizes);
+        assert_eq!(v, 0.0);
+        assert!(!v.is_nan());
+    }
+
+    #[test]
     fn nmi_constant_sizes_is_zero() {
         let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
         let sizes = vec![220usize; 100];
-        assert_eq!(nmi(&labels, &sizes), 0.0);
+        let v = nmi(&labels, &sizes);
+        assert_eq!(v, 0.0);
+        assert!(!v.is_nan());
+    }
+
+    #[test]
+    fn nmi_both_marginals_constant_is_zero() {
+        // H(L) + H(M) = 0: the normalizing denominator is zero and must be
+        // guarded, not divided by.
+        let v = nmi(&[1usize; 50], &[64usize; 50]);
+        assert_eq!(v, 0.0);
+        assert!(!v.is_nan());
     }
 
     #[test]
@@ -152,10 +144,35 @@ mod tests {
     }
 
     #[test]
+    fn permutation_test_degenerate_inputs_return_one() {
+        assert_eq!(permutation_test(&[], &[], 100, 42), 1.0);
+        let labels: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let sizes: Vec<usize> = labels.iter().map(|&l| 100 + l).collect();
+        assert_eq!(permutation_test(&labels, &sizes, 0, 42), 1.0);
+    }
+
+    #[test]
     fn nmi_is_symmetric_under_relabeling() {
         let labels = [0usize, 1, 2, 0, 1, 2];
         let sizes = [9usize, 8, 7, 9, 8, 7];
         let relabeled: Vec<usize> = labels.iter().map(|&l| 2 - l).collect();
         assert!((nmi(&labels, &sizes) - nmi(&relabeled, &sizes)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_matches_streaming_audit_exactly() {
+        // The offline attack and the online audit must agree bit-for-bit:
+        // same counts, same BTreeMap summation order, same float result.
+        let labels: Vec<usize> = (0..300).map(|i| i % 3).collect();
+        let sizes: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if i % 5 == 0 { 200 } else { 80 + l * 12 })
+            .collect();
+        let mut stream = age_telemetry::LeakageStream::new();
+        for (&l, &m) in labels.iter().zip(&sizes) {
+            stream.observe(l, m);
+        }
+        assert_eq!(nmi(&labels, &sizes).to_bits(), stream.nmi().to_bits());
     }
 }

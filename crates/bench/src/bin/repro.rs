@@ -14,6 +14,12 @@
 //! `--telemetry <path>` streams one JSON object per encoded batch to `path`
 //! (stage timings, group layout, message length) and prints a per-stream
 //! summary table after the experiments; requires the `telemetry` feature.
+//!
+//! `--audit` watches the sealed wire frames every experiment transmits,
+//! scores per-stream leakage (NMI between event labels and frame sizes,
+//! plus a seeded permutation p-value), prints the audit table, and writes
+//! `LEAKAGE.json` (`--audit-out <path>` to relocate); requires the
+//! `telemetry` feature.
 
 use std::time::Instant;
 
@@ -26,9 +32,25 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut audit = false;
+    let mut audit_out = String::from("LEAKAGE.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--audit" => audit = true,
+            "--audit-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => {
+                        audit = true;
+                        audit_out = path.clone();
+                    }
+                    None => {
+                        eprintln!("--audit-out needs an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--quick" => settings = Settings::quick(),
             "--full" => settings = Settings::full(),
             "--threads" => {
@@ -77,7 +99,8 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
-             [--telemetry out.jsonl] <experiment...|all|extensions>"
+             [--telemetry out.jsonl] [--audit] [--audit-out LEAKAGE.json] \
+             <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         eprintln!("extensions:  {}", EXTENSIONS.join(" "));
@@ -86,30 +109,49 @@ fn main() {
     ids.dedup();
 
     #[cfg(not(feature = "telemetry"))]
-    if telemetry_path.is_some() {
-        eprintln!(
-            "--telemetry requires the `telemetry` feature (this binary was built without it)"
-        );
-        std::process::exit(2);
+    {
+        if telemetry_path.is_some() {
+            eprintln!(
+                "--telemetry requires the `telemetry` feature (this binary was built without it)"
+            );
+            std::process::exit(2);
+        }
+        if audit {
+            eprintln!(
+                "--audit requires the `telemetry` feature (this binary was built without it)"
+            );
+            std::process::exit(2);
+        }
+        let _ = audit_out;
     }
 
     #[cfg(feature = "telemetry")]
-    let summary_sink = telemetry_path.as_deref().map(|path| {
+    let (summary_sink, leakage_sink) = {
         use std::sync::Arc;
-        let jsonl = match age_telemetry::JsonlSink::create(path) {
-            Ok(sink) => sink,
-            Err(e) => {
-                eprintln!("cannot create telemetry file '{path}': {e}");
-                std::process::exit(2);
-            }
-        };
-        let summary = Arc::new(age_telemetry::SummarySink::new());
-        age_telemetry::install_global(Arc::new(age_telemetry::FanoutSink(vec![
-            Arc::new(jsonl),
-            summary.clone(),
-        ])));
-        summary
-    });
+        let mut sinks: Vec<Arc<dyn age_telemetry::Sink>> = Vec::new();
+        let summary = telemetry_path.as_deref().map(|path| {
+            let jsonl = match age_telemetry::JsonlSink::create(path) {
+                Ok(sink) => sink,
+                Err(e) => {
+                    eprintln!("cannot create telemetry file '{path}': {e}");
+                    std::process::exit(2);
+                }
+            };
+            sinks.push(Arc::new(jsonl));
+            let summary = Arc::new(age_telemetry::SummarySink::new());
+            sinks.push(summary.clone());
+            summary
+        });
+        let leakage = audit.then(|| {
+            let sink = Arc::new(age_telemetry::LeakageSink::new());
+            sinks.push(sink.clone());
+            sink
+        });
+        if !sinks.is_empty() {
+            age_telemetry::install_global(Arc::new(age_telemetry::FanoutSink(sinks)));
+        }
+        (summary, leakage)
+    };
 
     for id in &ids {
         let start = Instant::now();
@@ -134,15 +176,35 @@ fn main() {
     }
 
     #[cfg(feature = "telemetry")]
-    if let Some(summary) = summary_sink {
-        age_telemetry::clear_global();
-        let summary = summary.take();
-        if !summary.is_empty() {
-            println!("telemetry summary (message sizes per stream):");
-            print!("{summary}");
+    {
+        if summary_sink.is_some() || leakage_sink.is_some() {
+            age_telemetry::clear_global();
         }
-        if let Some(path) = &telemetry_path {
-            println!("[per-batch records written to {path}]");
+        if let Some(summary) = summary_sink {
+            let summary = summary.take();
+            if !summary.is_empty() {
+                println!("telemetry summary (message sizes per stream):");
+                print!("{summary}");
+            }
+            if let Some(path) = &telemetry_path {
+                println!("[per-batch records written to {path}]");
+            }
+        }
+        if let Some(leakage) = leakage_sink {
+            let report = age_bench::audit::finalize(&leakage.take(), &settings);
+            if report.entries.is_empty() {
+                println!("leakage audit: no wire frames observed (did the experiments transmit?)");
+            } else {
+                println!("leakage audit (sealed wire frames per stream):");
+                print!("{report}");
+            }
+            match std::fs::write(&audit_out, report.to_json()) {
+                Ok(()) => println!("[leakage report written to {audit_out}]"),
+                Err(e) => {
+                    eprintln!("cannot write leakage report '{audit_out}': {e}");
+                    std::process::exit(2);
+                }
+            }
         }
     }
 }

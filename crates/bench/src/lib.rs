@@ -9,6 +9,8 @@
 //! but the qualitative shape — who wins, where padding collapses, which
 //! policies leak — reproduces. EXPERIMENTS.md records a measured run.
 
+#[cfg(feature = "telemetry")]
+pub mod audit;
 pub mod extensions;
 pub mod harness;
 pub mod report;

@@ -708,6 +708,10 @@ impl Runner {
                     values.extend_from_slice(&truth[t * d..(t + 1) * d]);
                 }
                 let batch = Batch::new(indices, values).expect("policy output is a valid batch");
+                // Publish the ground-truth event so per-batch records and
+                // wire records can be correlated against it by the audit.
+                #[cfg(feature = "telemetry")]
+                age_telemetry::set_context_event(Some(seq.label));
                 encoder
                     .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
                     .expect("experiment encoders are configured with feasible targets");
@@ -729,6 +733,18 @@ impl Runner {
                 }
                 let delivery = link.send_as(i as u64, &plaintext);
                 debug_assert_eq!(delivery.frame_len, frame_len);
+                // Audit the *sealed* frame as the eavesdropper saw it — the
+                // frame went on the air even if it was later lost in
+                // transit, so it is observed unconditionally here.
+                #[cfg(feature = "telemetry")]
+                if age_telemetry::active() {
+                    age_telemetry::emit_wire(
+                        defense.name(),
+                        i as u64,
+                        seq.label,
+                        delivery.frame_len,
+                    );
+                }
                 // The radio spends retransmission energy before the sensor
                 // can veto it; charging it may exhaust the ledger and
                 // violate *later* sequences.
@@ -839,6 +855,8 @@ impl Runner {
                     values.extend_from_slice(&truth[t * d..(t + 1) * d]);
                 }
                 let batch = Batch::new(indices, values).expect("policy output is a valid batch");
+                #[cfg(feature = "telemetry")]
+                age_telemetry::set_context_event(Some(seq.label));
                 encoder
                     .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
                     .expect("experiment encoders are configured with feasible targets");
@@ -867,6 +885,13 @@ impl Runner {
                     continue;
                 }
 
+                // Budget cleared: the sealed message is transmitted, and its
+                // on-air size is what the audit must correlate with events.
+                #[cfg(feature = "telemetry")]
+                if age_telemetry::active() {
+                    age_telemetry::emit_wire(defense.name(), i as u64, seq.label, message.len());
+                }
+
                 let opened = cipher.open(&message).expect("sealed messages always open");
                 let decoded = encoder
                     .decode(&opened, &self.batch_cfg)
@@ -885,6 +910,11 @@ impl Runner {
                 });
             }
         }
+
+        // The event context is per-cell state; clear it so batches emitted
+        // outside an experiment (warm-up, calibration) aren't mislabeled.
+        #[cfg(feature = "telemetry")]
+        age_telemetry::set_context_event(None);
 
         ExperimentResult {
             records,

@@ -18,7 +18,12 @@
 //!   (tests), [`JsonlSink`] (runs), [`FanoutSink`], with thread-local and
 //!   process-global installation.
 //! - [`summary`] — [`Summary`] rollups whose message-size stddev column is
-//!   the machine-checkable constant-size invariant.
+//!   the machine-checkable constant-size invariant, with p50/p95/p99
+//!   encode-time percentiles.
+//! - [`leakage`] — streaming `(event label, wire size)` joint distributions
+//!   with online NMI and a seeded permutation test; behind the `audit`
+//!   feature, the [`LeakageAudit`]/[`LeakageSink`] pipeline and the
+//!   [`LeakageGate`] CI regression gate.
 //! - [`rng`] — [`DetRng`], the deterministic SplitMix64/xoshiro256**
 //!   generator the rest of the workspace uses instead of an external `rand`
 //!   dependency.
@@ -28,6 +33,7 @@
 //! and this crate is only linked for [`rng`].
 
 pub mod alloc;
+pub mod leakage;
 pub mod metrics;
 pub mod record;
 pub mod rng;
@@ -35,13 +41,22 @@ pub mod sink;
 pub mod span;
 pub mod summary;
 
+pub use leakage::{entropy_from_counts, nmi_pairs, permutation_test_pairs, LeakageStream};
+#[cfg(feature = "audit")]
+pub use leakage::{
+    GateOutcome, LeakageAudit, LeakageEntry, LeakageGate, LeakageReport, LeakageSink,
+};
 pub use metrics::{Counter, Histogram};
+#[cfg(feature = "audit")]
+pub use record::WireRecord;
 pub use record::{BatchRecord, GroupRecord, StageTimings};
 pub use rng::{DetRng, SliceShuffle};
+#[cfg(feature = "audit")]
+pub use sink::emit_wire;
 pub use sink::{
-    active, clear_global, emit, install_global, install_thread, set_context_label,
-    set_timings_enabled, stamp, timings_enabled, FanoutSink, JsonlSink, NullSink, RecordingSink,
-    Sink, ThreadSinkGuard,
+    active, clear_global, context_event, emit, install_global, install_thread, set_context_event,
+    set_context_label, set_timings_enabled, stamp, timings_enabled, FanoutSink, JsonlSink,
+    NullSink, RecordingSink, Sink, ThreadSinkGuard,
 };
 pub use span::Stopwatch;
 pub use summary::{StreamStats, Summary, SummarySink};

@@ -173,6 +173,9 @@ pub mod global {
     /// Delivered payloads whose batch decode failed (receiver skipped the
     /// batch).
     pub static FRAMES_DECODE_FAILED: Counter = Counter::new();
+    /// Sealed frame sizes in bytes as actually put on the wire (including
+    /// retransmissions) — the size distribution an eavesdropper observes.
+    pub static WIRE_FRAME_BYTES: Histogram = Histogram::new();
 
     /// Resets every global metric (between experiment cells).
     pub fn reset() {
@@ -185,6 +188,7 @@ pub mod global {
         FRAMES_DROPPED.reset();
         FRAMES_AUTH_FAILED.reset();
         FRAMES_DECODE_FAILED.reset();
+        WIRE_FRAME_BYTES.reset();
     }
 }
 

@@ -57,6 +57,10 @@ pub struct BatchRecord {
     pub label: String,
     /// Batch sequence number within the stream (caller-assigned).
     pub batch: u64,
+    /// Ground-truth event label active while this batch was produced, if
+    /// the caller published one (see `sink::set_context_event`). This is
+    /// what the leakage audit correlates message sizes against.
+    pub event: Option<usize>,
     /// Measurements handed to the encoder.
     pub input_len: usize,
     /// Measurements surviving pruning (== `input_len` for baselines).
@@ -96,6 +100,11 @@ impl BatchRecord {
         push_str_field(&mut out, "label", &self.label);
         out.push(',');
         push_u64_field(&mut out, "batch", self.batch);
+        out.push_str(",\"event\":");
+        match self.event {
+            Some(e) => out.push_str(&e.to_string()),
+            None => out.push_str("null"),
+        }
         out.push(',');
         push_u64_field(&mut out, "input_len", self.input_len as u64);
         out.push(',');
@@ -146,6 +155,197 @@ impl BatchRecord {
         out.push_str("}}");
         out
     }
+
+    /// Parses a line produced by [`to_json`](Self::to_json) back into a
+    /// record — the schema round-trip the JSONL determinism tests pin down.
+    ///
+    /// Returns `None` on any schema mismatch, including an encoder name
+    /// that is not one of the workspace's known encoders (`encoder` is a
+    /// `&'static str`, so arbitrary strings cannot be represented).
+    pub fn from_json(json: &str) -> Option<BatchRecord> {
+        let encoder = intern_encoder(&parse_str_field(json, "encoder")?)?;
+        let groups_src = slice_between(json, "\"groups\":[", "]")?;
+        let mut groups = Vec::new();
+        if !groups_src.is_empty() {
+            for g in groups_src.split("},") {
+                groups.push(GroupRecord {
+                    count: parse_u64_field(g, "count")? as usize,
+                    exponent: parse_i64_field(g, "exponent")? as i32,
+                    width: parse_u64_field(g, "width")? as u8,
+                });
+            }
+        }
+        let timings = slice_between(json, "\"timings_ns\":{", "}")?;
+        Some(BatchRecord {
+            encoder,
+            label: parse_str_field(json, "label")?,
+            batch: parse_u64_field(json, "batch")?,
+            event: parse_opt_u64_field(json, "event")?.map(|e| e as usize),
+            input_len: parse_u64_field(json, "input_len")? as usize,
+            kept_len: parse_u64_field(json, "kept_len")? as usize,
+            groups_initial: parse_u64_field(json, "groups_initial")? as usize,
+            groups_final: parse_u64_field(json, "groups_final")? as usize,
+            groups,
+            header_bits: parse_u64_field(json, "header_bits")? as usize,
+            directory_bits: parse_u64_field(json, "directory_bits")? as usize,
+            data_bits: parse_u64_field(json, "data_bits")? as usize,
+            padding_bits: parse_u64_field(json, "padding_bits")? as usize,
+            message_len: parse_u64_field(json, "message_len")? as usize,
+            target_bytes: parse_opt_u64_field(json, "target_bytes")?.map(|t| t as usize),
+            timings: StageTimings {
+                prune_ns: parse_u64_field(timings, "prune")?,
+                group_ns: parse_u64_field(timings, "group")?,
+                merge_ns: parse_u64_field(timings, "merge")?,
+                quantize_ns: parse_u64_field(timings, "quantize")?,
+                pack_ns: parse_u64_field(timings, "pack")?,
+            },
+        })
+    }
+}
+
+/// One sealed frame as an eavesdropper on the link would see it: which
+/// stream sent it, the ground-truth event active at the time, and the exact
+/// on-air size in bytes. This — not the plaintext encoding — is what the
+/// leakage audit correlates against labels.
+#[cfg(feature = "audit")]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireRecord {
+    /// Stream label from the thread context (dataset/policy/defense/rate).
+    pub label: String,
+    /// Defense/encoder name (`"Std"`, `"AGE"`, `"Padded"`, …). Owned so
+    /// records survive JSON round-trips.
+    pub encoder: String,
+    /// Transmit sequence number within the stream.
+    pub seq: u64,
+    /// Ground-truth event label for the batch this frame carried.
+    pub event: usize,
+    /// Sealed frame length in bytes on the wire.
+    pub wire_bytes: usize,
+}
+
+#[cfg(feature = "audit")]
+impl WireRecord {
+    /// Serializes as one compact JSON object (no trailing newline), with a
+    /// leading `"kind":"wire"` discriminator so wire lines can share a
+    /// JSONL file with batch records.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"kind\":\"wire\",");
+        push_str_field(&mut out, "label", &self.label);
+        out.push(',');
+        push_str_field(&mut out, "encoder", &self.encoder);
+        out.push(',');
+        push_u64_field(&mut out, "seq", self.seq);
+        out.push(',');
+        push_u64_field(&mut out, "event", self.event as u64);
+        out.push(',');
+        push_u64_field(&mut out, "wire_bytes", self.wire_bytes as u64);
+        out.push('}');
+        out
+    }
+
+    /// Whether a JSONL line is a wire record (vs. a batch record).
+    pub fn is_wire_line(json: &str) -> bool {
+        json.starts_with("{\"kind\":\"wire\",")
+    }
+
+    /// Parses a line produced by [`to_json`](Self::to_json).
+    pub fn from_json(json: &str) -> Option<WireRecord> {
+        if !Self::is_wire_line(json) {
+            return None;
+        }
+        Some(WireRecord {
+            label: parse_str_field(json, "label")?,
+            encoder: parse_str_field(json, "encoder")?,
+            seq: parse_u64_field(json, "seq")?,
+            event: parse_u64_field(json, "event")? as usize,
+            wire_bytes: parse_u64_field(json, "wire_bytes")? as usize,
+        })
+    }
+}
+
+/// Maps an encoder name back to the `&'static str` the workspace's encoders
+/// actually emit. A minimal intern table, not a registry: `from_json` only
+/// needs to reproduce names `to_json` could have written.
+fn intern_encoder(name: &str) -> Option<&'static str> {
+    const KNOWN: &[&str] = &[
+        "",
+        "AGE",
+        "Standard",
+        "Padded",
+        "Single",
+        "Unshifted",
+        "Pruned",
+        "Delta",
+        "age",
+        "standard",
+        "padded",
+    ];
+    KNOWN.iter().find(|&&k| k == name).copied()
+}
+
+/// The raw text of `"key":<value>` within a flat JSON object slice, up to
+/// the next comma or closing brace. Only valid for non-string values.
+fn raw_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+fn parse_u64_field(json: &str, key: &str) -> Option<u64> {
+    raw_value(json, key)?.parse().ok()
+}
+
+fn parse_i64_field(json: &str, key: &str) -> Option<i64> {
+    raw_value(json, key)?.parse().ok()
+}
+
+/// Parses `"key":N` as `Some(N)` and `"key":null` as `None`; a missing or
+/// malformed field is a schema error (outer `None`).
+#[allow(clippy::option_option)]
+fn parse_opt_u64_field(json: &str, key: &str) -> Option<Option<u64>> {
+    let raw = raw_value(json, key)?;
+    if raw == "null" {
+        Some(None)
+    } else {
+        raw.parse().ok().map(Some)
+    }
+}
+
+/// Parses `"key":"value"`, undoing the escapes `push_str_field` applies.
+fn parse_str_field(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = json.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = json[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (&mut chars).take(4).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// The text between `start` and the next `end` after it.
+fn slice_between<'a>(json: &'a str, start: &str, end: &str) -> Option<&'a str> {
+    let from = json.find(start)? + start.len();
+    let to = json[from..].find(end)?;
+    Some(&json[from..from + to])
 }
 
 fn push_u64_field(out: &mut String, key: &str, value: u64) {
@@ -191,6 +391,7 @@ mod tests {
             encoder: "age",
             label: "mimic/age".into(),
             batch: 3,
+            event: Some(2),
             input_len: 64,
             kept_len: 41,
             groups_initial: 9,
@@ -260,5 +461,56 @@ mod tests {
     #[test]
     fn stage_total_sums_all_stages() {
         assert_eq!(sample().timings.total_ns(), 1500);
+    }
+
+    #[test]
+    fn json_serializes_event_field() {
+        let json = sample().to_json();
+        assert!(json.contains("\"event\":2"), "{json}");
+        let mut rec = sample();
+        rec.event = None;
+        assert!(rec.to_json().contains("\"event\":null"));
+    }
+
+    #[test]
+    fn batch_record_round_trips_through_json() {
+        let original = sample();
+        let parsed = BatchRecord::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed, original);
+        // Null event and target, empty groups, escaped label.
+        let mut tricky = sample();
+        tricky.encoder = "AGE";
+        tricky.event = None;
+        tricky.target_bytes = None;
+        tricky.groups.clear();
+        tricky.label = "a\"b\\c\nd".into();
+        let parsed = BatchRecord::from_json(&tricky.to_json()).unwrap();
+        assert_eq!(parsed, tricky);
+        // An unknown encoder name cannot be interned.
+        assert!(BatchRecord::from_json(
+            &sample()
+                .to_json()
+                .replace("\"encoder\":\"age\"", "\"encoder\":\"mystery\"")
+        )
+        .is_none());
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn wire_record_round_trips_through_json() {
+        let original = WireRecord {
+            label: "epi/Linear/Std/r0.50".into(),
+            encoder: "Std".into(),
+            seq: 41,
+            event: 2,
+            wire_bytes: 86,
+        };
+        let json = original.to_json();
+        assert!(WireRecord::is_wire_line(&json));
+        assert_eq!(WireRecord::from_json(&json).unwrap(), original);
+        assert_eq!(json, original.to_json());
+        // Batch-record lines are rejected.
+        assert!(WireRecord::from_json(&sample().to_json()).is_none());
+        assert!(!WireRecord::is_wire_line(&sample().to_json()));
     }
 }

@@ -23,6 +23,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::record::BatchRecord;
+#[cfg(feature = "audit")]
+use crate::record::WireRecord;
 
 /// A destination for per-batch telemetry records.
 ///
@@ -31,6 +33,11 @@ use crate::record::BatchRecord;
 pub trait Sink: Send + Sync {
     /// Consumes one batch record.
     fn record_batch(&self, record: &BatchRecord);
+
+    /// Consumes one sealed-frame observation (leakage audit). Default:
+    /// ignored, so sinks that only care about batches need no change.
+    #[cfg(feature = "audit")]
+    fn record_wire(&self, _record: &WireRecord) {}
 
     /// Flushes buffered output, if any.
     fn flush(&self) {}
@@ -49,6 +56,8 @@ impl Sink for NullSink {
 #[derive(Debug, Default)]
 pub struct RecordingSink {
     records: Mutex<Vec<BatchRecord>>,
+    #[cfg(feature = "audit")]
+    wires: Mutex<Vec<WireRecord>>,
 }
 
 impl RecordingSink {
@@ -76,11 +85,28 @@ impl RecordingSink {
     pub fn take(&self) -> Vec<BatchRecord> {
         std::mem::take(&mut *self.records.lock().unwrap())
     }
+
+    /// A clone of every wire record seen so far.
+    #[cfg(feature = "audit")]
+    pub fn wire_records(&self) -> Vec<WireRecord> {
+        self.wires.lock().unwrap().clone()
+    }
+
+    /// Drains and returns all wire records.
+    #[cfg(feature = "audit")]
+    pub fn take_wires(&self) -> Vec<WireRecord> {
+        std::mem::take(&mut *self.wires.lock().unwrap())
+    }
 }
 
 impl Sink for RecordingSink {
     fn record_batch(&self, record: &BatchRecord) {
         self.records.lock().unwrap().push(record.clone());
+    }
+
+    #[cfg(feature = "audit")]
+    fn record_wire(&self, record: &WireRecord) {
+        self.wires.lock().unwrap().push(record.clone());
     }
 }
 
@@ -131,6 +157,12 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
         let _ = writeln!(w, "{line}");
     }
 
+    #[cfg(feature = "audit")]
+    fn record_wire(&self, record: &WireRecord) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{}", record.to_json());
+    }
+
     fn flush(&self) {
         let _ = self.writer.lock().unwrap().flush();
     }
@@ -143,6 +175,13 @@ impl Sink for FanoutSink {
     fn record_batch(&self, record: &BatchRecord) {
         for sink in &self.0 {
             sink.record_batch(record);
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn record_wire(&self, record: &WireRecord) {
+        for sink in &self.0 {
+            sink.record_wire(record);
         }
     }
 
@@ -161,6 +200,7 @@ thread_local! {
     static THREAD_TIMINGS: Cell<bool> = const { Cell::new(true) };
     static CONTEXT_LABEL: RefCell<String> = const { RefCell::new(String::new()) };
     static BATCH_COUNTER: Cell<u64> = const { Cell::new(0) };
+    static CONTEXT_EVENT: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Sets the stream label stamped onto records emitted from this thread.
@@ -187,10 +227,25 @@ pub fn set_context_label(label: &str) {
     }
 }
 
-/// Fills a record's `label` from the thread context and assigns it the next
-/// batch sequence number. Producers call this just before [`emit`].
+/// Publishes the ground-truth event label active on this thread, stamped
+/// onto subsequent batch records. The simulator's runner sets it before
+/// each encode so the leakage audit can correlate wire sizes against the
+/// event actually being sensed; `None` (the default) means "unknown".
+pub fn set_context_event(event: Option<usize>) {
+    CONTEXT_EVENT.with(|e| e.set(event));
+}
+
+/// The event label most recently published via [`set_context_event`].
+pub fn context_event() -> Option<usize> {
+    CONTEXT_EVENT.with(Cell::get)
+}
+
+/// Fills a record's `label` and `event` from the thread context and assigns
+/// it the next batch sequence number. Producers call this just before
+/// [`emit`].
 pub fn stamp(record: &mut BatchRecord) {
     record.label = CONTEXT_LABEL.with(|l| l.borrow().clone());
+    record.event = CONTEXT_EVENT.with(Cell::get);
     record.batch = BATCH_COUNTER.with(|c| {
         let n = c.get();
         c.set(n + 1);
@@ -254,6 +309,30 @@ pub fn emit(record: &BatchRecord) {
     let global = GLOBAL_SINK.read().unwrap().clone();
     if let Some(sink) = global {
         sink.record_batch(record);
+    }
+}
+
+/// Builds a [`WireRecord`] from the thread context (stream label) plus the
+/// caller's frame facts, and routes it like [`emit`]. Transmit paths call
+/// this once per sealed frame actually put on the air, so the audit sees
+/// exactly what an eavesdropper would.
+#[cfg(feature = "audit")]
+pub fn emit_wire(encoder: &str, seq: u64, event: usize, wire_bytes: usize) {
+    let record = WireRecord {
+        label: CONTEXT_LABEL.with(|l| l.borrow().clone()),
+        encoder: encoder.to_string(),
+        seq,
+        event,
+        wire_bytes,
+    };
+    let local = THREAD_SINK.with(|stack| stack.borrow().last().cloned());
+    if let Some(sink) = local {
+        sink.record_wire(&record);
+        return;
+    }
+    let global = GLOBAL_SINK.read().unwrap().clone();
+    if let Some(sink) = global {
+        sink.record_wire(&record);
     }
 }
 
@@ -393,6 +472,59 @@ mod tests {
         let mut c = rec(0);
         stamp(&mut c);
         assert_eq!((c.label.as_str(), c.batch), ("other", 0));
+    }
+
+    #[test]
+    fn stamp_fills_event_from_context() {
+        set_context_event(Some(3));
+        let mut a = rec(0);
+        stamp(&mut a);
+        assert_eq!(a.event, Some(3));
+        set_context_event(None);
+        let mut b = rec(0);
+        stamp(&mut b);
+        assert_eq!(b.event, None);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn emit_wire_routes_to_thread_sink_with_context_label() {
+        let sink = Arc::new(RecordingSink::new());
+        {
+            let _guard = install_thread(sink.clone());
+            set_context_label("epi/Linear/Std/r0.50");
+            emit_wire("Std", 7, 2, 86);
+        }
+        set_context_label("");
+        let wires = sink.wire_records();
+        assert_eq!(wires.len(), 1);
+        assert_eq!(wires[0].label, "epi/Linear/Std/r0.50");
+        assert_eq!(wires[0].encoder, "Std");
+        assert_eq!(
+            (wires[0].seq, wires[0].event, wires[0].wire_bytes),
+            (7, 2, 86)
+        );
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn jsonl_sink_writes_wire_lines() {
+        let sink = JsonlSink::new(std::io::Cursor::new(Vec::new()));
+        sink.record_batch(&rec(1));
+        sink.record_wire(&WireRecord {
+            label: "s".into(),
+            encoder: "AGE".into(),
+            seq: 0,
+            event: 1,
+            wire_bytes: 118,
+        });
+        let writer = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(writer.into_inner().unwrap().into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(!WireRecord::is_wire_line(lines[0]));
+        let parsed = WireRecord::from_json(lines[1]).unwrap();
+        assert_eq!(parsed.wire_bytes, 118);
     }
 
     #[test]

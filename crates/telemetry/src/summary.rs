@@ -29,6 +29,10 @@ pub struct StreamStats {
     // Welford accumulators for message length.
     mean: f64,
     m2: f64,
+    // Per-batch total encode times, kept so the rollup can report real
+    // percentiles instead of just a mean (tail latency is what matters on
+    // a duty-cycled MCU).
+    encode_ns_samples: Vec<u64>,
 }
 
 impl StreamStats {
@@ -41,6 +45,7 @@ impl StreamStats {
             encode_ns_total: 0,
             mean: 0.0,
             m2: 0.0,
+            encode_ns_samples: Vec::new(),
         }
     }
 
@@ -50,6 +55,7 @@ impl StreamStats {
         self.max_len = self.max_len.max(record.message_len);
         self.pruned_total += record.input_len.saturating_sub(record.kept_len) as u64;
         self.encode_ns_total += record.timings.total_ns();
+        self.encode_ns_samples.push(record.timings.total_ns());
         let x = record.message_len as f64;
         let delta = x - self.mean;
         self.mean += delta / self.batches as f64;
@@ -86,12 +92,41 @@ impl StreamStats {
             self.encode_ns_total as f64 / self.batches as f64 / 1000.0
         }
     }
+
+    /// Nearest-rank percentile of per-batch encode time, in microseconds.
+    /// `q` is a fraction in `(0, 1]`; an empty stream reports 0.
+    pub fn encode_us_percentile(&self, q: f64) -> f64 {
+        if self.encode_ns_samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.encode_ns_samples.clone();
+        sorted.sort_unstable();
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1000.0
+    }
+
+    /// Median per-batch encode time in microseconds.
+    pub fn encode_us_p50(&self) -> f64 {
+        self.encode_us_percentile(0.50)
+    }
+
+    /// 95th-percentile per-batch encode time in microseconds.
+    pub fn encode_us_p95(&self) -> f64 {
+        self.encode_us_percentile(0.95)
+    }
+
+    /// 99th-percentile per-batch encode time in microseconds.
+    pub fn encode_us_p99(&self) -> f64 {
+        self.encode_us_percentile(0.99)
+    }
 }
 
 /// A run-level rollup keyed by `(label, encoder)`.
 #[derive(Debug, Default)]
 pub struct Summary {
     streams: BTreeMap<(String, &'static str), StreamStats>,
+    #[cfg(feature = "audit")]
+    leakage: crate::leakage::LeakageAudit,
 }
 
 impl Summary {
@@ -145,7 +180,26 @@ impl Summary {
 
     /// Whether nothing was observed.
     pub fn is_empty(&self) -> bool {
-        self.streams.is_empty()
+        #[cfg(feature = "audit")]
+        {
+            self.streams.is_empty() && self.leakage.is_empty()
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            self.streams.is_empty()
+        }
+    }
+
+    /// Folds one sealed-frame observation into the leakage rollup.
+    #[cfg(feature = "audit")]
+    pub fn observe_wire(&mut self, record: &crate::record::WireRecord) {
+        self.leakage.observe_wire(record);
+    }
+
+    /// The leakage audit accumulated alongside the size/timing rollup.
+    #[cfg(feature = "audit")]
+    pub fn leakage(&self) -> &crate::leakage::LeakageAudit {
+        &self.leakage
     }
 }
 
@@ -153,25 +207,38 @@ impl fmt::Display for Summary {
     /// Renders the rollup as a fixed-width table:
     ///
     /// ```text
-    /// label                encoder    batches   min    max   mean  stddev  pruned  enc µs
-    /// -------------------- --------- -------- ----- ------ ------ ------- ------- -------
-    /// mimic                age            200    52     52   52.0   0.000    1042    11.3
+    /// label                encoder    batches   min    max   mean  stddev  pruned  p50 µs  p95 µs  p99 µs
+    /// -------------------- --------- -------- ----- ------ ------ ------- ------- ------- ------- -------
+    /// mimic                age            200    52     52   52.0   0.000    1042    10.8    14.2    19.5
     /// ```
+    ///
+    /// With the `audit` feature, a leakage section follows when wire frames
+    /// were observed: per-stream frame counts, distinct sizes, and NMI.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<20} {:<9} {:>8} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7}",
-            "label", "encoder", "batches", "min", "max", "mean", "stddev", "pruned", "enc µs"
+            "{:<20} {:<9} {:>8} {:>5} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "label",
+            "encoder",
+            "batches",
+            "min",
+            "max",
+            "mean",
+            "stddev",
+            "pruned",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs"
         )?;
         writeln!(
             f,
-            "{:-<20} {:-<9} {:-<8} {:-<5} {:-<6} {:-<6} {:-<7} {:-<7} {:-<7}",
-            "", "", "", "", "", "", "", "", ""
+            "{:-<20} {:-<9} {:-<8} {:-<5} {:-<6} {:-<6} {:-<7} {:-<7} {:-<7} {:-<7} {:-<7}",
+            "", "", "", "", "", "", "", "", "", "", ""
         )?;
         for ((label, encoder), stats) in &self.streams {
             writeln!(
                 f,
-                "{:<20} {:<9} {:>8} {:>5} {:>6} {:>6.1} {:>7.3} {:>7} {:>7.1}",
+                "{:<20} {:<9} {:>8} {:>5} {:>6} {:>6.1} {:>7.3} {:>7} {:>7.1} {:>7.1} {:>7.1}",
                 label,
                 encoder,
                 stats.batches,
@@ -180,8 +247,31 @@ impl fmt::Display for Summary {
                 stats.size_mean(),
                 stats.size_stddev(),
                 stats.pruned_total,
-                stats.encode_us_mean(),
+                stats.encode_us_p50(),
+                stats.encode_us_p95(),
+                stats.encode_us_p99(),
             )?;
+        }
+        #[cfg(feature = "audit")]
+        if !self.leakage.is_empty() {
+            writeln!(f, "\nleakage audit (sealed wire frames per stream):")?;
+            writeln!(
+                f,
+                "{:<28} {:<9} {:>7} {:>6} {:>7}",
+                "label", "encoder", "frames", "sizes", "NMI"
+            )?;
+            writeln!(f, "{:-<28} {:-<9} {:-<7} {:-<6} {:-<7}", "", "", "", "", "")?;
+            for ((label, encoder), stream) in self.leakage.streams() {
+                writeln!(
+                    f,
+                    "{:<28} {:<9} {:>7} {:>6} {:>7.4}",
+                    label,
+                    encoder,
+                    stream.total(),
+                    stream.distinct_sizes(),
+                    stream.nmi(),
+                )?;
+            }
         }
         Ok(())
     }
@@ -209,6 +299,11 @@ impl SummarySink {
 impl Sink for SummarySink {
     fn record_batch(&self, record: &BatchRecord) {
         self.summary.lock().unwrap().observe(record);
+    }
+
+    #[cfg(feature = "audit")]
+    fn record_wire(&self, record: &crate::record::WireRecord) {
+        self.summary.lock().unwrap().observe_wire(record);
     }
 }
 
@@ -279,6 +374,64 @@ mod tests {
         assert!(table.contains("age"));
         assert!(table.contains("standard"));
         assert!(table.lines().count() >= 4, "{table}");
+    }
+
+    #[test]
+    fn encode_time_percentiles_use_nearest_rank() {
+        let mut records: Vec<BatchRecord> = (1..=100u64)
+            .map(|i| {
+                let mut r = rec("age", "p", 52);
+                r.timings.pack_ns = i * 1000; // 1µs..100µs
+                r
+            })
+            .collect();
+        // Observation order must not matter.
+        records.reverse();
+        let summary = Summary::from_records(&records);
+        let stats = summary.stream("p", "age").unwrap();
+        assert_eq!(stats.encode_us_p50(), 50.0);
+        assert_eq!(stats.encode_us_p95(), 95.0);
+        assert_eq!(stats.encode_us_p99(), 99.0);
+        assert_eq!(stats.encode_us_percentile(1.0), 100.0);
+        assert_eq!(StreamStats::new().encode_us_p99(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_percentile_columns() {
+        let mut record = rec("age", "mimic", 52);
+        record.timings.prune_ns = 7000;
+        let table = Summary::from_records(&[record]).to_string();
+        assert!(table.contains("p50 µs"), "{table}");
+        assert!(table.contains("p95 µs"), "{table}");
+        assert!(table.contains("p99 µs"), "{table}");
+        assert!(!table.contains("enc µs"), "{table}");
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn summary_rolls_up_wire_records_and_displays_leakage() {
+        use crate::record::WireRecord;
+        let sink = SummarySink::new();
+        for i in 0..60u64 {
+            sink.record_wire(&WireRecord {
+                label: "epi/Linear/Std/r0.50".into(),
+                encoder: "Std".into(),
+                seq: i,
+                event: (i % 2) as usize,
+                wire_bytes: 60 + (i % 2) as usize * 20,
+            });
+        }
+        let summary = sink.take();
+        assert!(!summary.is_empty());
+        let stream = summary
+            .leakage()
+            .stream("epi/Linear/Std/r0.50", "Std")
+            .unwrap();
+        assert_eq!(stream.total(), 60);
+        assert!(stream.nmi() > 0.9);
+        let table = summary.to_string();
+        assert!(table.contains("leakage audit"), "{table}");
+        assert!(table.contains("Std"), "{table}");
     }
 
     #[test]

@@ -350,6 +350,10 @@ impl Link {
             self.stats.frames_sent += 1;
             #[cfg(feature = "telemetry")]
             age_telemetry::metrics::global::FRAMES_SENT.add(1);
+            // The on-air size distribution: what a passive eavesdropper
+            // observes, one sample per transmission attempt.
+            #[cfg(feature = "telemetry")]
+            age_telemetry::metrics::global::WIRE_FRAME_BYTES.record(frame.len() as u64);
             if attempt > 0 {
                 self.stats.frames_retried += 1;
                 delivery.backoff_ms += self.retry.timeout_ms(attempt - 1);
