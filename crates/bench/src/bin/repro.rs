@@ -20,6 +20,12 @@
 //! plus a seeded permutation p-value), prints the audit table, and writes
 //! `LEAKAGE.json` (`--audit-out <path>` to relocate); requires the
 //! `telemetry` feature.
+//!
+//! `--power-faults <rate>` overrides the power-cut rate used by the
+//! `resets` extension and arms the run-wide nonce-uniqueness auditor: if
+//! any two sealed frames in the whole run shared an (epoch, sequence) pair
+//! — a reused nonce — the process exits non-zero. `--audit` arms the same
+//! auditor. Requires the `telemetry` feature.
 
 use std::time::Instant;
 
@@ -32,6 +38,7 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut power_fault_rate: Option<f64> = None;
     let mut audit = false;
     let mut audit_out = String::from("LEAKAGE.json");
     let mut i = 0;
@@ -73,6 +80,16 @@ fn main() {
                     }
                 }
             }
+            "--power-faults" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<f64>().ok()) {
+                    Some(rate) if (0.0..=1.0).contains(&rate) => power_fault_rate = Some(rate),
+                    _ => {
+                        eprintln!("--power-faults needs a rate in 0.0..=1.0");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--telemetry" => {
                 i += 1;
                 match args.get(i) {
@@ -96,11 +113,14 @@ fn main() {
     if fault_rate.is_some() {
         settings.fault_rate = fault_rate;
     }
+    if power_fault_rate.is_some() {
+        settings.power_fault_rate = power_fault_rate;
+    }
     if ids.is_empty() {
         eprintln!(
             "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
-             [--telemetry out.jsonl] [--audit] [--audit-out LEAKAGE.json] \
-             <experiment...|all|extensions>"
+             [--power-faults RATE] [--telemetry out.jsonl] [--audit] \
+             [--audit-out LEAKAGE.json] <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         eprintln!("extensions:  {}", EXTENSIONS.join(" "));
@@ -122,11 +142,17 @@ fn main() {
             );
             std::process::exit(2);
         }
+        if power_fault_rate.is_some() {
+            eprintln!(
+                "note: built without the `telemetry` feature — power faults still run, \
+                 but the nonce-uniqueness auditor is unavailable"
+            );
+        }
         let _ = audit_out;
     }
 
     #[cfg(feature = "telemetry")]
-    let (summary_sink, leakage_sink) = {
+    let (summary_sink, leakage_sink, nonce_sink) = {
         use std::sync::Arc;
         let mut sinks: Vec<Arc<dyn age_telemetry::Sink>> = Vec::new();
         let summary = telemetry_path.as_deref().map(|path| {
@@ -147,10 +173,18 @@ fn main() {
             sinks.push(sink.clone());
             sink
         });
+        // Nonce uniqueness is audited whenever wire frames are being
+        // watched anyway, and always when power faults are in play — a
+        // reboot that reuses a (key, nonce) pair must fail the run.
+        let nonce = (audit || power_fault_rate.is_some()).then(|| {
+            let sink = Arc::new(age_telemetry::NonceAuditSink::new());
+            sinks.push(sink.clone());
+            sink
+        });
         if !sinks.is_empty() {
             age_telemetry::install_global(Arc::new(age_telemetry::FanoutSink(sinks)));
         }
-        (summary, leakage)
+        (summary, leakage, nonce)
     };
 
     for id in &ids {
@@ -177,8 +211,15 @@ fn main() {
 
     #[cfg(feature = "telemetry")]
     {
-        if summary_sink.is_some() || leakage_sink.is_some() {
+        if summary_sink.is_some() || leakage_sink.is_some() || nonce_sink.is_some() {
             age_telemetry::clear_global();
+        }
+        // Transport counters accumulate process-globally, so the rollup is
+        // printed here rather than folded into per-stream summaries.
+        let transport = age_telemetry::TransportRollup::capture();
+        if !transport.is_empty() {
+            println!("transport rollup (all experiments):");
+            print!("{transport}");
         }
         if let Some(summary) = summary_sink {
             let summary = summary.take();
@@ -204,6 +245,15 @@ fn main() {
                     eprintln!("cannot write leakage report '{audit_out}': {e}");
                     std::process::exit(2);
                 }
+            }
+        }
+        if let Some(nonce) = nonce_sink {
+            let audit = nonce.take();
+            println!("nonce audit (run-wide (epoch, sequence) uniqueness):");
+            print!("{audit}");
+            if !audit.is_clean() {
+                eprintln!("nonce audit FAILED: a (key, nonce) pair was used twice");
+                std::process::exit(1);
             }
         }
     }

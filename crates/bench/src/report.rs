@@ -38,6 +38,10 @@ pub struct Settings {
     /// Optional drop/corruption rate for the `faults` extension (the
     /// `--faults <rate>` repro knob); `None` uses the extension's default.
     pub fault_rate: Option<f64>,
+    /// Optional per-message power-cut rate for the `resets` extension (the
+    /// `--power-faults <rate>` repro knob); `None` uses the extension's
+    /// default.
+    pub power_fault_rate: Option<f64>,
 }
 
 impl Settings {
@@ -51,6 +55,7 @@ impl Settings {
             permutations: 1_000,
             threads: 0,
             fault_rate: None,
+            power_fault_rate: None,
         }
     }
 
@@ -64,6 +69,7 @@ impl Settings {
             permutations: 60,
             threads: 0,
             fault_rate: None,
+            power_fault_rate: None,
         }
     }
 
@@ -77,6 +83,7 @@ impl Settings {
             permutations: 15_000,
             threads: 0,
             fault_rate: None,
+            power_fault_rate: None,
         }
     }
 

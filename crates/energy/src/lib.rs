@@ -84,6 +84,9 @@ pub struct EnergyModel {
     pub encode_age_per_value: MilliJoules,
     /// Conservative multiplier applied to AGE's compute (paper §5.1).
     pub age_compute_factor: f64,
+    /// Cost of one NVM write attempt (a sequence-reservation journal
+    /// record — the price of surviving reboots without nonce reuse).
+    pub nvm_write_per_record: MilliJoules,
 }
 
 impl EnergyModel {
@@ -96,7 +99,19 @@ impl EnergyModel {
             encode_standard_per_value: MilliJoules(0.016 / 300.0),
             encode_age_per_value: MilliJoules(0.154 / 300.0),
             age_compute_factor: 4.0,
+            // A word-sized FRAM/flash journal record: well under a
+            // millijoule, but billed so the reservation-block trade-off
+            // (one write per K frames vs. K sequences wasted per reboot)
+            // is visible in the ledger.
+            nvm_write_per_record: MilliJoules(0.05),
         }
+    }
+
+    /// Energy for `attempts` journal write attempts (failed attempts
+    /// program the flash too, so every attempt is billed — the simulator
+    /// charges this against the same budget ledger as sensing and radio).
+    pub fn journal_write_cost(&self, attempts: usize) -> MilliJoules {
+        self.nvm_write_per_record * attempts as f64
     }
 
     /// Energy to process one sequence: collect `samples`, run the encoder

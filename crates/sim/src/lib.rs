@@ -41,10 +41,10 @@ mod runner;
 pub mod sweep;
 pub mod threats;
 
-pub use age_transport::{FaultPlan, RetryPolicy};
+pub use age_transport::{FaultPlan, NvmFaultPlan, RetryPolicy};
 pub use runner::{
-    CipherChoice, Defense, ExperimentResult, FaultSetup, PolicyKind, Runner, SequenceRecord,
-    TransportSummary,
+    CipherChoice, Defense, ExperimentResult, FaultSetup, PolicyKind, PowerFaults, Runner,
+    SequenceRecord, TransportSummary,
 };
 pub use sweep::{default_threads, run_cells, SweepCell, SweepOptions};
 pub use threats::{run_multi_event, run_with_faults, FaultyRun, MultiEventRun};

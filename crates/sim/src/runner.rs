@@ -16,7 +16,10 @@ use age_sampling::{
     fit_threshold, DeviationPolicy, LinearPolicy, Policy, RandomPolicy, UniformPolicy,
 };
 use age_telemetry::DetRng;
-use age_transport::{ChannelStats, FaultChannel, FaultPlan, Link, LinkStats, RetryPolicy};
+use age_transport::{
+    ChannelStats, FaultChannel, FaultPlan, Link, LinkStats, NvmFaultPlan, NvmStore, RetryPolicy,
+    SequenceJournal,
+};
 
 /// Which sampling policy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,28 +114,82 @@ impl CipherChoice {
     }
 }
 
+/// Brownout schedule for a transport-backed run: the sensor loses power at
+/// deterministic, seeded points — sometimes after the sequence journal
+/// persisted a reservation but before the frame radiated — and must recover
+/// without ever reusing a nonce. Enabling it routes every send through an
+/// NVM-backed [`SequenceJournal`], whose flash writes are billed against
+/// the same energy ledger as the radio.
+///
+/// Like the channel's [`FaultPlan`], the schedule is a pure function of the
+/// seed and the cell coordinates, so sweeps stay byte-identical at any
+/// thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFaults {
+    /// Per-message probability of a power cut before the send. Each cut is
+    /// equally likely to strike before the seal or between the journal
+    /// write and the radio transmission (the torn-frame window).
+    pub reset_rate: f64,
+    /// Base seed for the cut schedule, mixed with the cell coordinates.
+    pub seed: u64,
+    /// Journal reservation block size `K`: one NVM write per `K` frames.
+    pub block: u64,
+    /// Fault plan for the simulated NVM store itself (its seed field is
+    /// ignored; the store is seeded from the cell coordinates).
+    pub nvm: NvmFaultPlan,
+}
+
+impl PowerFaults {
+    /// A schedule cutting power before each message with probability
+    /// `reset_rate`, over mildly unreliable NVM and the default journal
+    /// block size.
+    pub fn at_rate(reset_rate: f64, seed: u64) -> Self {
+        PowerFaults {
+            reset_rate,
+            seed,
+            block: SequenceJournal::DEFAULT_BLOCK,
+            nvm: NvmFaultPlan {
+                fail_rate: 0.02,
+                torn_rate: 0.05,
+                seed: 0,
+            },
+        }
+    }
+}
+
 /// Fault-injection setup for a transport-backed run: the channel's fault
-/// rates and the sensor's retry/backoff policy.
+/// rates, the sensor's retry/backoff policy, and (optionally) a power-cut
+/// schedule with journal-backed recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultSetup {
     /// Channel fault probabilities and base seed.
     pub plan: FaultPlan,
     /// Retry/timeout policy for unacknowledged frames.
     pub retry: RetryPolicy,
+    /// Brownout schedule; `None` leaves the sensor reset-free and
+    /// journal-free (the pre-recovery behavior, byte-identical).
+    pub power: Option<PowerFaults>,
 }
 
 impl FaultSetup {
-    /// A setup over `plan` with the default retry policy.
+    /// A setup over `plan` with the default retry policy and no power cuts.
     pub fn new(plan: FaultPlan) -> Self {
         FaultSetup {
             plan,
             retry: RetryPolicy::default(),
+            power: None,
         }
     }
 
     /// Overrides the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Adds a brownout schedule (and with it, the sequence journal).
+    pub fn with_power(mut self, power: PowerFaults) -> Self {
+        self.power = Some(power);
         self
     }
 }
@@ -660,13 +717,24 @@ impl Runner {
         // chosen per rate — pooling rates would show size variance that no
         // eavesdropper of a single deployment ever observes.
         #[cfg(feature = "telemetry")]
-        age_telemetry::set_context_label(&format!(
-            "{}/{}/{}/r{:.2}",
-            self.data.spec().name,
-            policy_kind.name(),
-            defense.name(),
-            rate
-        ));
+        {
+            let label = format!(
+                "{}/{}/{}/r{:.2}",
+                self.data.spec().name,
+                policy_kind.name(),
+                defense.name(),
+                rate
+            );
+            age_telemetry::set_context_label(&label);
+            // The nonce audit keys on (epoch, sequence): every run of every
+            // cell gets a fresh key epoch, so only a genuine re-seal within
+            // one run — a broken reboot recovery — collides. The identity
+            // includes every axis the label omits, because two cells that
+            // differ only in cipher or budget still hold distinct keys.
+            age_telemetry::set_context_epoch(&age_telemetry::begin_epoch(&format!(
+                "{label}|{cipher_choice:?}|budget={enforce_budget}|limit={limit:?}|faults={faults:?}"
+            )));
+        }
 
         let mut records = Vec::with_capacity(test.len());
         let mut scratch = EncodeScratch::new();
@@ -682,10 +750,27 @@ impl Runner {
                 FaultChannel::with_seed(setup.plan, channel_seed),
                 setup.retry,
             );
+            // With a brownout schedule the sensor sends through the NVM
+            // journal, and an independent seeded stream decides where the
+            // power cuts fall. Both streams are pure functions of the cell
+            // coordinates, like the channel's.
+            let mut cuts = None;
+            if let Some(power) = setup.power {
+                let base =
+                    self.transport_seed(policy_kind, defense, rate, cipher_choice, power.seed);
+                let nvm = NvmStore::with_seed(power.nvm, base ^ 0xA5A5_5A5A_0F0F_F0F0);
+                link = link.with_journal(SequenceJournal::new(nvm, power.block));
+                cuts = Some((
+                    DetRng::seed_from_u64(base ^ 0x0FF1_CE00_D15E_A5ED),
+                    power.reset_rate,
+                ));
+            }
+            let mut nvm_writes = link.journal_write_attempts();
 
             /// Sensor-side state of one sequence, pending the decode pass.
             struct Pending {
                 label: usize,
+                wire_seq: u64,
                 weight: f64,
                 collected: usize,
                 frame_len: usize,
@@ -719,9 +804,27 @@ impl Runner {
                 let base_cost =
                     self.energy
                         .sequence_cost(k, k * d, frame_len, defense.encoder_cost());
+                // Brownout injection: before this message goes out, the
+                // schedule may cut power — either before anything happened
+                // (a plain reboot) or in the torn window after the journal
+                // reserved a sequence and sealed the frame but before the
+                // radio fired. Both draws happen unconditionally so the
+                // schedule never depends on earlier outcomes.
+                if let Some((cut_rng, reset_rate)) = cuts.as_mut() {
+                    let cut = cut_rng.gen_bool(*reset_rate);
+                    let torn_window = cut_rng.gen_bool(0.5);
+                    if cut {
+                        if torn_window {
+                            link.abort_send(&plaintext);
+                        } else {
+                            link.reboot_sensor();
+                        }
+                    }
+                }
                 if enforce_budget && !ledger.try_spend(base_cost) {
                     pending.push(Pending {
                         label: seq.label,
+                        wire_seq: u64::MAX,
                         weight,
                         collected: 0,
                         frame_len: 0,
@@ -731,39 +834,61 @@ impl Runner {
                     });
                     continue;
                 }
-                let delivery = link.send_as(i as u64, &plaintext);
-                debug_assert_eq!(delivery.frame_len, frame_len);
+                // With a journal the link hands out the persisted sequence;
+                // without one, sequences track the evaluation index exactly
+                // as before recovery existed.
+                let delivery = if link.has_journal() {
+                    link.send(&plaintext)
+                } else {
+                    link.send_as(i as u64, &plaintext)
+                };
                 // Audit the *sealed* frame as the eavesdropper saw it — the
                 // frame went on the air even if it was later lost in
-                // transit, so it is observed unconditionally here.
-                #[cfg(feature = "telemetry")]
-                if age_telemetry::active() {
-                    age_telemetry::emit_wire(
-                        defense.name(),
-                        i as u64,
-                        seq.label,
-                        delivery.frame_len,
-                    );
+                // transit. Zero attempts means the journal's NVM write was
+                // exhausted and nothing ever radiated, so there is nothing
+                // to observe.
+                if delivery.attempts > 0 {
+                    debug_assert_eq!(delivery.frame_len, frame_len);
+                    #[cfg(feature = "telemetry")]
+                    if age_telemetry::active() {
+                        age_telemetry::emit_wire(
+                            defense.name(),
+                            delivery.sequence,
+                            seq.label,
+                            delivery.frame_len,
+                        );
+                    }
                 }
                 // The radio spends retransmission energy before the sensor
                 // can veto it; charging it may exhaust the ledger and
-                // violate *later* sequences.
+                // violate *later* sequences. Journal flash writes (cuts and
+                // reservations alike) are billed against the same ledger.
                 let retrans = self
                     .energy
                     .retransmission_cost(frame_len, delivery.attempts.saturating_sub(1));
                 if enforce_budget && retrans.0 > 0.0 {
                     let _ = ledger.try_spend(retrans);
                 }
+                let journal_mj = {
+                    let writes = link.journal_write_attempts();
+                    let cost = self.energy.journal_write_cost(writes - nvm_writes);
+                    nvm_writes = writes;
+                    cost
+                };
+                if enforce_budget && journal_mj.0 > 0.0 {
+                    let _ = ledger.try_spend(journal_mj);
+                }
                 for (seq_no, payload) in delivery.payloads {
                     arrived.entry(seq_no).or_insert(payload);
                 }
                 pending.push(Pending {
                     label: seq.label,
+                    wire_seq: delivery.sequence,
                     weight,
                     collected: k,
-                    frame_len,
+                    frame_len: if delivery.attempts > 0 { frame_len } else { 0 },
                     attempts: delivery.attempts,
-                    energy_mj: base_cost.0 + retrans.0,
+                    energy_mj: base_cost.0 + retrans.0 + journal_mj.0,
                     violated: false,
                 });
             }
@@ -791,7 +916,7 @@ impl Runner {
                     });
                     continue;
                 }
-                let decoded = arrived.remove(&(i as u64)).and_then(|payload| {
+                let decoded = arrived.remove(&info.wire_seq).and_then(|payload| {
                     match encoder.decode(&payload, &self.batch_cfg) {
                         Ok(batch) => Some(batch),
                         Err(_) => {

@@ -72,7 +72,11 @@ pub fn run_with_faults(
         cipher,
         false,
         None,
-        Some(FaultSetup { plan, retry }),
+        Some(FaultSetup {
+            plan,
+            retry,
+            power: None,
+        }),
     );
     let mut delivered = Vec::new();
     let mut dropped_labels = Vec::new();

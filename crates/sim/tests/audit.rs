@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use age_datasets::{DatasetKind, Scale};
 use age_sim::{
-    run_cells, CipherChoice, Defense, FaultPlan, FaultSetup, PolicyKind, RetryPolicy, Runner,
-    SweepCell, SweepOptions,
+    run_cells, CipherChoice, Defense, FaultPlan, FaultSetup, PolicyKind, Runner, SweepCell,
+    SweepOptions,
 };
 use age_telemetry::{install_thread, LeakageSink, RecordingSink};
 
@@ -33,14 +33,13 @@ fn grid() -> Vec<SweepCell> {
         }
     }
     cells.push(
-        SweepCell::new(PolicyKind::Linear, Defense::Age, 0.5).with_faults(FaultSetup {
-            plan: FaultPlan {
+        SweepCell::new(PolicyKind::Linear, Defense::Age, 0.5).with_faults(FaultSetup::new(
+            FaultPlan {
                 drop_rate: 0.1,
                 corrupt_rate: 0.05,
                 ..FaultPlan::default()
             },
-            retry: RetryPolicy::default(),
-        }),
+        )),
     );
     cells
 }
@@ -114,14 +113,11 @@ fn standard_leaks_and_age_does_not_on_the_same_seeded_data() {
 fn audited_sizes_are_the_sealed_frames_the_transport_sent() {
     let sink = Arc::new(RecordingSink::new());
     let runner = runner();
-    let faults = FaultSetup {
-        plan: FaultPlan {
-            drop_rate: 0.15,
-            corrupt_rate: 0.05,
-            ..FaultPlan::default()
-        },
-        retry: RetryPolicy::default(),
-    };
+    let faults = FaultSetup::new(FaultPlan {
+        drop_rate: 0.15,
+        corrupt_rate: 0.05,
+        ..FaultPlan::default()
+    });
     let result = {
         let _guard = install_thread(sink.clone());
         runner.run_with_transport(

@@ -128,6 +128,9 @@ fn capture_run(seed: u64) -> Vec<u8> {
     // Start numbering from a fresh stream: re-asserting an unchanged label
     // deliberately does not reset the batch counter.
     set_context_label("");
+    // Key epochs count reruns per cell (that is what makes the nonce audit
+    // sound), so byte-identical reruns must rewind the counters first.
+    age_telemetry::reset_epoch_counters();
     {
         let _guard = install_thread(sink);
         let runner = Runner::new(DatasetKind::Epilepsy, Scale::Small, seed);

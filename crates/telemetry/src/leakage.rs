@@ -759,6 +759,7 @@ mod tests {
                 seq,
                 event,
                 wire_bytes: bytes,
+                epoch: String::new(),
             }
         }
 

@@ -35,6 +35,8 @@
 pub mod alloc;
 pub mod leakage;
 pub mod metrics;
+#[cfg(feature = "audit")]
+pub mod nonce;
 pub mod record;
 pub mod rng;
 pub mod sink;
@@ -48,15 +50,17 @@ pub use leakage::{
 };
 pub use metrics::{Counter, Histogram};
 #[cfg(feature = "audit")]
+pub use nonce::{begin_epoch, reset_epoch_counters, NonceAudit, NonceAuditSink, NonceReuse};
+#[cfg(feature = "audit")]
 pub use record::WireRecord;
 pub use record::{BatchRecord, GroupRecord, StageTimings};
 pub use rng::{DetRng, SliceShuffle};
 #[cfg(feature = "audit")]
 pub use sink::emit_wire;
 pub use sink::{
-    active, clear_global, context_event, emit, install_global, install_thread, set_context_event,
-    set_context_label, set_timings_enabled, stamp, timings_enabled, FanoutSink, JsonlSink,
-    NullSink, RecordingSink, Sink, ThreadSinkGuard,
+    active, clear_global, context_epoch, context_event, emit, install_global, install_thread,
+    set_context_epoch, set_context_event, set_context_label, set_timings_enabled, stamp,
+    timings_enabled, FanoutSink, JsonlSink, NullSink, RecordingSink, Sink, ThreadSinkGuard,
 };
 pub use span::Stopwatch;
-pub use summary::{StreamStats, Summary, SummarySink};
+pub use summary::{StreamStats, Summary, SummarySink, TransportRollup};

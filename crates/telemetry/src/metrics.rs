@@ -176,6 +176,21 @@ pub mod global {
     /// Sealed frame sizes in bytes as actually put on the wire (including
     /// retransmissions) — the size distribution an eavesdropper observes.
     pub static WIRE_FRAME_BYTES: Histogram = Histogram::new();
+    /// Frames the receiver rejected for a sequence number implausibly far
+    /// ahead of the highest accepted one (the far-future guard).
+    pub static FRAMES_FAR_FUTURE: Counter = Counter::new();
+    /// Frames the replay window rejected (duplicates of accepted frames,
+    /// replays, or frames older than the window).
+    pub static FRAMES_REPLAY_REJECTED: Counter = Counter::new();
+    /// Sensor power losses recovered from (brownout reboots).
+    pub static SENSOR_REBOOTS: Counter = Counter::new();
+    /// Sequence-reservation journal records persisted to NVM.
+    pub static JOURNAL_FLUSHES: Counter = Counter::new();
+    /// Sequence numbers retired unused by conservative reboot recovery.
+    pub static SEQUENCES_SKIPPED: Counter = Counter::new();
+    /// Explicit-sequence seals at or below the session's high-water mark —
+    /// each one risked reusing a (key, nonce) pair.
+    pub static NONCE_REUSE_RISKED: Counter = Counter::new();
 
     /// Resets every global metric (between experiment cells).
     pub fn reset() {
@@ -189,6 +204,12 @@ pub mod global {
         FRAMES_AUTH_FAILED.reset();
         FRAMES_DECODE_FAILED.reset();
         WIRE_FRAME_BYTES.reset();
+        FRAMES_FAR_FUTURE.reset();
+        FRAMES_REPLAY_REJECTED.reset();
+        SENSOR_REBOOTS.reset();
+        JOURNAL_FLUSHES.reset();
+        SEQUENCES_SKIPPED.reset();
+        NONCE_REUSE_RISKED.reset();
     }
 }
 

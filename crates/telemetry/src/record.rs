@@ -221,6 +221,12 @@ pub struct WireRecord {
     pub event: usize,
     /// Sealed frame length in bytes on the wire.
     pub wire_bytes: usize,
+    /// Key epoch the frame was sealed in: the scope within which `seq`
+    /// must be unique for nonce uniqueness to hold (one epoch per cell
+    /// run; empty when the emitter set none, in which case auditors fall
+    /// back to `label`). Appended to the wire-line schema; absent in lines
+    /// written by older builds, which parse back as empty.
+    pub epoch: String,
 }
 
 #[cfg(feature = "audit")]
@@ -240,6 +246,8 @@ impl WireRecord {
         push_u64_field(&mut out, "event", self.event as u64);
         out.push(',');
         push_u64_field(&mut out, "wire_bytes", self.wire_bytes as u64);
+        out.push(',');
+        push_str_field(&mut out, "epoch", &self.epoch);
         out.push('}');
         out
     }
@@ -260,6 +268,7 @@ impl WireRecord {
             seq: parse_u64_field(json, "seq")?,
             event: parse_u64_field(json, "event")? as usize,
             wire_bytes: parse_u64_field(json, "wire_bytes")? as usize,
+            epoch: parse_str_field(json, "epoch").unwrap_or_default(),
         })
     }
 }
@@ -504,11 +513,19 @@ mod tests {
             seq: 41,
             event: 2,
             wire_bytes: 86,
+            epoch: "epi/Linear/Std/r0.50#3".into(),
         };
         let json = original.to_json();
         assert!(WireRecord::is_wire_line(&json));
         assert_eq!(WireRecord::from_json(&json).unwrap(), original);
         assert_eq!(json, original.to_json());
+        // Wire lines written before the epoch field existed still parse,
+        // with the epoch reading back empty.
+        let legacy = json.replace(",\"epoch\":\"epi/Linear/Std/r0.50#3\"", "");
+        assert_ne!(legacy, json);
+        let parsed = WireRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed.epoch, "");
+        assert_eq!(parsed.seq, original.seq);
         // Batch-record lines are rejected.
         assert!(WireRecord::from_json(&sample().to_json()).is_none());
         assert!(!WireRecord::is_wire_line(&sample().to_json()));

@@ -201,6 +201,7 @@ thread_local! {
     static CONTEXT_LABEL: RefCell<String> = const { RefCell::new(String::new()) };
     static BATCH_COUNTER: Cell<u64> = const { Cell::new(0) };
     static CONTEXT_EVENT: Cell<Option<usize>> = const { Cell::new(None) };
+    static CONTEXT_EPOCH: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
 /// Sets the stream label stamped onto records emitted from this thread.
@@ -238,6 +239,23 @@ pub fn set_context_event(event: Option<usize>) {
 /// The event label most recently published via [`set_context_event`].
 pub fn context_event() -> Option<usize> {
     CONTEXT_EVENT.with(Cell::get)
+}
+
+/// Sets the key epoch stamped onto wire records emitted from this thread —
+/// the scope within which sequence numbers must be unique (one epoch per
+/// cell run; the nonce-uniqueness auditor keys on (epoch, seq)). Empty (the
+/// default) means "unscoped": auditors fall back to the stream label.
+pub fn set_context_epoch(epoch: &str) {
+    CONTEXT_EPOCH.with(|e| {
+        let mut e = e.borrow_mut();
+        e.clear();
+        e.push_str(epoch);
+    });
+}
+
+/// The epoch most recently published via [`set_context_epoch`].
+pub fn context_epoch() -> String {
+    CONTEXT_EPOCH.with(|e| e.borrow().clone())
 }
 
 /// Fills a record's `label` and `event` from the thread context and assigns
@@ -324,6 +342,7 @@ pub fn emit_wire(encoder: &str, seq: u64, event: usize, wire_bytes: usize) {
         seq,
         event,
         wire_bytes,
+        epoch: CONTEXT_EPOCH.with(|e| e.borrow().clone()),
     };
     let local = THREAD_SINK.with(|stack| stack.borrow().last().cloned());
     if let Some(sink) = local {
@@ -517,6 +536,7 @@ mod tests {
             seq: 0,
             event: 1,
             wire_bytes: 118,
+            epoch: "s#0".into(),
         });
         let writer = sink.writer.into_inner().unwrap();
         let text = String::from_utf8(writer.into_inner().unwrap().into_inner()).unwrap();

@@ -27,6 +27,13 @@
 //! top of this crate. See `docs/robustness.md` for the frame format and
 //! fault model.
 //!
+//! Low-power sensors also brown out: a [`SequenceJournal`] over a simulated
+//! [`NvmStore`] persists sequence reservations in blocks (one flash write
+//! per `K` frames), so [`Link::reboot_sensor`] recovers past the reserved
+//! high-water mark and no nonce is ever reused across power cycles — the
+//! "Surviving resets" section of `docs/robustness.md` records the journal
+//! format and recovery invariants.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,10 +57,14 @@
 
 mod fault;
 mod link;
+mod persist;
 mod replay;
 
 pub use fault::{ChannelStats, FaultChannel, FaultPlan};
 pub use link::{Delivery, Link, LinkStats, ReceiveError, Receiver, RetryPolicy, Sensor};
+pub use persist::{
+    JournalError, JournalStats, NvmFaultPlan, NvmStats, NvmStore, RecoveredState, SequenceJournal,
+};
 pub use replay::{ReplayError, ReplayWindow};
 
 #[cfg(test)]

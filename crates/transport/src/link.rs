@@ -4,6 +4,7 @@
 use age_crypto::{Cipher, OpenError};
 
 use crate::fault::{ChannelStats, FaultChannel, FaultPlan};
+use crate::persist::{JournalStats, SequenceJournal};
 use crate::replay::{ReplayError, ReplayWindow};
 
 /// Why the receiver rejected a frame.
@@ -57,6 +58,10 @@ impl std::error::Error for ReceiveError {
 pub struct Sensor {
     cipher: Box<dyn Cipher>,
     next_sequence: u64,
+    /// Highest sequence number sealed so far this power cycle (RAM only —
+    /// cleared by [`Sensor::reboot_at`], exactly like the counter it
+    /// guards).
+    highest_sealed: Option<u64>,
 }
 
 impl Sensor {
@@ -65,6 +70,7 @@ impl Sensor {
         Sensor {
             cipher,
             next_sequence: 0,
+            highest_sealed: None,
         }
     }
 
@@ -73,23 +79,63 @@ impl Sensor {
         self.next_sequence
     }
 
+    /// The highest sequence number sealed this power cycle, if any.
+    pub fn highest_sealed(&self) -> Option<u64> {
+        self.highest_sealed
+    }
+
     /// Seals `payload` under the next sequence number.
     pub fn seal(&mut self, payload: &[u8]) -> (u64, Vec<u8>) {
         let sequence = self.next_sequence;
         self.next_sequence += 1;
+        self.note_sealed(sequence);
         (sequence, self.cipher.seal(sequence, payload))
     }
 
     /// Seals `payload` under an explicit sequence number without touching
-    /// the session counter (the experiment runner numbers frames by test
-    /// sequence index).
-    pub fn seal_as(&self, sequence: u64, payload: &[u8]) -> Vec<u8> {
+    /// the session counter.
+    ///
+    /// Explicit numbering is for callers that own sequencing themselves and
+    /// keep it strictly increasing — the experiment runner numbers frames
+    /// by test sequence index, and [`Link`] numbers them from the
+    /// reservation journal; both satisfy that contract, which is why the
+    /// guard below never fires for them. A sequence at or below the power
+    /// cycle's high-water mark would reuse a (key, nonce) pair, so it
+    /// trips a debug assertion and is counted by the `NONCE_REUSE_RISKED`
+    /// metric (release builds still seal, preserving legacy behavior; the
+    /// run-wide nonce auditor is the backstop that fails the run).
+    pub fn seal_as(&mut self, sequence: u64, payload: &[u8]) -> Vec<u8> {
+        if let Some(high) = self.highest_sealed {
+            if sequence <= high {
+                #[cfg(feature = "telemetry")]
+                age_telemetry::metrics::global::NONCE_REUSE_RISKED.add(1);
+                debug_assert!(
+                    sequence > high,
+                    "seal_as({sequence}) at or below the session high-water mark {high} \
+                     would reuse a (key, nonce) pair"
+                );
+            }
+        }
+        self.note_sealed(sequence);
         self.cipher.seal(sequence, payload)
+    }
+
+    /// Models a power loss: the RAM high-water mark is gone, and the
+    /// counter restarts wherever the caller's persistence (or lack of it)
+    /// says — [`Link::reboot_sensor`] passes the journal's recovered
+    /// position, or 0 when there is no journal.
+    pub fn reboot_at(&mut self, next_sequence: u64) {
+        self.next_sequence = next_sequence;
+        self.highest_sealed = None;
     }
 
     /// Exact on-air frame length for a payload of `payload_len` bytes.
     pub fn frame_len(&self, payload_len: usize) -> usize {
         self.cipher.message_len(payload_len)
+    }
+
+    fn note_sealed(&mut self, sequence: u64) {
+        self.highest_sealed = Some(self.highest_sealed.map_or(sequence, |h| h.max(sequence)));
     }
 }
 
@@ -143,11 +189,15 @@ impl Receiver {
             .highest()
             .map_or(self.max_skip, |h| h.saturating_add(self.max_skip));
         if sequence > limit {
+            #[cfg(feature = "telemetry")]
+            age_telemetry::metrics::global::FRAMES_FAR_FUTURE.add(1);
             return Err(ReceiveError::FarFuture { sequence, limit });
         }
-        self.window
-            .observe(sequence)
-            .map_err(ReceiveError::Replay)?;
+        self.window.observe(sequence).map_err(|e| {
+            #[cfg(feature = "telemetry")]
+            age_telemetry::metrics::global::FRAMES_REPLAY_REJECTED.add(1);
+            ReceiveError::Replay(e)
+        })?;
         Ok((sequence, payload))
     }
 }
@@ -235,6 +285,13 @@ pub struct LinkStats {
     /// Payloads that arrived only after their send deadline had passed
     /// (released by a reordering fault during a later send).
     pub late_deliveries: usize,
+    /// Sensor power losses recovered from ([`Link::reboot_sensor`]).
+    pub sensor_reboots: usize,
+    /// Sequence-reservation journal records persisted to NVM (only with
+    /// [`Link::with_journal`]).
+    pub journal_flushes: usize,
+    /// Sequence numbers retired unused by conservative reboot recovery.
+    pub sequences_skipped: usize,
 }
 
 /// A full sensor→channel→server session with retries.
@@ -267,6 +324,7 @@ pub struct Link {
     receiver: Receiver,
     retry: RetryPolicy,
     stats: LinkStats,
+    journal: Option<SequenceJournal>,
 }
 
 impl Link {
@@ -299,7 +357,37 @@ impl Link {
             receiver: Receiver::new(receiver_cipher),
             retry,
             stats: LinkStats::default(),
+            journal: None,
         }
+    }
+
+    /// Numbers frames from a persisted sequence-reservation journal instead
+    /// of the RAM counter, so [`Link::reboot_sensor`] recovers without
+    /// nonce reuse. The sensor resumes at the journal's position (0 for a
+    /// fresh store).
+    pub fn with_journal(mut self, journal: SequenceJournal) -> Self {
+        self.sensor.reboot_at(journal.next());
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Whether frames are numbered from a persisted journal.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The attached journal's counters, if any.
+    pub fn journal_stats(&self) -> Option<&JournalStats> {
+        self.journal.as_ref().map(SequenceJournal::stats)
+    }
+
+    /// Journal NVM write attempts so far — the energy-billable quantity
+    /// (every attempt programs the flash, retries of failed writes
+    /// included). 0 without a journal.
+    pub fn journal_write_attempts(&self) -> usize {
+        self.journal
+            .as_ref()
+            .map_or(0, |j| j.nvm_stats().writes_attempted)
     }
 
     /// Session counters so far.
@@ -312,10 +400,98 @@ impl Link {
         self.channel.stats()
     }
 
-    /// Sends `payload` under the session's next sequence number.
+    /// Sends `payload` under the session's next sequence number — drawn
+    /// from the journal when one is attached (persisting a reservation
+    /// record once per block), from the RAM counter otherwise.
+    ///
+    /// If the NVM refuses every attempt to persist a due reservation
+    /// record, nothing radiates: sealing under an unreserved number is the
+    /// nonce-reuse hazard the journal prevents, so the message is counted
+    /// lost instead (a zero-attempt, zero-length [`Delivery`]).
     pub fn send(&mut self, payload: &[u8]) -> Delivery {
-        let (sequence, frame) = self.sensor.seal(payload);
-        self.drive(sequence, frame)
+        if self.journal.is_none() {
+            let (sequence, frame) = self.sensor.seal(payload);
+            return self.drive(sequence, frame);
+        }
+        match self.journal_reserve() {
+            Ok(sequence) => {
+                let frame = self.sensor.seal_as(sequence, payload);
+                self.drive(sequence, frame)
+            }
+            Err(stuck_at) => {
+                self.stats.messages_lost += 1;
+                Delivery {
+                    sequence: stuck_at,
+                    frame_len: 0,
+                    attempts: 0,
+                    delivered: false,
+                    payloads: Vec::new(),
+                    backoff_ms: 0.0,
+                }
+            }
+        }
+    }
+
+    /// A brownout between the journal write and the radio: the next
+    /// sequence number is reserved and `payload` is sealed under it, but
+    /// power dies before the frame radiates — the channel never sees it —
+    /// and the sensor reboots. Recovery retires the sealed-but-unsent
+    /// frame's sequence number, so its nonce is never reused. Without a
+    /// journal the seal still burns a RAM sequence number, which the
+    /// reboot then forgets.
+    pub fn abort_send(&mut self, payload: &[u8]) {
+        if self.journal.is_none() {
+            let _ = self.sensor.seal(payload);
+        } else if let Ok(sequence) = self.journal_reserve() {
+            let _unsent = self.sensor.seal_as(sequence, payload);
+        }
+        self.reboot_sensor();
+    }
+
+    /// Simulates a sensor power loss mid-session: all sensor RAM state
+    /// (the sequence counter and the seal high-water mark) is gone. With a
+    /// journal attached the counter resumes at the recovered reservation
+    /// high-water mark; without one it restarts at 0 — the catastrophic
+    /// nonce-reuse case the journal exists to prevent (and the run-wide
+    /// nonce auditor exists to catch).
+    pub fn reboot_sensor(&mut self) {
+        self.stats.sensor_reboots += 1;
+        #[cfg(feature = "telemetry")]
+        age_telemetry::metrics::global::SENSOR_REBOOTS.add(1);
+        let next = match self.journal.as_mut() {
+            Some(journal) => {
+                let flushes_before = journal.stats().flushes;
+                let skipped = journal.reboot();
+                let flushed = journal.stats().flushes - flushes_before;
+                self.stats.journal_flushes += flushed;
+                self.stats.sequences_skipped += skipped as usize;
+                #[cfg(feature = "telemetry")]
+                {
+                    age_telemetry::metrics::global::JOURNAL_FLUSHES.add(flushed as u64);
+                    age_telemetry::metrics::global::SEQUENCES_SKIPPED.add(skipped);
+                }
+                journal.next()
+            }
+            None => 0,
+        };
+        self.sensor.reboot_at(next);
+    }
+
+    /// Draws the next number from the attached journal, folding any flush
+    /// into the session stats. `Err` carries the position the journal is
+    /// stuck at after the NVM refused every write attempt.
+    fn journal_reserve(&mut self) -> Result<u64, u64> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Err(0);
+        };
+        let flushes_before = journal.stats().flushes;
+        let reserved = journal.reserve_next();
+        let flushed = journal.stats().flushes - flushes_before;
+        let stuck_at = journal.next();
+        self.stats.journal_flushes += flushed;
+        #[cfg(feature = "telemetry")]
+        age_telemetry::metrics::global::JOURNAL_FLUSHES.add(flushed as u64);
+        reserved.map_err(|_| stuck_at)
     }
 
     /// Sends `payload` under an explicit sequence number (does not advance
@@ -600,6 +776,116 @@ mod tests {
         assert!(matches!(err, ReceiveError::FarFuture { .. }));
         // Legitimate traffic continues afterwards.
         assert!(rx.receive(&tx.seal(1, b"next")).is_ok());
+    }
+
+    #[test]
+    fn journaled_link_survives_reboots_without_nonce_reuse() {
+        let mut link = aead_link(FaultPlan::NONE, RetryPolicy::none()).with_journal(
+            SequenceJournal::new(crate::persist::NvmStore::reliable(), 8),
+        );
+        let mut sequences = Vec::new();
+        for round in 0..5u8 {
+            for i in 0..7u8 {
+                let d = link.send(&[round * 10 + i; 24]);
+                assert!(d.delivered, "post-reboot frames must keep delivering");
+                sequences.push(d.sequence);
+            }
+            link.reboot_sensor();
+        }
+        let mut unique = sequences.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), sequences.len(), "a sequence was reused");
+        assert!(
+            sequences.windows(2).all(|w| w[0] < w[1]),
+            "journal sequences must be strictly increasing"
+        );
+        let stats = *link.stats();
+        assert_eq!(stats.sensor_reboots, 5);
+        assert!(stats.journal_flushes > 0);
+        assert!(stats.sequences_skipped > 0, "7 of each 8-block go unused");
+        assert_eq!(stats.messages_lost, 0);
+    }
+
+    #[test]
+    fn reboot_without_a_journal_restarts_at_zero_and_replays() {
+        // The negative path the journal exists to prevent: the RAM counter
+        // resets, the sensor reseals under already-used nonces, and the
+        // receiver's replay window rejects the whole post-reboot stream.
+        let mut link = aead_link(FaultPlan::NONE, RetryPolicy::none());
+        for i in 0..4u8 {
+            assert!(link.send(&[i; 16]).delivered);
+        }
+        link.reboot_sensor();
+        for i in 0..4u8 {
+            let d = link.send(&[i; 16]);
+            assert!(!d.delivered, "replayed nonce must be rejected");
+        }
+        assert_eq!(link.stats().replay_rejected, 4);
+        assert_eq!(link.stats().sensor_reboots, 1);
+    }
+
+    #[test]
+    fn abort_send_retires_the_sequence_without_radiating() {
+        let mut link = aead_link(FaultPlan::NONE, RetryPolicy::none())
+            .with_journal(SequenceJournal::reliable());
+        let first = link.send(b"before").sequence;
+        let frames_on_wire = link.channel_stats().frames_in;
+        link.abort_send(b"never radiates");
+        assert_eq!(
+            link.channel_stats().frames_in,
+            frames_on_wire,
+            "an aborted send must not reach the channel"
+        );
+        let resumed = link.send(b"after");
+        assert!(resumed.delivered);
+        assert!(
+            resumed.sequence > first + 1,
+            "the aborted frame's sequence number must be retired"
+        );
+    }
+
+    #[test]
+    fn journal_write_exhaustion_loses_the_message_without_sealing() {
+        let plan = crate::persist::NvmFaultPlan {
+            fail_rate: 1.0,
+            torn_rate: 0.0,
+            seed: 9,
+        };
+        let mut link = aead_link(FaultPlan::NONE, RetryPolicy::default())
+            .with_journal(SequenceJournal::new(crate::persist::NvmStore::new(plan), 8));
+        let d = link.send(b"unreservable");
+        assert!(!d.delivered);
+        assert_eq!(d.attempts, 0, "nothing may radiate without a reservation");
+        assert_eq!(link.stats().messages_lost, 1);
+        assert_eq!(link.channel_stats().frames_in, 0);
+        assert!(
+            link.journal_write_attempts() >= SequenceJournal::WRITE_ATTEMPTS as usize,
+            "every failed NVM attempt is billable"
+        );
+    }
+
+    #[test]
+    fn seal_as_below_the_high_water_mark_is_counted_and_asserted() {
+        let mut sensor = Sensor::new(Box::new(ChaCha20Poly1305::new([0x42; 32])));
+        for _ in 0..5 {
+            let _ = sensor.seal(b"x");
+        }
+        assert_eq!(sensor.highest_sealed(), Some(4));
+        #[cfg(feature = "telemetry")]
+        let risked_before = age_telemetry::metrics::global::NONCE_REUSE_RISKED.get();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sensor.seal_as(2, b"reused nonce")
+        }));
+        // The metric increments before the debug assertion fires, so the
+        // risk is visible even where the assertion is compiled out.
+        #[cfg(feature = "telemetry")]
+        assert!(age_telemetry::metrics::global::NONCE_REUSE_RISKED.get() > risked_before);
+        if cfg!(debug_assertions) {
+            assert!(attempt.is_err(), "debug builds must trip the guard");
+        } else {
+            assert!(attempt.is_ok(), "release builds preserve legacy sealing");
+        }
     }
 
     #[test]

@@ -190,4 +190,78 @@ mod tests {
         w.observe(41).unwrap();
         assert_eq!(w.highest(), Some(41));
     }
+
+    #[test]
+    fn acceptance_flips_exactly_at_the_64_entry_boundary() {
+        // With highest = SIZE - 1, sequence 0 is the last number inside the
+        // window; one more step of the highest pushes it behind the horizon.
+        let mut w = ReplayWindow::new();
+        w.observe(0).unwrap();
+        w.observe(ReplayWindow::SIZE - 1).unwrap();
+        assert_eq!(
+            w.observe(0),
+            Err(ReplayError::Replayed { sequence: 0 }),
+            "at distance SIZE - 1 the number is still tracked"
+        );
+        assert!(w.observe(1).is_ok(), "unseen, exactly on the window edge");
+        w.observe(ReplayWindow::SIZE).unwrap();
+        assert_eq!(
+            w.observe(0),
+            Err(ReplayError::TooOld {
+                sequence: 0,
+                horizon: 1,
+            }),
+            "one past the boundary the bitmap no longer distinguishes it"
+        );
+        assert_eq!(
+            w.observe(1),
+            Err(ReplayError::Replayed { sequence: 1 }),
+            "the new horizon entry is still tracked"
+        );
+    }
+
+    #[test]
+    fn saturates_cleanly_near_u64_max() {
+        let mut w = ReplayWindow::new();
+        w.observe(u64::MAX - 1).unwrap();
+        w.observe(u64::MAX).unwrap();
+        assert_eq!(w.highest(), Some(u64::MAX));
+        assert_eq!(
+            w.observe(u64::MAX),
+            Err(ReplayError::Replayed { sequence: u64::MAX })
+        );
+        // The whole top of the sequence space is still one-shot acceptable.
+        for behind in 2..ReplayWindow::SIZE {
+            assert!(w.observe(u64::MAX - behind).is_ok(), "behind {behind}");
+        }
+        let too_old = u64::MAX - ReplayWindow::SIZE;
+        assert_eq!(
+            w.observe(too_old),
+            Err(ReplayError::TooOld {
+                sequence: too_old,
+                horizon: u64::MAX - (ReplayWindow::SIZE - 1),
+            })
+        );
+        // Priming directly at the maximum works too.
+        let mut fresh = ReplayWindow::new();
+        fresh.observe(u64::MAX).unwrap();
+        assert_eq!(fresh.highest(), Some(u64::MAX));
+        assert!(fresh.observe(u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn highest_is_unchanged_by_out_of_order_acceptance() {
+        let mut w = ReplayWindow::new();
+        w.observe(50).unwrap();
+        for seq in (45..50).rev() {
+            w.observe(seq).unwrap();
+            assert_eq!(
+                w.highest(),
+                Some(50),
+                "filling in old numbers must not move the window"
+            );
+        }
+        w.observe(51).unwrap();
+        assert_eq!(w.highest(), Some(51));
+    }
 }
