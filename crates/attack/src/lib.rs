@@ -15,6 +15,10 @@
 //!   deviation, IQR) of ten same-event message sizes, scored with
 //!   stratified five-fold cross-validation.
 //!
+//! Beyond the paper's size channel, [`TimingAttack`] points the same
+//! classifier machinery at inter-transmission *gaps* — the baseline for
+//! the repo's timing-side-channel audit.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,6 +38,7 @@ mod attack;
 mod knn;
 mod logistic;
 mod nmi;
+mod timing;
 mod tree;
 mod welch;
 
@@ -45,5 +50,6 @@ pub use attack::{
 pub use knn::Knn;
 pub use logistic::Logistic;
 pub use nmi::{entropy, nmi, permutation_test};
+pub use timing::{gap_observations, TimingAttack};
 pub use tree::{DecisionTree, TreeParams};
 pub use welch::{welch_t_test, WelchTest};

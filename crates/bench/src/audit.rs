@@ -2,11 +2,18 @@
 //! `bench_leakage` gate binary.
 //!
 //! One pinned configuration lives here so CI, the repro artifact, and the
-//! tests all speak the same thresholds: a defended encoder whose audited
-//! wire-size NMI exceeds [`LEAKAGE_NMI_THRESHOLD`] fails the gate, and the
-//! gate refuses to pass unless the undefended `Std` baseline *does* exceed
-//! it with a significant p-value on the same seeded data — proof the
-//! detector is live, not vacuously green.
+//! tests all speak the same thresholds. The gate judges two channels:
+//!
+//! - **Size**: a defended encoder whose audited wire-size NMI exceeds
+//!   [`LEAKAGE_NMI_THRESHOLD`] fails.
+//! - **Timing**: a defended encoder whose inter-transmission-gap NMI
+//!   exceeds the same threshold *with a significant permutation p-value*
+//!   fails (the p-value requirement absorbs the benign gap variance that
+//!   retry backoff injects into small samples).
+//!
+//! On both channels the gate refuses to pass unless the undefended `Std`
+//! baseline *does* exceed the thresholds on the same seeded data — proof
+//! each detector is live, not vacuously green.
 
 use std::sync::Arc;
 
@@ -111,17 +118,61 @@ mod tests {
         let report = run_gate(&quick());
         let gate = report.gate.as_ref().unwrap();
         assert!(gate.passed, "failures: {:?}", gate.failures);
-        // Every defended stream is constant-size, so NMI is exactly 0.
+        // Every defended stream is constant-size on a fault-free cadence,
+        // so both channels score exactly 0.
         for e in &report.entries {
             if e.encoder != "Std" {
                 assert_eq!(e.nmi, 0.0, "{}/{} leaked", e.label, e.encoder);
                 assert_eq!(e.distinct_sizes, 1, "{}/{}", e.label, e.encoder);
+                assert_eq!(e.timing_nmi, 0.0, "{}/{} leaked timing", e.label, e.encoder);
+                assert_eq!(e.distinct_gaps, 1, "{}/{} gaps", e.label, e.encoder);
             }
         }
-        // And the baseline demonstrably leaks.
+        // And the baseline demonstrably leaks — through both channels.
         assert!(report.entries.iter().any(|e| e.encoder == "Std"
             && e.nmi > LEAKAGE_NMI_THRESHOLD
             && e.p_value <= LEAKAGE_P_THRESHOLD));
+        assert!(report.entries.iter().any(|e| e.encoder == "Std"
+            && e.timing_nmi > LEAKAGE_NMI_THRESHOLD
+            && e.timing_p_value <= LEAKAGE_P_THRESHOLD));
+        // Both verdict legs actually ran.
+        assert!(gate.timing_defended_checked > 0 && gate.timing_baseline_checked > 0);
+    }
+
+    #[test]
+    fn gate_fails_on_an_event_correlated_schedule_behind_constant_sizes() {
+        // The injected bug class the timing channel exists to catch: a
+        // defended stream whose frames are all the same length but whose
+        // send schedule stretches with the event — say, an event-dependent
+        // backoff or a data-dependent encode stall.
+        let audit = audit_sweep(&quick());
+        let mut regressed = LeakageAudit::new();
+        regressed.merge(&audit);
+        let mut t = 0u64;
+        for i in 0..160u64 {
+            let event = (i % 3) as usize;
+            t += 500_000 + event as u64 * 60_000;
+            regressed.observe_timed("Epilepsy/Linear/Padded/r0.33", "Padded", event, 118, t);
+        }
+        let report = finalize(&regressed, &quick());
+        let gate = report.gate.as_ref().unwrap();
+        assert!(!gate.passed);
+        assert!(
+            gate.failures
+                .iter()
+                .any(|f| f.contains("timing regression") && f.contains("Padded")),
+            "failures: {:?}",
+            gate.failures
+        );
+        // The size channel stays clean — only the timing verdict fires.
+        assert!(
+            !gate
+                .failures
+                .iter()
+                .any(|f| f.contains("leakage regression")),
+            "failures: {:?}",
+            gate.failures
+        );
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The CI leakage-regression gate.
 //!
 //! Runs the pinned audit sweep (adaptive policies × {Std, Padded, AGE} on
-//! the seeded Epilepsy dataset), scores every stream's wire-size NMI plus a
-//! seeded permutation p-value, writes `LEAKAGE.json`, and exits non-zero if
-//! the gate fails — either because a defended encoder leaks, or because the
-//! undefended baseline *doesn't* (which would mean the detector can no
-//! longer prove it would catch a regression).
+//! the seeded Epilepsy dataset), scores every stream on **two channels** —
+//! wire-size NMI and inter-transmission-gap (timing) NMI, each with a
+//! seeded permutation p-value — writes `LEAKAGE.json` (format v2), and
+//! exits non-zero if the gate fails: a defended encoder leaks through
+//! sizes, a defended encoder's *schedule* correlates with events, or the
+//! undefended baseline fails to leak on either channel (which would mean
+//! the detector can no longer prove it would catch a regression).
 //!
 //! ```text
 //! cargo run -p age-bench --release --bin bench_leakage

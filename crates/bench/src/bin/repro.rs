@@ -26,6 +26,13 @@
 //! any two sealed frames in the whole run shared an (epoch, sequence) pair
 //! — a reused nonce — the process exits non-zero. `--audit` arms the same
 //! auditor. Requires the `telemetry` feature.
+//!
+//! `--trace <path>` records every experiment's virtual-clock spans
+//! (sample → encode → seal → link attempts → ack) and writes them as
+//! Chrome `trace_event` JSON — load the file in `chrome://tracing` or
+//! Perfetto. Timestamps are virtual microseconds, not wall time, so the
+//! file is byte-deterministic for a fixed seed. Requires the `telemetry`
+//! feature.
 
 use std::time::Instant;
 
@@ -41,6 +48,7 @@ fn main() {
     let mut power_fault_rate: Option<f64> = None;
     let mut audit = false;
     let mut audit_out = String::from("LEAKAGE.json");
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +108,16 @@ fn main() {
                     }
                 }
             }
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--trace needs an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "extensions" => ids.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
@@ -120,7 +138,8 @@ fn main() {
         eprintln!(
             "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
              [--power-faults RATE] [--telemetry out.jsonl] [--audit] \
-             [--audit-out LEAKAGE.json] <experiment...|all|extensions>"
+             [--audit-out LEAKAGE.json] [--trace TRACE.json] \
+             <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         eprintln!("extensions:  {}", EXTENSIONS.join(" "));
@@ -142,6 +161,12 @@ fn main() {
             );
             std::process::exit(2);
         }
+        if trace_path.is_some() {
+            eprintln!(
+                "--trace requires the `telemetry` feature (this binary was built without it)"
+            );
+            std::process::exit(2);
+        }
         if power_fault_rate.is_some() {
             eprintln!(
                 "note: built without the `telemetry` feature — power faults still run, \
@@ -152,7 +177,7 @@ fn main() {
     }
 
     #[cfg(feature = "telemetry")]
-    let (summary_sink, leakage_sink, nonce_sink) = {
+    let (summary_sink, leakage_sink, nonce_sink, trace_sink) = {
         use std::sync::Arc;
         let mut sinks: Vec<Arc<dyn age_telemetry::Sink>> = Vec::new();
         let summary = telemetry_path.as_deref().map(|path| {
@@ -181,10 +206,18 @@ fn main() {
             sinks.push(sink.clone());
             sink
         });
+        // Span emission is off by default (tracing every experiment costs
+        // memory); the sink and the global switch arm it together.
+        let trace = trace_path.is_some().then(|| {
+            let sink = Arc::new(age_telemetry::TraceSink::new());
+            sinks.push(sink.clone());
+            age_telemetry::set_trace_enabled(true);
+            sink
+        });
         if !sinks.is_empty() {
             age_telemetry::install_global(Arc::new(age_telemetry::FanoutSink(sinks)));
         }
-        (summary, leakage, nonce)
+        (summary, leakage, nonce, trace)
     };
 
     for id in &ids {
@@ -211,8 +244,15 @@ fn main() {
 
     #[cfg(feature = "telemetry")]
     {
-        if summary_sink.is_some() || leakage_sink.is_some() || nonce_sink.is_some() {
+        if summary_sink.is_some()
+            || leakage_sink.is_some()
+            || nonce_sink.is_some()
+            || trace_sink.is_some()
+        {
             age_telemetry::clear_global();
+        }
+        if trace_sink.is_some() {
+            age_telemetry::set_trace_enabled(false);
         }
         // Transport counters accumulate process-globally, so the rollup is
         // printed here rather than folded into per-stream summaries.
@@ -243,6 +283,20 @@ fn main() {
                 Ok(()) => println!("[leakage report written to {audit_out}]"),
                 Err(e) => {
                     eprintln!("cannot write leakage report '{audit_out}': {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(trace) = trace_sink {
+            let spans = trace.take();
+            let path = trace_path.as_deref().expect("trace sink implies a path");
+            match std::fs::write(path, age_telemetry::render_chrome_json(&spans)) {
+                Ok(()) => println!(
+                    "[{} virtual-clock spans written to {path} (chrome://tracing format)]",
+                    spans.len()
+                ),
+                Err(e) => {
+                    eprintln!("cannot write trace '{path}': {e}");
                     std::process::exit(2);
                 }
             }

@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use age_attack::{AttackModel, ClassifierAttack};
+use age_attack::{AttackModel, ClassifierAttack, TimingAttack};
 use age_core::{target, AgeEncoder, Batch, Encoder};
 use age_datasets::DatasetKind;
 use age_energy::{Battery, MilliJoules};
@@ -18,6 +18,7 @@ use crate::report::Settings;
 /// Extension experiment ids (run via `repro -- <id>` like the paper ones).
 pub const EXTENSIONS: &[&str] = &[
     "attackers",
+    "timing",
     "faults",
     "resets",
     "multievent",
@@ -35,6 +36,7 @@ pub const EXTENSIONS: &[&str] = &[
 pub fn run_extension(id: &str, s: &Settings) -> Option<String> {
     match id {
         "attackers" => Some(attackers(s)),
+        "timing" => Some(timing(s)),
         "faults" => Some(faults(s)),
         "resets" => Some(resets(s)),
         "multievent" => Some(multievent(s)),
@@ -99,6 +101,58 @@ pub fn attackers(s: &Settings) -> String {
     }
     out.push_str("  (every model family breaks the standard policy; none beats the\n");
     out.push_str("   most-frequent-event baseline against AGE)\n");
+    out
+}
+
+/// The timing-only eavesdropper: an attacker who cannot demodulate frames
+/// — no sizes, no payloads — and observes only *when* energy appears on
+/// the air (the virtual clock's send stamps). Std's variable-length frames
+/// stretch the schedule through radio serialization, so the size leak
+/// survives as a timing leak; constant-size defenses tick a metronome.
+pub fn timing(s: &Settings) -> String {
+    let runner = Runner::new(DatasetKind::Epilepsy, s.scale, s.seed);
+    let mut out =
+        String::from("Extension: timing-only attacker (virtual clock, Epilepsy, Linear, 70%)\n");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>7} {:>12} {:>12} {:>10}",
+        "Defense", "gaps", "timing NMI", "attack (%)", "baseline"
+    );
+    for defense in [Defense::Standard, Defense::Padded, Defense::Age] {
+        let res = runner.run(
+            PolicyKind::Linear,
+            defense,
+            0.7,
+            CipherChoice::ChaCha20,
+            false,
+        );
+        let sends: Vec<(usize, u64)> = res
+            .records
+            .iter()
+            .filter(|r| !r.violated && r.sent_at_us > 0)
+            .map(|r| (r.label, r.sent_at_us))
+            .collect();
+        let attack = TimingAttack {
+            classifier: ClassifierAttack {
+                total_samples: s.attack_samples,
+                n_estimators: s.attack_estimators,
+                seed: s.seed,
+                ..Default::default()
+            },
+        };
+        let outcome = attack.run(&sends);
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>7} {:>12.3} {:>12.1} {:>9.1}%",
+            defense.name(),
+            res.timing_observations().len(),
+            res.timing_nmi(),
+            outcome.mean_accuracy() * 100.0,
+            outcome.baseline * 100.0
+        );
+    }
+    out.push_str("  (inter-transmission gaps inherit the size channel through radio\n");
+    out.push_str("   serialization time; fixed-size defenses flatten both at once)\n");
     out
 }
 
@@ -887,5 +941,12 @@ mod tests {
     fn feedback_extension_reports_rates() {
         let out = feedback(&Settings::quick());
         assert!(out.contains("realized rate"));
+    }
+
+    #[test]
+    fn timing_extension_reports_the_gap_channel() {
+        let out = timing(&Settings::quick());
+        assert!(out.contains("timing NMI"));
+        assert!(out.contains("Std") && out.contains("AGE"));
     }
 }

@@ -36,12 +36,14 @@
 //! assert!(sizes.windows(2).all(|w| w[0] == w[1]));
 //! ```
 
+pub mod clock;
 pub mod node;
 mod runner;
 pub mod sweep;
 pub mod threats;
 
 pub use age_transport::{FaultPlan, NvmFaultPlan, RetryPolicy};
+pub use clock::{ClockModel, VirtualClock};
 pub use runner::{
     CipherChoice, Defense, ExperimentResult, FaultSetup, PolicyKind, PowerFaults, Runner,
     SequenceRecord, TransportSummary,

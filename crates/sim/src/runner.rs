@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use crate::clock::{ClockModel, VirtualClock};
 use age_core::{
     target, AgeEncoder, Batch, BatchConfig, EncodeScratch, Encoder, PaddedEncoder, PrunedEncoder,
     SingleEncoder, StandardEncoder, UnshiftedEncoder,
@@ -15,7 +16,7 @@ use age_reconstruct::{interpolate, mae, std_deviation};
 use age_sampling::{
     fit_threshold, DeviationPolicy, LinearPolicy, Policy, RandomPolicy, UniformPolicy,
 };
-use age_telemetry::DetRng;
+use age_telemetry::{DetRng, Tracer};
 use age_transport::{
     ChannelStats, FaultChannel, FaultPlan, Link, LinkStats, NvmFaultPlan, NvmStore, RetryPolicy,
     SequenceJournal,
@@ -227,6 +228,10 @@ pub struct SequenceRecord {
     /// not decode what arrived (distinct from a budget violation: the
     /// energy was spent and the attacker saw the frames).
     pub lost: bool,
+    /// Virtual time (µs) at which the frame's first radiation completed —
+    /// the send stamp a timing eavesdropper records. 0 if nothing ever
+    /// went on the air (budget violation, or the journal died first).
+    pub sent_at_us: u64,
 }
 
 /// Aggregated result of one (policy, defense, budget) run.
@@ -281,6 +286,36 @@ impl ExperimentResult {
         let labels: Vec<usize> = obs.iter().map(|&(l, _)| l).collect();
         let sizes: Vec<usize> = obs.iter().map(|&(_, s)| s).collect();
         age_attack::nmi(&labels, &sizes)
+    }
+
+    /// `(label, inter-transmission gap µs)` pairs for successive sent
+    /// frames — what a timing-only eavesdropper observes. Each gap is
+    /// labeled with the *arriving* frame's event, whose radio
+    /// serialization (and any backoff) shaped it.
+    pub fn timing_observations(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut last: Option<u64> = None;
+        for r in &self.records {
+            if r.violated || r.sent_at_us == 0 {
+                continue;
+            }
+            if let Some(prev) = last {
+                if r.sent_at_us > prev {
+                    out.push((r.label, (r.sent_at_us - prev) as usize));
+                }
+            }
+            last = Some(r.sent_at_us);
+        }
+        out
+    }
+
+    /// Empirical NMI between event labels and inter-transmission gaps —
+    /// the timing channel's counterpart to [`nmi`](Self::nmi).
+    pub fn timing_nmi(&self) -> f64 {
+        let obs = self.timing_observations();
+        let labels: Vec<usize> = obs.iter().map(|&(l, _)| l).collect();
+        let gaps: Vec<usize> = obs.iter().map(|&(_, g)| g).collect();
+        age_attack::nmi(&labels, &gaps)
     }
 
     /// Mean energy per *transmitted* sequence (Table 9): violated sequences
@@ -716,15 +751,21 @@ impl Runner {
         // of the name because the fixed message target (AGE, Padded) is
         // chosen per rate — pooling rates would show size variance that no
         // eavesdropper of a single deployment ever observes.
+        let label = format!(
+            "{}/{}/{}/r{:.2}",
+            self.data.spec().name,
+            policy_kind.name(),
+            defense.name(),
+            rate
+        );
+        // Virtual time for this cell. Advancement is unconditional — never
+        // feature-gated — so telemetry and MCU builds walk the exact same
+        // schedule and produce identical `sent_at_us` stamps; only the
+        // emission side (wire records, trace spans) is gated.
+        let mut clock = VirtualClock::new(ClockModel::default());
+        let mut tracer = Tracer::new(&label);
         #[cfg(feature = "telemetry")]
         {
-            let label = format!(
-                "{}/{}/{}/r{:.2}",
-                self.data.spec().name,
-                policy_kind.name(),
-                defense.name(),
-                rate
-            );
             age_telemetry::set_context_label(&label);
             // The nonce audit keys on (epoch, sequence): every run of every
             // cell gets a fresh key epoch, so only a genuine re-seal within
@@ -777,6 +818,7 @@ impl Runner {
                 attempts: u32,
                 energy_mj: f64,
                 violated: bool,
+                sent_at_us: u64,
             }
             // Pass 1 — transmit. Accepted payloads are keyed by sequence
             // number because a reordered frame can surface during a later
@@ -785,6 +827,12 @@ impl Runner {
             let mut arrived: HashMap<u64, Vec<u8>> = HashMap::new();
             for (i, seq) in test.iter().enumerate() {
                 let truth = &seq.values;
+                tracer.begin("sequence", "sim", clock.now_us());
+                // The sensing window ticks whether or not the message later
+                // clears the budget: sampling time is spent either way.
+                tracer.begin("sample", "sim", clock.now_us());
+                clock.advance_samples(spec.seq_len as u64);
+                tracer.end(clock.now_us());
                 let weight = std_deviation(truth);
                 let indices = policy.sample(truth, d);
                 let k = indices.len();
@@ -796,10 +844,16 @@ impl Runner {
                 // Publish the ground-truth event so per-batch records and
                 // wire records can be correlated against it by the audit.
                 #[cfg(feature = "telemetry")]
-                age_telemetry::set_context_event(Some(seq.label));
+                {
+                    age_telemetry::set_context_event(Some(seq.label));
+                    age_telemetry::set_context_vtime(clock.now_us());
+                }
+                tracer.begin("encode", "encode", clock.now_us());
                 encoder
                     .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
                     .expect("experiment encoders are configured with feasible targets");
+                clock.advance_encode();
+                tracer.end(clock.now_us());
                 let frame_len = cipher.message_len(plaintext.len());
                 let base_cost =
                     self.energy
@@ -831,17 +885,55 @@ impl Runner {
                         attempts: 0,
                         energy_mj: 0.0,
                         violated: true,
+                        sent_at_us: 0,
                     });
+                    tracer.end(clock.now_us());
                     continue;
                 }
                 // With a journal the link hands out the persisted sequence;
                 // without one, sequences track the evaluation index exactly
                 // as before recovery existed.
+                tracer.begin("seal", "crypto", clock.now_us());
+                clock.advance_seal();
+                tracer.end(clock.now_us());
                 let delivery = if link.has_journal() {
                     link.send(&plaintext)
                 } else {
                     link.send_as(i as u64, &plaintext)
                 };
+                // Journal flash writes (reservations, plus any brownout
+                // recovery work since the last send) precede the radio.
+                // This reads the same write counter the energy block below
+                // settles, so the two see an identical per-sequence delta.
+                let flash_writes = link.journal_write_attempts() - nvm_writes;
+                if flash_writes > 0 {
+                    tracer.begin("flash", "nvm", clock.now_us());
+                    clock.advance_flash(flash_writes as u64);
+                    tracer.end(clock.now_us());
+                }
+                // Replay the link's attempt schedule on the virtual clock:
+                // each retransmission waits its capped backoff and then
+                // radiates the same frame. The wire record is stamped with
+                // the *first* radiation's completion — the instant an
+                // eavesdropper first sees the message — while every retry
+                // gets its own trace span.
+                let mut sent_at_us = 0;
+                for attempt in 0..delivery.attempts {
+                    if attempt > 0 {
+                        clock.advance_backoff_ms(setup.retry.timeout_ms(attempt - 1));
+                    }
+                    tracer.begin("attempt", "link", clock.now_us());
+                    let done = clock.advance_radio(delivery.frame_len);
+                    tracer.end(done);
+                    if attempt == 0 {
+                        sent_at_us = done;
+                    }
+                }
+                if delivery.delivered {
+                    tracer.begin("ack", "link", clock.now_us());
+                    clock.advance_ack();
+                    tracer.end(clock.now_us());
+                }
                 // Audit the *sealed* frame as the eavesdropper saw it — the
                 // frame went on the air even if it was later lost in
                 // transit. Zero attempts means the journal's NVM write was
@@ -856,6 +948,7 @@ impl Runner {
                             delivery.sequence,
                             seq.label,
                             delivery.frame_len,
+                            sent_at_us,
                         );
                     }
                 }
@@ -890,7 +983,9 @@ impl Runner {
                     attempts: delivery.attempts,
                     energy_mj: base_cost.0 + retrans.0 + journal_mj.0,
                     violated: false,
+                    sent_at_us,
                 });
+                tracer.end(clock.now_us());
             }
             for (seq_no, payload) in link.flush() {
                 arrived.entry(seq_no).or_insert(payload);
@@ -913,6 +1008,7 @@ impl Runner {
                         collected: 0,
                         attempts: 0,
                         lost: false,
+                        sent_at_us: 0,
                     });
                     continue;
                 }
@@ -942,6 +1038,7 @@ impl Runner {
                             collected: info.collected,
                             attempts: info.attempts,
                             lost: false,
+                            sent_at_us: info.sent_at_us,
                         });
                     }
                     None => {
@@ -961,6 +1058,7 @@ impl Runner {
                             collected: info.collected,
                             attempts: info.attempts,
                             lost: true,
+                            sent_at_us: info.sent_at_us,
                         });
                     }
                 }
@@ -972,6 +1070,10 @@ impl Runner {
         } else {
             for (i, seq) in test.iter().enumerate() {
                 let truth = &seq.values;
+                tracer.begin("sequence", "sim", clock.now_us());
+                tracer.begin("sample", "sim", clock.now_us());
+                clock.advance_samples(spec.seq_len as u64);
+                tracer.end(clock.now_us());
                 let weight = std_deviation(truth);
                 let indices = policy.sample(truth, d);
                 let k = indices.len();
@@ -981,11 +1083,20 @@ impl Runner {
                 }
                 let batch = Batch::new(indices, values).expect("policy output is a valid batch");
                 #[cfg(feature = "telemetry")]
-                age_telemetry::set_context_event(Some(seq.label));
+                {
+                    age_telemetry::set_context_event(Some(seq.label));
+                    age_telemetry::set_context_vtime(clock.now_us());
+                }
+                tracer.begin("encode", "encode", clock.now_us());
                 encoder
                     .encode_into(&batch, &self.batch_cfg, &mut scratch, &mut plaintext)
                     .expect("experiment encoders are configured with feasible targets");
+                clock.advance_encode();
+                tracer.end(clock.now_us());
+                tracer.begin("seal", "crypto", clock.now_us());
                 let message = cipher.seal(i as u64, &plaintext);
+                clock.advance_seal();
+                tracer.end(clock.now_us());
                 let cost =
                     self.energy
                         .sequence_cost(k, k * d, message.len(), defense.encoder_cost());
@@ -1006,16 +1117,31 @@ impl Runner {
                         collected: 0,
                         attempts: 0,
                         lost: false,
+                        sent_at_us: 0,
                     });
+                    tracer.end(clock.now_us());
                     continue;
                 }
 
-                // Budget cleared: the sealed message is transmitted, and its
-                // on-air size is what the audit must correlate with events.
+                // Budget cleared: the sealed message is transmitted. Its
+                // on-air size — and the send time that size shapes — is
+                // what the audit must correlate with events.
+                tracer.begin("attempt", "link", clock.now_us());
+                let sent_at_us = clock.advance_radio(message.len());
+                tracer.end(sent_at_us);
                 #[cfg(feature = "telemetry")]
                 if age_telemetry::active() {
-                    age_telemetry::emit_wire(defense.name(), i as u64, seq.label, message.len());
+                    age_telemetry::emit_wire(
+                        defense.name(),
+                        i as u64,
+                        seq.label,
+                        message.len(),
+                        sent_at_us,
+                    );
                 }
+                tracer.begin("ack", "link", clock.now_us());
+                clock.advance_ack();
+                tracer.end(clock.now_us());
 
                 let opened = cipher.open(&message).expect("sealed messages always open");
                 let decoded = encoder
@@ -1032,14 +1158,20 @@ impl Runner {
                     collected: k,
                     attempts: 1,
                     lost: false,
+                    sent_at_us,
                 });
+                tracer.end(clock.now_us());
             }
         }
 
-        // The event context is per-cell state; clear it so batches emitted
-        // outside an experiment (warm-up, calibration) aren't mislabeled.
+        // The event and virtual-time contexts are per-cell state; clear
+        // them so batches emitted outside an experiment (warm-up,
+        // calibration) aren't mislabeled or phantom-stamped.
         #[cfg(feature = "telemetry")]
-        age_telemetry::set_context_event(None);
+        {
+            age_telemetry::set_context_event(None);
+            age_telemetry::set_context_vtime(0);
+        }
 
         ExperimentResult {
             records,

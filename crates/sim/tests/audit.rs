@@ -107,6 +107,34 @@ fn standard_leaks_and_age_does_not_on_the_same_seeded_data() {
         assert_eq!(e.distinct_sizes, 1, "{}/{} varied", e.label, e.encoder);
         assert_eq!(e.nmi, 0.0, "{}/{} leaked", e.label, e.encoder);
     }
+
+    // Timing channel: Std's size variation maps into the gap schedule
+    // through the radio serialization time, so the same stream leaks
+    // through gaps too — and significantly.
+    assert!(
+        std_entries
+            .iter()
+            .any(|e| e.timing_nmi > 0.05 && e.timing_p_value <= 0.05),
+        "no Std stream leaked through timing: {:?}",
+        std_entries
+            .iter()
+            .map(|e| (e.label.as_str(), e.timing_nmi, e.timing_p_value))
+            .collect::<Vec<_>>()
+    );
+    // Fault-free defended cells run a metronome: one distinct gap, zero
+    // timing NMI. (The fault-injected r0.50 cell legitimately varies its
+    // gaps through retry backoff; the gate's significance test — not this
+    // invariant — is what keeps that noise from failing the audit.)
+    for e in defended.iter().filter(|e| !e.label.contains("r0.50")) {
+        assert!(
+            e.gap_observations > 0,
+            "{}/{} has no gaps",
+            e.label,
+            e.encoder
+        );
+        assert_eq!(e.distinct_gaps, 1, "{}/{} gaps varied", e.label, e.encoder);
+        assert_eq!(e.timing_nmi, 0.0, "{}/{} leaked timing", e.label, e.encoder);
+    }
 }
 
 #[test]
@@ -153,6 +181,20 @@ fn audited_sizes_are_the_sealed_frames_the_transport_sent() {
     // the cipher adds framing, constant across the stream.
     let first = wires[0].wire_bytes;
     assert!(wires.iter().all(|w| w.wire_bytes == first));
+
+    // Every wire record carries the virtual send time of its *first*
+    // radiation, and the clock only moves forward within a cell.
+    assert!(wires.iter().all(|w| w.virtual_time > 0));
+    assert!(
+        wires
+            .windows(2)
+            .all(|w| w[0].virtual_time < w[1].virtual_time),
+        "send stamps must be strictly increasing within a run"
+    );
+    // The stamps agree with the runner's own records.
+    for (wire, rec) in wires.iter().zip(&transmitted) {
+        assert_eq!(wire.virtual_time, rec.sent_at_us);
+    }
 }
 
 #[test]

@@ -14,6 +14,13 @@
 //! per-thread audit state and still serialize a byte-identical
 //! `LEAKAGE.json` at any thread count.
 //!
+//! Since the virtual clock landed, the audit watches a second observable:
+//! **when** frames are sent. Each stream keeps an inter-transmission-gap
+//! histogram (a [`LeakageStream`] over `(event, gap µs)` pairs) scored with
+//! the same NMI + permutation machinery, so an adaptive policy that leaks
+//! through its transmission schedule instead of its frame sizes is caught
+//! by the same gate (`LEAKAGE.json` version 2 carries both verdicts).
+//!
 //! The math here (entropy, NMI, permutation test) is the single source of
 //! truth for the workspace: `age-attack::nmi` delegates to it. The audit
 //! plumbing ([`LeakageAudit`], [`LeakageSink`], [`LeakageGate`],
@@ -261,11 +268,33 @@ mod audit {
         h ^ seed
     }
 
-    /// Run-level audit state: one [`LeakageStream`] per
-    /// `(stream label, encoder)`, keyed in sorted order.
+    /// XORed into the per-stream seed for the timing channel's permutation
+    /// test, so a stream's size and timing p-values draw independent
+    /// shuffles from the same run seed.
+    const TIMING_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Per-stream timing-channel state: the `(event, gap µs)` histogram
+    /// plus the last send stamp gap extraction resumes from.
+    ///
+    /// Gaps are extracted in arrival order, which is safe because a stream
+    /// (one sweep cell) runs on exactly one thread; sweeps share a single
+    /// sink, so nothing ever splits one stream's arrivals across audits. If
+    /// the same `(label, encoder)` is re-run later (its clock restarts at
+    /// 0), the non-increasing stamp is treated as a stream restart: no gap
+    /// is recorded across the seam.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    struct GapState {
+        stream: LeakageStream,
+        last: Option<u64>,
+    }
+
+    /// Run-level audit state: one size [`LeakageStream`] (and, for timed
+    /// observations, one gap histogram) per `(stream label, encoder)`,
+    /// keyed in sorted order.
     #[derive(Debug, Clone, Default, PartialEq, Eq)]
     pub struct LeakageAudit {
         streams: BTreeMap<(String, String), LeakageStream>,
+        gaps: BTreeMap<(String, String), GapState>,
     }
 
     impl LeakageAudit {
@@ -274,7 +303,10 @@ mod audit {
             Self::default()
         }
 
-        /// Records one observed wire frame.
+        /// Records one observed wire frame without timing information (the
+        /// timing channel sees nothing; use
+        /// [`observe_timed`](Self::observe_timed) when a send stamp
+        /// exists).
         pub fn observe(&mut self, label: &str, encoder: &str, event: usize, wire_bytes: usize) {
             self.streams
                 .entry((label.to_string(), encoder.to_string()))
@@ -282,18 +314,62 @@ mod audit {
                 .observe(event, wire_bytes);
         }
 
+        /// Records one observed wire frame together with its virtual send
+        /// time. Feeds both channels: the size histogram, and — when this
+        /// is not the stream's first frame and the stamp advanced — the
+        /// inter-transmission-gap histogram, labeled with the *arriving*
+        /// frame's event (the gap ends with, and is shaped by, that
+        /// frame's radio serialization and backoff).
+        pub fn observe_timed(
+            &mut self,
+            label: &str,
+            encoder: &str,
+            event: usize,
+            wire_bytes: usize,
+            virtual_time: u64,
+        ) {
+            self.observe(label, encoder, event, wire_bytes);
+            let state = self
+                .gaps
+                .entry((label.to_string(), encoder.to_string()))
+                .or_default();
+            match state.last {
+                Some(prev) if virtual_time > prev => {
+                    state.stream.observe(event, (virtual_time - prev) as usize);
+                }
+                _ => {} // first frame, or a restart (clock went backwards)
+            }
+            state.last = Some(virtual_time);
+        }
+
         /// Records one [`WireRecord`] as emitted by the sink pipeline.
+        /// Records stamped 0 (no clock: legacy lines, bare encoder tests)
+        /// contribute to the size channel only.
         pub fn observe_wire(&mut self, record: &WireRecord) {
-            self.observe(
-                &record.label,
-                &record.encoder,
-                record.event,
-                record.wire_bytes,
-            );
+            if record.virtual_time == 0 {
+                self.observe(
+                    &record.label,
+                    &record.encoder,
+                    record.event,
+                    record.wire_bytes,
+                );
+            } else {
+                self.observe_timed(
+                    &record.label,
+                    &record.encoder,
+                    record.event,
+                    record.wire_bytes,
+                    record.virtual_time,
+                );
+            }
         }
 
         /// Folds another audit into this one. Commutative, so per-thread
-        /// audits merge to the same state in any order.
+        /// audits merge to the same state in any order. Exact for the
+        /// timing channel as long as no single stream's arrivals were split
+        /// across the audits (streams are cell-atomic in every sweep, so
+        /// this holds by construction; a split stream would lose only the
+        /// one gap spanning the split).
         pub fn merge(&mut self, other: &LeakageAudit) {
             for ((label, encoder), stream) in &other.streams {
                 self.streams
@@ -301,11 +377,24 @@ mod audit {
                     .or_default()
                     .merge(stream);
             }
+            for (key, state) in &other.gaps {
+                let mine = self.gaps.entry(key.clone()).or_default();
+                mine.stream.merge(&state.stream);
+                mine.last = mine.last.max(state.last);
+            }
         }
 
-        /// The stream for one `(label, encoder)`, if observed.
+        /// The size stream for one `(label, encoder)`, if observed.
         pub fn stream(&self, label: &str, encoder: &str) -> Option<&LeakageStream> {
             self.streams.get(&(label.to_string(), encoder.to_string()))
+        }
+
+        /// The gap histogram for one `(label, encoder)`, if any timed
+        /// observations arrived.
+        pub fn gap_stream(&self, label: &str, encoder: &str) -> Option<&LeakageStream> {
+            self.gaps
+                .get(&(label.to_string(), encoder.to_string()))
+                .map(|state| &state.stream)
         }
 
         /// All audited streams in sorted key order.
@@ -331,15 +420,31 @@ mod audit {
             let entries = self
                 .streams
                 .iter()
-                .map(|((label, encoder), stream)| LeakageEntry {
-                    label: label.clone(),
-                    encoder: encoder.clone(),
-                    observations: stream.total(),
-                    distinct_sizes: stream.distinct_sizes(),
-                    min_wire_bytes: stream.min_size().unwrap_or(0),
-                    max_wire_bytes: stream.max_size().unwrap_or(0),
-                    nmi: stream.nmi(),
-                    p_value: stream.permutation_p(permutations, stream_seed(seed, label, encoder)),
+                .map(|(key, stream)| {
+                    let (label, encoder) = key;
+                    let gaps = self.gaps.get(key).map(|state| &state.stream);
+                    LeakageEntry {
+                        label: label.clone(),
+                        encoder: encoder.clone(),
+                        observations: stream.total(),
+                        distinct_sizes: stream.distinct_sizes(),
+                        min_wire_bytes: stream.min_size().unwrap_or(0),
+                        max_wire_bytes: stream.max_size().unwrap_or(0),
+                        nmi: stream.nmi(),
+                        p_value: stream
+                            .permutation_p(permutations, stream_seed(seed, label, encoder)),
+                        gap_observations: gaps.map_or(0, LeakageStream::total),
+                        distinct_gaps: gaps.map_or(0, LeakageStream::distinct_sizes),
+                        min_gap_us: gaps.and_then(LeakageStream::min_size).unwrap_or(0) as u64,
+                        max_gap_us: gaps.and_then(LeakageStream::max_size).unwrap_or(0) as u64,
+                        timing_nmi: gaps.map_or(0.0, LeakageStream::nmi),
+                        timing_p_value: gaps.map_or(1.0, |g| {
+                            g.permutation_p(
+                                permutations,
+                                stream_seed(seed, label, encoder) ^ TIMING_SEED_SALT,
+                            )
+                        }),
+                    }
                 })
                 .collect();
             LeakageReport {
@@ -370,6 +475,20 @@ mod audit {
         pub nmi: f64,
         /// Seeded permutation-test p-value for that NMI.
         pub p_value: f64,
+        /// Inter-transmission gaps observed (always one fewer than the
+        /// timed frames; 0 when the stream carried no send stamps).
+        pub gap_observations: u64,
+        /// Distinct gap values; `1` means a perfectly regular schedule.
+        pub distinct_gaps: usize,
+        /// Smallest gap in virtual microseconds.
+        pub min_gap_us: u64,
+        /// Largest gap in virtual microseconds.
+        pub max_gap_us: u64,
+        /// Normalized mutual information between event labels and gaps.
+        pub timing_nmi: f64,
+        /// Seeded permutation-test p-value for the timing NMI (1.0 when no
+        /// gaps were observed).
+        pub timing_p_value: f64,
     }
 
     /// A scored audit, serializable as `LEAKAGE.json`.
@@ -411,8 +530,8 @@ mod audit {
         /// reports serialize to identical bytes — the determinism tests
         /// compare these strings across thread counts.
         pub fn to_json(&self) -> String {
-            let mut out = String::with_capacity(256 + 160 * self.entries.len());
-            out.push_str("{\n  \"version\": 1,\n  \"permutations\": ");
+            let mut out = String::with_capacity(256 + 256 * self.entries.len());
+            out.push_str("{\n  \"version\": 2,\n  \"permutations\": ");
             out.push_str(&self.permutations.to_string());
             out.push_str(",\n  \"seed\": ");
             out.push_str(&self.seed.to_string());
@@ -426,6 +545,10 @@ mod audit {
                     out.push_str(&gate.defended_checked.to_string());
                     out.push_str(", \"baseline_checked\": ");
                     out.push_str(&gate.baseline_checked.to_string());
+                    out.push_str(", \"timing_defended_checked\": ");
+                    out.push_str(&gate.timing_defended_checked.to_string());
+                    out.push_str(", \"timing_baseline_checked\": ");
+                    out.push_str(&gate.timing_baseline_checked.to_string());
                     out.push_str(", \"failures\": [");
                     for (i, failure) in gate.failures.iter().enumerate() {
                         if i > 0 {
@@ -457,6 +580,18 @@ mod audit {
                 push_f64(&mut out, e.nmi);
                 out.push_str(", \"p_value\": ");
                 push_f64(&mut out, e.p_value);
+                out.push_str(", \"gap_observations\": ");
+                out.push_str(&e.gap_observations.to_string());
+                out.push_str(", \"distinct_gaps\": ");
+                out.push_str(&e.distinct_gaps.to_string());
+                out.push_str(", \"min_gap_us\": ");
+                out.push_str(&e.min_gap_us.to_string());
+                out.push_str(", \"max_gap_us\": ");
+                out.push_str(&e.max_gap_us.to_string());
+                out.push_str(", \"timing_nmi\": ");
+                push_f64(&mut out, e.timing_nmi);
+                out.push_str(", \"timing_p_value\": ");
+                push_f64(&mut out, e.timing_p_value);
                 out.push('}');
             }
             if !self.entries.is_empty() {
@@ -473,18 +608,28 @@ mod audit {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             writeln!(
                 f,
-                "{:<28} {:<9} {:>7} {:>6} {:>5} {:>5} {:>7} {:>7}",
-                "label", "encoder", "frames", "sizes", "min", "max", "NMI", "p"
+                "{:<28} {:<9} {:>7} {:>6} {:>5} {:>5} {:>7} {:>7} {:>6} {:>7} {:>7}",
+                "label",
+                "encoder",
+                "frames",
+                "sizes",
+                "min",
+                "max",
+                "NMI",
+                "p",
+                "gaps",
+                "tNMI",
+                "tp"
             )?;
             writeln!(
                 f,
-                "{:-<28} {:-<9} {:-<7} {:-<6} {:-<5} {:-<5} {:-<7} {:-<7}",
-                "", "", "", "", "", "", "", ""
+                "{:-<28} {:-<9} {:-<7} {:-<6} {:-<5} {:-<5} {:-<7} {:-<7} {:-<6} {:-<7} {:-<7}",
+                "", "", "", "", "", "", "", "", "", "", ""
             )?;
             for e in &self.entries {
                 writeln!(
                     f,
-                    "{:<28} {:<9} {:>7} {:>6} {:>5} {:>5} {:>7.4} {:>7.4}",
+                    "{:<28} {:<9} {:>7} {:>6} {:>5} {:>5} {:>7.4} {:>7.4} {:>6} {:>7.4} {:>7.4}",
                     e.label,
                     e.encoder,
                     e.observations,
@@ -493,15 +638,21 @@ mod audit {
                     e.max_wire_bytes,
                     e.nmi,
                     e.p_value,
+                    e.gap_observations,
+                    e.timing_nmi,
+                    e.timing_p_value,
                 )?;
             }
             if let Some(gate) = &self.gate {
                 writeln!(
                     f,
-                    "gate: {} ({} defended, {} baseline streams checked)",
+                    "gate: {} ({} defended, {} baseline streams checked; \
+                     timing: {} defended, {} baseline)",
                     if gate.passed { "PASS" } else { "FAIL" },
                     gate.defended_checked,
                     gate.baseline_checked,
+                    gate.timing_defended_checked,
+                    gate.timing_baseline_checked,
                 )?;
                 for failure in &gate.failures {
                     writeln!(f, "  - {failure}")?;
@@ -520,6 +671,16 @@ mod audit {
     /// nothing leaks, not even the undefended baseline, means the gate saw
     /// too little data (or the wrong streams) and would otherwise be
     /// vacuously green.
+    ///
+    /// The same thresholds apply to **two channels**: frame sizes and
+    /// inter-transmission gaps. A defended *size* failure requires only
+    /// `NMI > threshold` (constant-size encoders score exactly 0, so any
+    /// excess is a real regression), while a defended *timing* failure
+    /// additionally requires `p <= p_threshold`: gap histograms inherit
+    /// benign, event-independent variance from retry backoff under fault
+    /// injection, and small-sample NMI bias on such streams can brush the
+    /// threshold; the permutation test is bias-robust and separates
+    /// event-correlated schedules from noisy-but-independent ones.
     #[derive(Debug, Clone, PartialEq)]
     pub struct LeakageGate {
         /// NMI above this is a leak; at or below is tolerated noise.
@@ -547,6 +708,10 @@ mod audit {
         pub defended_checked: usize,
         /// Baseline streams that met the observation floor.
         pub baseline_checked: usize,
+        /// Defended streams whose gap histogram met the observation floor.
+        pub timing_defended_checked: usize,
+        /// Baseline streams whose gap histogram met the observation floor.
+        pub timing_baseline_checked: usize,
     }
 
     impl LeakageGate {
@@ -557,30 +722,59 @@ mod audit {
         pub fn evaluate(&self, entries: &[LeakageEntry]) -> GateOutcome {
             let mut outcome = GateOutcome::default();
             let mut baseline_leaks = false;
+            let mut timing_baseline_leaks = false;
             for e in entries {
-                if e.observations < self.min_observations {
-                    continue;
-                }
-                if self.defended.iter().any(|d| d == &e.encoder) {
-                    outcome.defended_checked += 1;
-                    if e.nmi > self.nmi_threshold {
-                        outcome.failures.push(format!(
-                            "leakage regression: {}/{} NMI {:.4} exceeds threshold {:.4} \
-                             (p={:.4}, {} frames, {} distinct sizes)",
-                            e.label,
-                            e.encoder,
-                            e.nmi,
-                            self.nmi_threshold,
-                            e.p_value,
-                            e.observations,
-                            e.distinct_sizes,
-                        ));
+                let defended = self.defended.iter().any(|d| d == &e.encoder);
+                let baseline = self.baseline.iter().any(|b| b == &e.encoder);
+                if e.observations >= self.min_observations {
+                    if defended {
+                        outcome.defended_checked += 1;
+                        if e.nmi > self.nmi_threshold {
+                            outcome.failures.push(format!(
+                                "leakage regression: {}/{} NMI {:.4} exceeds threshold {:.4} \
+                                 (p={:.4}, {} frames, {} distinct sizes)",
+                                e.label,
+                                e.encoder,
+                                e.nmi,
+                                self.nmi_threshold,
+                                e.p_value,
+                                e.observations,
+                                e.distinct_sizes,
+                            ));
+                        }
+                    }
+                    if baseline {
+                        outcome.baseline_checked += 1;
+                        if e.nmi > self.nmi_threshold && e.p_value <= self.p_threshold {
+                            baseline_leaks = true;
+                        }
                     }
                 }
-                if self.baseline.iter().any(|b| b == &e.encoder) {
-                    outcome.baseline_checked += 1;
-                    if e.nmi > self.nmi_threshold && e.p_value <= self.p_threshold {
-                        baseline_leaks = true;
+                if e.gap_observations >= self.min_observations {
+                    if defended {
+                        outcome.timing_defended_checked += 1;
+                        if e.timing_nmi > self.nmi_threshold && e.timing_p_value <= self.p_threshold
+                        {
+                            outcome.failures.push(format!(
+                                "timing regression: {}/{} gap NMI {:.4} exceeds threshold \
+                                 {:.4} with p={:.4} <= {:.4} ({} gaps, {} distinct)",
+                                e.label,
+                                e.encoder,
+                                e.timing_nmi,
+                                self.nmi_threshold,
+                                e.timing_p_value,
+                                self.p_threshold,
+                                e.gap_observations,
+                                e.distinct_gaps,
+                            ));
+                        }
+                    }
+                    if baseline {
+                        outcome.timing_baseline_checked += 1;
+                        if e.timing_nmi > self.nmi_threshold && e.timing_p_value <= self.p_threshold
+                        {
+                            timing_baseline_leaks = true;
+                        }
                     }
                 }
             }
@@ -601,6 +795,29 @@ mod audit {
                 outcome.failures.push(format!(
                     "detector not demonstrated: no baseline stream shows NMI > {:.4} \
                      with p <= {:.4}; the gate cannot prove it would catch a leak",
+                    self.nmi_threshold, self.p_threshold,
+                ));
+            }
+            if outcome.timing_defended_checked == 0 {
+                outcome.failures.push(format!(
+                    "vacuous timing gate: no defended stream ({}) produced {} \
+                     inter-transmission gaps",
+                    self.defended.join(", "),
+                    self.min_observations,
+                ));
+            }
+            if outcome.timing_baseline_checked == 0 {
+                outcome.failures.push(format!(
+                    "vacuous timing gate: no baseline stream ({}) produced {} \
+                     inter-transmission gaps",
+                    self.baseline.join(", "),
+                    self.min_observations,
+                ));
+            } else if !timing_baseline_leaks {
+                outcome.failures.push(format!(
+                    "timing detector not demonstrated: no baseline stream shows gap \
+                     NMI > {:.4} with p <= {:.4}; the gate cannot prove it would catch \
+                     a timing leak",
                     self.nmi_threshold, self.p_threshold,
                 ));
             }
@@ -760,16 +977,21 @@ mod tests {
                 event,
                 wire_bytes: bytes,
                 epoch: String::new(),
+                virtual_time: 0,
             }
         }
 
         fn leaky_and_defended() -> LeakageAudit {
             let mut audit = LeakageAudit::new();
+            let (mut t_std, mut t_age) = (0u64, 0u64);
             for i in 0..120usize {
-                // Undefended: size tracks the event exactly.
-                audit.observe("epi/Linear/r0.50", "Std", i % 3, 60 + (i % 3) * 20);
-                // Defended: constant size.
-                audit.observe("epi/Linear/r0.50", "AGE", i % 3, 118);
+                // Undefended: size tracks the event exactly, and so does
+                // the schedule (a bigger frame is on the air for longer).
+                t_std += 500_000 + (i % 3) as u64 * 40_000;
+                audit.observe_timed("epi/Linear/r0.50", "Std", i % 3, 60 + (i % 3) * 20, t_std);
+                // Defended: constant size, metronome schedule.
+                t_age += 500_000;
+                audit.observe_timed("epi/Linear/r0.50", "AGE", i % 3, 118, t_age);
             }
             audit
         }
@@ -817,9 +1039,19 @@ mod tests {
             assert_eq!(age.distinct_sizes, 1);
             assert!(std.nmi > 0.9, "std nmi={}", std.nmi);
             assert!(std.p_value < 0.05, "std p={}", std.p_value);
+            // Timing channel: 119 gaps each (one fewer than the frames);
+            // the metronome scores 0, the stretchy schedule leaks.
+            assert_eq!(age.gap_observations, 119);
+            assert_eq!((age.distinct_gaps, age.timing_nmi), (1, 0.0));
+            assert_eq!((age.min_gap_us, age.max_gap_us), (500_000, 500_000));
+            assert!(std.timing_nmi > 0.9, "std tnmi={}", std.timing_nmi);
+            assert!(std.timing_p_value < 0.05, "std tp={}", std.timing_p_value);
             let json = report.to_json();
             assert_eq!(json, audit.report(100, 2022).to_json());
+            assert!(json.contains("\"version\": 2"));
             assert!(json.contains("\"encoder\": \"AGE\""));
+            assert!(json.contains("\"gap_observations\": 119"));
+            assert!(json.contains("\"timing_nmi\": "));
             assert!(json.contains("\"gate\": null"));
             assert!(json.ends_with("}\n"));
         }
@@ -831,6 +1063,109 @@ mod tests {
             assert!(outcome.passed, "failures: {:?}", outcome.failures);
             assert_eq!(outcome.defended_checked, 1);
             assert_eq!(outcome.baseline_checked, 1);
+            assert_eq!(outcome.timing_defended_checked, 1);
+            assert_eq!(outcome.timing_baseline_checked, 1);
+        }
+
+        #[test]
+        fn gate_catches_event_correlated_schedule_behind_constant_sizes() {
+            let mut audit = leaky_and_defended();
+            // Injected timing regression: constant 118-byte frames (the
+            // size channel sees nothing), but the retry backoff stretches
+            // with the event — exactly what an event-dependent policy
+            // would do to the schedule.
+            let mut t = 0u64;
+            for i in 0..120usize {
+                t += 500_000 + (i % 3) as u64 * 50_000;
+                audit.observe_timed("epi/Deviation/r0.50", "Padded", i % 3, 118, t);
+            }
+            let report = audit.report(100, 2022);
+            let regressed = report
+                .entries
+                .iter()
+                .find(|e| e.encoder == "Padded")
+                .unwrap();
+            assert_eq!(regressed.nmi, 0.0); // invisible to the size channel
+            let outcome = gate().evaluate(&report.entries);
+            assert!(!outcome.passed);
+            assert!(
+                outcome
+                    .failures
+                    .iter()
+                    .any(|f| f.contains("timing regression") && f.contains("Padded")),
+                "failures: {:?}",
+                outcome.failures
+            );
+            // And only the timing clause fired for the regressed stream.
+            assert!(!outcome.failures.iter().any(|f| f.starts_with("leakage")));
+        }
+
+        #[test]
+        fn clock_restarts_and_unstamped_records_produce_no_gaps() {
+            let mut audit = LeakageAudit::new();
+            // First run of the cell: 3 frames, 2 gaps.
+            for t in [100u64, 200, 300] {
+                audit.observe_timed("s", "AGE", 0, 118, t);
+            }
+            // The cell is re-run later; its clock restarts at 0. The
+            // non-increasing stamp must open a new gap chain, not record
+            // a bogus negative/huge gap.
+            for t in [50u64, 150] {
+                audit.observe_timed("s", "AGE", 1, 118, t);
+            }
+            let gaps = audit.gap_stream("s", "AGE").unwrap();
+            assert_eq!(gaps.total(), 3); // 2 from run one + 1 from run two
+            assert_eq!(gaps.distinct_sizes(), 1); // all gaps are 100 µs
+
+            // Zero-stamped wire records feed the size channel only.
+            let mut legacy = LeakageAudit::new();
+            for i in 0..5u64 {
+                legacy.observe_wire(&wire("s", "Std", 0, 60, i));
+            }
+            assert_eq!(legacy.stream("s", "Std").unwrap().total(), 5);
+            assert!(legacy.gap_stream("s", "Std").is_none());
+        }
+
+        #[test]
+        fn timed_wire_records_feed_the_gap_histogram() {
+            let mut audit = LeakageAudit::new();
+            for i in 0..4u64 {
+                let mut record = wire("s", "Std", (i % 2) as usize, 60, i);
+                record.virtual_time = (i + 1) * 1_000;
+                audit.observe_wire(&record);
+            }
+            let gaps = audit.gap_stream("s", "Std").unwrap();
+            assert_eq!(gaps.total(), 3);
+            assert_eq!(
+                (gaps.min_size(), gaps.max_size()),
+                (Some(1_000), Some(1_000))
+            );
+        }
+
+        #[test]
+        fn audit_merge_matches_single_writer_for_gaps() {
+            // Streams are cell-atomic: a merge combines audits that each
+            // saw *whole* streams. That case must be exact.
+            let mut a = LeakageAudit::new();
+            let mut b = LeakageAudit::new();
+            let mut whole = LeakageAudit::new();
+            for i in 0..50u64 {
+                let t = (i + 1) * 10_000 + (i % 2) * 500;
+                a.observe_timed("cell/a", "Std", (i % 2) as usize, 60, t);
+                whole.observe_timed("cell/a", "Std", (i % 2) as usize, 60, t);
+            }
+            for i in 0..50u64 {
+                let t = (i + 1) * 10_000;
+                b.observe_timed("cell/b", "AGE", (i % 2) as usize, 118, t);
+                whole.observe_timed("cell/b", "AGE", (i % 2) as usize, 118, t);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert_eq!(ab, ba);
+            assert_eq!(ab, whole);
+            assert_eq!(ab.report(50, 7).to_json(), whole.report(50, 7).to_json());
         }
 
         #[test]
@@ -853,11 +1188,12 @@ mod tests {
 
         #[test]
         fn gate_fails_when_vacuous_or_detector_unproven() {
-            // No streams at all: both clauses fire.
+            // No streams at all: all four vacuity clauses fire (size and
+            // timing, defended and baseline).
             let empty = LeakageAudit::new().report(10, 1);
             let outcome = gate().evaluate(&empty.entries);
             assert!(!outcome.passed);
-            assert_eq!(outcome.failures.len(), 2);
+            assert_eq!(outcome.failures.len(), 4);
             // Baseline present but (implausibly) constant-size: the gate
             // must refuse to certify a run where it never saw leakage.
             let mut audit = LeakageAudit::new();

@@ -11,7 +11,10 @@
 //! Components:
 //!
 //! - [`metrics`] — lock-free [`Counter`]s and fixed-bucket [`Histogram`]s.
-//! - [`span`] — a [`Stopwatch`] for per-stage wall-clock timings.
+//! - [`span`] — a [`Stopwatch`] for per-stage wall-clock timings, and a
+//!   [`Tracer`] for hierarchical virtual-time spans (a no-op without the
+//!   `audit` feature); behind `audit`, [`trace`] renders collected spans
+//!   as Chrome `trace_event` JSON.
 //! - [`record`] — the per-batch [`BatchRecord`] schema (mirrors
 //!   `age-core`'s `inspect_message` layout) with stable JSONL output.
 //! - [`sink`] — pluggable destinations: [`NullSink`], [`RecordingSink`]
@@ -42,6 +45,8 @@ pub mod rng;
 pub mod sink;
 pub mod span;
 pub mod summary;
+#[cfg(feature = "audit")]
+pub mod trace;
 
 pub use leakage::{entropy_from_counts, nmi_pairs, permutation_test_pairs, LeakageStream};
 #[cfg(feature = "audit")]
@@ -55,12 +60,17 @@ pub use nonce::{begin_epoch, reset_epoch_counters, NonceAudit, NonceAuditSink, N
 pub use record::WireRecord;
 pub use record::{BatchRecord, GroupRecord, StageTimings};
 pub use rng::{DetRng, SliceShuffle};
-#[cfg(feature = "audit")]
-pub use sink::emit_wire;
 pub use sink::{
-    active, clear_global, context_epoch, context_event, emit, install_global, install_thread,
-    set_context_epoch, set_context_event, set_context_label, set_timings_enabled, stamp,
-    timings_enabled, FanoutSink, JsonlSink, NullSink, RecordingSink, Sink, ThreadSinkGuard,
+    active, clear_global, context_epoch, context_event, context_vtime, emit, install_global,
+    install_thread, set_context_epoch, set_context_event, set_context_label, set_context_vtime,
+    set_timings_enabled, stamp, timings_enabled, FanoutSink, JsonlSink, NullSink, RecordingSink,
+    Sink, ThreadSinkGuard,
 };
-pub use span::Stopwatch;
+#[cfg(feature = "audit")]
+pub use sink::{emit_span, emit_wire};
+#[cfg(feature = "audit")]
+pub use span::SpanEvent;
+pub use span::{set_trace_enabled, trace_enabled, Stopwatch, Tracer};
 pub use summary::{StreamStats, Summary, SummarySink, TransportRollup};
+#[cfg(feature = "audit")]
+pub use trace::{render_chrome_json, TraceSink};

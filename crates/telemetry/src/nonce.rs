@@ -234,6 +234,7 @@ mod tests {
             event: 0,
             wire_bytes: 96,
             epoch: epoch.into(),
+            virtual_time: 0,
         }
     }
 

@@ -61,6 +61,12 @@ pub struct BatchRecord {
     /// the caller published one (see `sink::set_context_event`). This is
     /// what the leakage audit correlates message sizes against.
     pub event: Option<usize>,
+    /// Virtual time (simulated microseconds) at which this batch's sensing
+    /// window closed, as published by the caller via
+    /// `sink::set_context_vtime`. 0 when the producer runs without a
+    /// virtual clock (unit tests, direct encoder use). Unlike `timings`
+    /// this is fully deterministic — see `docs/observability.md`.
+    pub virtual_time: u64,
     /// Measurements handed to the encoder.
     pub input_len: usize,
     /// Measurements surviving pruning (== `input_len` for baselines).
@@ -105,6 +111,8 @@ impl BatchRecord {
             Some(e) => out.push_str(&e.to_string()),
             None => out.push_str("null"),
         }
+        out.push(',');
+        push_u64_field(&mut out, "virtual_time", self.virtual_time);
         out.push(',');
         push_u64_field(&mut out, "input_len", self.input_len as u64);
         out.push(',');
@@ -181,6 +189,7 @@ impl BatchRecord {
             label: parse_str_field(json, "label")?,
             batch: parse_u64_field(json, "batch")?,
             event: parse_opt_u64_field(json, "event")?.map(|e| e as usize),
+            virtual_time: parse_u64_field_or(json, "virtual_time", 0)?,
             input_len: parse_u64_field(json, "input_len")? as usize,
             kept_len: parse_u64_field(json, "kept_len")? as usize,
             groups_initial: parse_u64_field(json, "groups_initial")? as usize,
@@ -227,6 +236,13 @@ pub struct WireRecord {
     /// back to `label`). Appended to the wire-line schema; absent in lines
     /// written by older builds, which parse back as empty.
     pub epoch: String,
+    /// Virtual send time in simulated microseconds: when the frame's first
+    /// radiation completed on the simulator's deterministic clock (see
+    /// `age-sim`'s `VirtualClock`). The timing-channel audit derives
+    /// inter-transmission gaps from successive stamps within a stream.
+    /// Absent in lines written by older builds, which parse back as 0; a
+    /// present-but-malformed or negative value is a schema error.
+    pub virtual_time: u64,
 }
 
 #[cfg(feature = "audit")]
@@ -248,6 +264,8 @@ impl WireRecord {
         push_u64_field(&mut out, "wire_bytes", self.wire_bytes as u64);
         out.push(',');
         push_str_field(&mut out, "epoch", &self.epoch);
+        out.push(',');
+        push_u64_field(&mut out, "virtual_time", self.virtual_time);
         out.push('}');
         out
     }
@@ -269,6 +287,7 @@ impl WireRecord {
             event: parse_u64_field(json, "event")? as usize,
             wire_bytes: parse_u64_field(json, "wire_bytes")? as usize,
             epoch: parse_str_field(json, "epoch").unwrap_or_default(),
+            virtual_time: parse_u64_field_or(json, "virtual_time", 0)?,
         })
     }
 }
@@ -305,6 +324,17 @@ fn raw_value<'a>(json: &'a str, key: &str) -> Option<&'a str> {
 
 fn parse_u64_field(json: &str, key: &str) -> Option<u64> {
     raw_value(json, key)?.parse().ok()
+}
+
+/// Like [`parse_u64_field`] but treats an *absent* key as `default` (legacy
+/// tolerance for fields appended to the schema later). A key that is present
+/// but malformed — including negative values, which `u64` parsing rejects —
+/// is still a schema error (`None`).
+fn parse_u64_field_or(json: &str, key: &str, default: u64) -> Option<u64> {
+    match raw_value(json, key) {
+        None => Some(default),
+        Some(raw) => raw.parse().ok(),
+    }
 }
 
 fn parse_i64_field(json: &str, key: &str) -> Option<i64> {
@@ -401,6 +431,7 @@ mod tests {
             label: "mimic/age".into(),
             batch: 3,
             event: Some(2),
+            virtual_time: 1_280_000,
             input_len: 64,
             kept_len: 41,
             groups_initial: 9,
@@ -441,6 +472,7 @@ mod tests {
             "\"encoder\":\"age\"",
             "\"label\":\"mimic/age\"",
             "\"batch\":3",
+            "\"virtual_time\":1280000",
             "\"input_len\":64",
             "\"kept_len\":41",
             "\"groups_initial\":9",
@@ -504,6 +536,21 @@ mod tests {
         .is_none());
     }
 
+    #[test]
+    fn batch_virtual_time_tolerates_absence_but_rejects_malformation() {
+        let json = sample().to_json();
+        // Lines from builds that predate the field parse back as t = 0.
+        let legacy = json.replace(",\"virtual_time\":1280000", "");
+        assert_ne!(legacy, json);
+        assert_eq!(BatchRecord::from_json(&legacy).unwrap().virtual_time, 0);
+        // A present-but-negative timestamp is a schema error, not a wrap.
+        let negative = json.replace("\"virtual_time\":1280000", "\"virtual_time\":-1280000");
+        assert!(BatchRecord::from_json(&negative).is_none());
+        // So is any other malformed value.
+        let garbled = json.replace("\"virtual_time\":1280000", "\"virtual_time\":12e5");
+        assert!(BatchRecord::from_json(&garbled).is_none());
+    }
+
     #[cfg(feature = "audit")]
     #[test]
     fn wire_record_round_trips_through_json() {
@@ -514,6 +561,7 @@ mod tests {
             event: 2,
             wire_bytes: 86,
             epoch: "epi/Linear/Std/r0.50#3".into(),
+            virtual_time: 5_521_984,
         };
         let json = original.to_json();
         assert!(WireRecord::is_wire_line(&json));
@@ -529,5 +577,29 @@ mod tests {
         // Batch-record lines are rejected.
         assert!(WireRecord::from_json(&sample().to_json()).is_none());
         assert!(!WireRecord::is_wire_line(&sample().to_json()));
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn wire_virtual_time_tolerates_absence_but_rejects_malformation() {
+        let original = WireRecord {
+            label: "s".into(),
+            encoder: "AGE".into(),
+            seq: 0,
+            event: 1,
+            wire_bytes: 118,
+            epoch: "s#0".into(),
+            virtual_time: 90_210,
+        };
+        let json = original.to_json();
+        // Wire lines from before the timing channel parse back as t = 0.
+        let legacy = json.replace(",\"virtual_time\":90210", "");
+        assert_ne!(legacy, json);
+        assert_eq!(WireRecord::from_json(&legacy).unwrap().virtual_time, 0);
+        // Present-but-negative or otherwise malformed stamps are rejected.
+        for bad in ["\"virtual_time\":-90210", "\"virtual_time\":9o210"] {
+            let garbled = json.replace("\"virtual_time\":90210", bad);
+            assert!(WireRecord::from_json(&garbled).is_none(), "{garbled}");
+        }
     }
 }

@@ -25,6 +25,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use crate::record::BatchRecord;
 #[cfg(feature = "audit")]
 use crate::record::WireRecord;
+#[cfg(feature = "audit")]
+use crate::span::SpanEvent;
 
 /// A destination for per-batch telemetry records.
 ///
@@ -38,6 +40,11 @@ pub trait Sink: Send + Sync {
     /// ignored, so sinks that only care about batches need no change.
     #[cfg(feature = "audit")]
     fn record_wire(&self, _record: &WireRecord) {}
+
+    /// Consumes one closed virtual-time span (trace export). Default:
+    /// ignored — only trace sinks care.
+    #[cfg(feature = "audit")]
+    fn record_span(&self, _span: &SpanEvent) {}
 
     /// Flushes buffered output, if any.
     fn flush(&self) {}
@@ -185,6 +192,13 @@ impl Sink for FanoutSink {
         }
     }
 
+    #[cfg(feature = "audit")]
+    fn record_span(&self, span: &SpanEvent) {
+        for sink in &self.0 {
+            sink.record_span(span);
+        }
+    }
+
     fn flush(&self) {
         for sink in &self.0 {
             sink.flush();
@@ -202,6 +216,7 @@ thread_local! {
     static BATCH_COUNTER: Cell<u64> = const { Cell::new(0) };
     static CONTEXT_EVENT: Cell<Option<usize>> = const { Cell::new(None) };
     static CONTEXT_EPOCH: RefCell<String> = const { RefCell::new(String::new()) };
+    static CONTEXT_VTIME: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Sets the stream label stamped onto records emitted from this thread.
@@ -258,12 +273,26 @@ pub fn context_epoch() -> String {
     CONTEXT_EPOCH.with(|e| e.borrow().clone())
 }
 
+/// Publishes this thread's current virtual time (simulated microseconds),
+/// stamped onto subsequent batch records. The simulator's runner advances
+/// its `VirtualClock` and re-publishes before each encode; 0 (the default)
+/// means "no clock" and is what bare encoder tests see.
+pub fn set_context_vtime(vtime_us: u64) {
+    CONTEXT_VTIME.with(|t| t.set(vtime_us));
+}
+
+/// The virtual time most recently published via [`set_context_vtime`].
+pub fn context_vtime() -> u64 {
+    CONTEXT_VTIME.with(Cell::get)
+}
+
 /// Fills a record's `label` and `event` from the thread context and assigns
 /// it the next batch sequence number. Producers call this just before
 /// [`emit`].
 pub fn stamp(record: &mut BatchRecord) {
     record.label = CONTEXT_LABEL.with(|l| l.borrow().clone());
     record.event = CONTEXT_EVENT.with(Cell::get);
+    record.virtual_time = CONTEXT_VTIME.with(Cell::get);
     record.batch = BATCH_COUNTER.with(|c| {
         let n = c.get();
         c.set(n + 1);
@@ -333,9 +362,10 @@ pub fn emit(record: &BatchRecord) {
 /// Builds a [`WireRecord`] from the thread context (stream label) plus the
 /// caller's frame facts, and routes it like [`emit`]. Transmit paths call
 /// this once per sealed frame actually put on the air, so the audit sees
-/// exactly what an eavesdropper would.
+/// exactly what an eavesdropper would; `virtual_time` is the frame's first
+/// radiation time on the simulator's deterministic clock (0 if unclocked).
 #[cfg(feature = "audit")]
-pub fn emit_wire(encoder: &str, seq: u64, event: usize, wire_bytes: usize) {
+pub fn emit_wire(encoder: &str, seq: u64, event: usize, wire_bytes: usize, virtual_time: u64) {
     let record = WireRecord {
         label: CONTEXT_LABEL.with(|l| l.borrow().clone()),
         encoder: encoder.to_string(),
@@ -343,6 +373,7 @@ pub fn emit_wire(encoder: &str, seq: u64, event: usize, wire_bytes: usize) {
         event,
         wire_bytes,
         epoch: CONTEXT_EPOCH.with(|e| e.borrow().clone()),
+        virtual_time,
     };
     let local = THREAD_SINK.with(|stack| stack.borrow().last().cloned());
     if let Some(sink) = local {
@@ -352,6 +383,22 @@ pub fn emit_wire(encoder: &str, seq: u64, event: usize, wire_bytes: usize) {
     let global = GLOBAL_SINK.read().unwrap().clone();
     if let Some(sink) = global {
         sink.record_wire(&record);
+    }
+}
+
+/// Routes one closed span like [`emit`]. Called by [`crate::span::Tracer`]
+/// when tracing is enabled; most sinks ignore spans (trait default), so the
+/// cost with only audit sinks installed is one virtual dispatch.
+#[cfg(feature = "audit")]
+pub fn emit_span(span: &SpanEvent) {
+    let local = THREAD_SINK.with(|stack| stack.borrow().last().cloned());
+    if let Some(sink) = local {
+        sink.record_span(span);
+        return;
+    }
+    let global = GLOBAL_SINK.read().unwrap().clone();
+    if let Some(sink) = global {
+        sink.record_span(span);
     }
 }
 
@@ -505,6 +552,20 @@ mod tests {
         assert_eq!(b.event, None);
     }
 
+    #[test]
+    fn stamp_fills_virtual_time_from_context() {
+        assert_eq!(context_vtime(), 0);
+        set_context_vtime(42_000);
+        let mut a = rec(0);
+        stamp(&mut a);
+        assert_eq!(a.virtual_time, 42_000);
+        assert_eq!(context_vtime(), 42_000);
+        set_context_vtime(0);
+        let mut b = rec(0);
+        stamp(&mut b);
+        assert_eq!(b.virtual_time, 0);
+    }
+
     #[cfg(feature = "audit")]
     #[test]
     fn emit_wire_routes_to_thread_sink_with_context_label() {
@@ -512,7 +573,7 @@ mod tests {
         {
             let _guard = install_thread(sink.clone());
             set_context_label("epi/Linear/Std/r0.50");
-            emit_wire("Std", 7, 2, 86);
+            emit_wire("Std", 7, 2, 86, 1_234_567);
         }
         set_context_label("");
         let wires = sink.wire_records();
@@ -523,6 +584,7 @@ mod tests {
             (wires[0].seq, wires[0].event, wires[0].wire_bytes),
             (7, 2, 86)
         );
+        assert_eq!(wires[0].virtual_time, 1_234_567);
     }
 
     #[cfg(feature = "audit")]
@@ -537,6 +599,7 @@ mod tests {
             event: 1,
             wire_bytes: 118,
             epoch: "s#0".into(),
+            virtual_time: 0,
         });
         let writer = sink.writer.into_inner().unwrap();
         let text = String::from_utf8(writer.into_inner().unwrap().into_inner()).unwrap();

@@ -505,6 +505,7 @@ mod tests {
                 event: (i % 2) as usize,
                 wire_bytes: 60 + (i % 2) as usize * 20,
                 epoch: String::new(),
+                virtual_time: 0,
             });
         }
         let summary = sink.take();

@@ -1,0 +1,42 @@
+//! Pins the MCU-profile contract for the span API: without the `audit`
+//! feature, `Tracer` is a zero-sized no-op — no allocation, no recording —
+//! even when tracing is force-enabled and a sink is installed. Runs only
+//! under `--no-default-features` (the workspace's MCU build leg); with
+//! `audit` on, the real tracer is covered by the unit tests in `span.rs`.
+#![cfg(not(feature = "audit"))]
+
+use std::sync::Arc;
+
+use age_telemetry::alloc::{self, CountingAllocator};
+use age_telemetry::{install_thread, set_trace_enabled, RecordingSink, Tracer};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+#[test]
+fn tracer_is_a_zero_alloc_noop_without_audit() {
+    // Adversarial setup: everything that would make the real tracer record.
+    set_trace_enabled(true);
+    let sink = Arc::new(RecordingSink::new());
+    let _guard = install_thread(sink.clone());
+
+    let mut tracer = Tracer::new("epi/Linear/AGE/r0.50");
+    assert!(!tracer.is_enabled());
+    assert_eq!(std::mem::size_of::<Tracer>(), 0);
+
+    let before = alloc::snapshot();
+    for i in 0..1_000u64 {
+        tracer.begin("sequence", "sim", i * 10);
+        tracer.begin("encode", "encode", i * 10 + 1);
+        tracer.end(i * 10 + 3);
+        tracer.end(i * 10 + 9);
+    }
+    let delta = alloc::snapshot().since(before);
+    assert_eq!(delta.allocations, 0, "no-op tracer must not allocate");
+    assert_eq!(delta.bytes, 0);
+
+    set_trace_enabled(false);
+    // Nothing reached the sink: record_span doesn't even exist without
+    // `audit`, and record_batch was never called.
+    assert!(sink.records().is_empty());
+}

@@ -242,6 +242,19 @@ impl RetryPolicy {
     pub fn timeout_ms(&self, retry: u32) -> f64 {
         (self.base_timeout_ms * self.backoff_factor.powi(retry as i32)).min(self.max_timeout_ms)
     }
+
+    /// Total backoff waited across a delivery that used `attempts`
+    /// transmissions: the sum of the capped waits preceding attempts
+    /// `2..=attempts`. Reproduces [`Delivery::backoff_ms`] exactly (same
+    /// additions in the same order), which lets a virtual clock replay a
+    /// delivery's schedule from its attempt count alone.
+    pub fn backoff_before_ms(&self, attempts: u32) -> f64 {
+        let mut total = 0.0;
+        for attempt in 1..attempts {
+            total += self.timeout_ms(attempt - 1);
+        }
+        total
+    }
 }
 
 /// What happened to one message sent through a [`Link`].
@@ -765,6 +778,24 @@ mod tests {
             link.send(b"x")
         };
         assert_eq!(lost.backoff_ms, 50.0 + 100.0 + 200.0);
+    }
+
+    #[test]
+    fn backoff_before_ms_replays_a_delivery_schedule() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before_ms(0), 0.0);
+        assert_eq!(p.backoff_before_ms(1), 0.0, "first attempt never waits");
+        assert_eq!(p.backoff_before_ms(2), 50.0);
+        assert_eq!(p.backoff_before_ms(4), 50.0 + 100.0 + 200.0);
+        // The invariant the virtual clock relies on: the policy can
+        // reconstruct a delivery's total wait from its attempt count.
+        for (seed, rate) in [(1u64, 0.0), (2, 0.5), (3, 0.7), (4, 1.0)] {
+            let mut link = aead_link(FaultPlan::drops(rate, seed), p);
+            for _ in 0..8 {
+                let d = link.send(b"x");
+                assert_eq!(d.backoff_ms, p.backoff_before_ms(d.attempts));
+            }
+        }
     }
 
     #[test]
