@@ -34,15 +34,21 @@ pub(crate) fn validate_standard(batch: &Batch, cfg: &BatchConfig) -> Result<(), 
 }
 
 /// Writes the standard layout into `w`: a 16-bit count, then each collected
-/// index with its full-width values. Infallible once validated.
-pub(crate) fn write_standard(batch: &Batch, cfg: &BatchConfig, w: &mut BitWriter) {
+/// index with its full-width values. Infallible once validated. The whole
+/// batch is quantized in one lane pass through `lane` before packing.
+pub(crate) fn write_standard(
+    batch: &Batch,
+    cfg: &BatchConfig,
+    w: &mut BitWriter,
+    lane: &mut Vec<u64>,
+) {
     let fmt = cfg.format();
     w.write_u16(batch.len() as u16);
-    for t in 0..batch.len() {
-        w.write_bits(batch.indices()[t] as u64, cfg.index_bits());
-        for &x in batch.measurement(t) {
-            w.write_bits(fmt.to_bits(fmt.quantize(x)), fmt.width());
-        }
+    fmt.quantize_bits_slice(batch.values(), lane);
+    let d = batch.features();
+    for (t, &idx) in batch.indices().iter().enumerate() {
+        w.write_bits(idx as u64, cfg.index_bits());
+        w.write_fields(&lane[t * d..(t + 1) * d], fmt.width());
     }
 }
 
@@ -109,7 +115,7 @@ impl Encoder for StandardEncoder {
         &self,
         batch: &Batch,
         cfg: &BatchConfig,
-        _scratch: &mut EncodeScratch,
+        scratch: &mut EncodeScratch,
         out: &mut Vec<u8>,
     ) -> Result<(), EncodeError> {
         #[cfg(feature = "telemetry")]
@@ -118,7 +124,7 @@ impl Encoder for StandardEncoder {
         out.clear();
         out.reserve(cfg.standard_message_bytes(batch.len()));
         let mut w = BitWriter::from_vec(std::mem::take(out));
-        write_standard(batch, cfg, &mut w);
+        write_standard(batch, cfg, &mut w, &mut scratch.quant_bits);
         *out = w.into_bytes();
         #[cfg(feature = "telemetry")]
         emit_flat_record("Standard", batch, cfg, out.len(), None, &mut stopwatch);
@@ -183,7 +189,7 @@ impl Encoder for PaddedEncoder {
         &self,
         batch: &Batch,
         cfg: &BatchConfig,
-        _scratch: &mut EncodeScratch,
+        scratch: &mut EncodeScratch,
         out: &mut Vec<u8>,
     ) -> Result<(), EncodeError> {
         #[cfg(feature = "telemetry")]
@@ -199,7 +205,7 @@ impl Encoder for PaddedEncoder {
         out.clear();
         out.reserve(self.pad_to);
         let mut w = BitWriter::from_vec(std::mem::take(out));
-        write_standard(batch, cfg, &mut w);
+        write_standard(batch, cfg, &mut w, &mut scratch.quant_bits);
         debug_assert_eq!(w.byte_len(), min);
         w.pad_to_bytes(self.pad_to);
         *out = w.into_bytes();

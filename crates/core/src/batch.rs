@@ -195,6 +195,14 @@ impl Batch {
         &self.values[t * d..(t + 1) * d]
     }
 
+    /// Mutable access to the raw index/value buffers, for in-crate decoders
+    /// that rebuild a batch in place without allocating. Callers must uphold
+    /// the [`Batch::new`] invariants: strictly increasing indices and a value
+    /// count that is a multiple of the index count.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<usize>, &mut Vec<f64>) {
+        (&mut self.indices, &mut self.values)
+    }
+
     /// Removes all measurements, keeping the buffers' allocations.
     pub(crate) fn clear(&mut self) {
         self.indices.clear();

@@ -140,15 +140,18 @@ impl Encoder for DeltaCodec {
             write_varint(out, gap as u64);
             prev_idx = idx;
         }
-        // Delta-encoded raw values per feature column.
+        // Delta-encoded raw values per feature column. Quantization runs
+        // once over the whole batch as a lane loop; the varint emission then
+        // works on integers only.
+        let raws = &mut scratch.quant_raw;
+        fmt.quantize_slice(batch.values(), raws);
         let prev_raw = &mut scratch.prev_raw;
         prev_raw.clear();
         prev_raw.resize(d, 0);
-        for t in 0..batch.len() {
-            for (f, &x) in batch.measurement(t).iter().enumerate() {
-                let raw = fmt.quantize(x);
-                write_varint(out, zigzag(raw - prev_raw[f]));
-                prev_raw[f] = raw;
+        for row in raws.chunks_exact(d.max(1)) {
+            for (prev, &raw) in prev_raw.iter_mut().zip(row) {
+                write_varint(out, zigzag(raw - *prev));
+                *prev = raw;
             }
         }
         Ok(())

@@ -194,6 +194,7 @@ impl crate::Encoder for AgeEncoder {
             merge,
             split_log,
             trial_widths,
+            quant_bits,
             ..
         } = scratch;
         #[cfg(feature = "telemetry")]
@@ -281,13 +282,24 @@ impl crate::Encoder for AgeEncoder {
         out.reserve(self.target_bytes);
         let mut w = BitWriter::from_vec(std::mem::take(out));
         w.write_u16(k as u16);
-        let mut mask_iter = batch.indices().iter().peekable();
-        for t in 0..cfg.max_len() {
-            let collected = matches!(mask_iter.peek(), Some(&&idx) if idx == t);
-            if collected {
-                mask_iter.next();
+        // Bitmask as whole words: set bits scattered into up-to-64-step
+        // chunks, one writer call per chunk instead of one per time step.
+        // MSB-first, so time step `t` of a chunk lands `t` bits below the
+        // chunk's top bit — the same bit sequence the per-index loop wrote.
+        let mut indices = batch.indices().iter().peekable();
+        let mut t = 0usize;
+        while t < cfg.max_len() {
+            let chunk = (cfg.max_len() - t).min(64);
+            let mut word = 0u64;
+            while let Some(&&idx) = indices.peek() {
+                if idx >= t + chunk {
+                    break;
+                }
+                word |= 1u64 << (chunk - 1 - (idx - t));
+                indices.next();
             }
-            w.write_bits(u64::from(collected), 1);
+            w.write_bits(word, chunk as u8);
+            t += chunk;
         }
         w.write_u8(groups.len() as u8);
         for (g, &width) in groups.iter().zip(widths.iter()) {
@@ -295,6 +307,8 @@ impl crate::Encoder for AgeEncoder {
             w.write_bits(u64::from(g.exponent), EXP_BITS);
             w.write_bits(u64::from(width), WIDTH_BITS);
         }
+        // A group's measurements are consecutive, so its values form one
+        // contiguous row-major slice: quantize the whole lane, then pack it.
         let mut t = 0usize;
         for (g, &width) in groups.iter().zip(widths.iter()) {
             if width == 0 {
@@ -303,12 +317,9 @@ impl crate::Encoder for AgeEncoder {
             }
             let fmt = Format::new(width, i16::from(width) - i16::from(g.exponent))
                 .expect("group widths and exponents always form a valid format");
-            for _ in 0..g.count {
-                for &x in batch.measurement(t) {
-                    w.write_bits(fmt.to_bits(fmt.quantize(x)), width);
-                }
-                t += 1;
-            }
+            fmt.quantize_bits_slice(&batch.values()[t * d..(t + g.count) * d], quant_bits);
+            w.write_fields(quant_bits, width);
+            t += g.count;
         }
         debug_assert_eq!(t, k);
         w.pad_to_bytes(self.target_bytes);
@@ -356,6 +367,19 @@ impl crate::Encoder for AgeEncoder {
     }
 
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError> {
+        let mut scratch = EncodeScratch::new();
+        let mut out = Batch::empty();
+        self.decode_into(message, cfg, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    fn decode_into(
+        &self,
+        message: &[u8],
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Batch,
+    ) -> Result<(), DecodeError> {
         if message.len() != self.target_bytes {
             return Err(DecodeError::Length {
                 len: message.len(),
@@ -363,6 +387,11 @@ impl crate::Encoder for AgeEncoder {
             });
         }
         let d = cfg.features();
+        let groups = &mut scratch.groups;
+        let widths = &mut scratch.widths;
+        let lane = &mut scratch.quant_bits;
+        out.clear();
+        let (indices, values) = out.parts_mut();
         let mut r = BitReader::new(message);
         let k = usize::from(r.read_u16()?);
         if k > cfg.max_len() {
@@ -370,11 +399,20 @@ impl crate::Encoder for AgeEncoder {
                 "measurement count exceeds batch maximum",
             ));
         }
-        let mut indices = Vec::with_capacity(k);
-        for t in 0..cfg.max_len() {
-            if r.read_bits(1)? == 1 {
-                indices.push(t);
+        // Bitmask: scan up to 64 time steps per read instead of one.
+        indices.reserve(k);
+        let mut t = 0usize;
+        while t < cfg.max_len() {
+            let chunk = (cfg.max_len() - t).min(64) as u8;
+            let mut bits = r.read_bits(chunk)?;
+            // Consume set bits high-to-low; indices come out increasing.
+            bits <<= 64 - u32::from(chunk);
+            while bits != 0 {
+                let lead = bits.leading_zeros();
+                indices.push(t + lead as usize);
+                bits &= !(1u64 << 63 >> lead);
             }
+            t += usize::from(chunk);
         }
         if indices.len() != k {
             return Err(DecodeError::Corrupt(
@@ -382,8 +420,8 @@ impl crate::Encoder for AgeEncoder {
             ));
         }
         let num_groups = usize::from(r.read_u8()?);
-        let mut groups = Vec::with_capacity(num_groups);
-        let mut widths = Vec::with_capacity(num_groups);
+        groups.clear();
+        widths.clear();
         let mut total = 0usize;
         for _ in 0..num_groups {
             let count = r.read_bits(cfg.count_bits())? as usize;
@@ -404,21 +442,30 @@ impl crate::Encoder for AgeEncoder {
                 "group counts disagree with measurement count",
             ));
         }
-        let mut values = Vec::with_capacity(k * d);
-        for (g, &width) in groups.iter().zip(&widths) {
+        values.reserve(k * d);
+        for (g, &width) in groups.iter().zip(widths.iter()) {
             if width == 0 {
                 values.extend(std::iter::repeat_n(0.0, g.count * d));
                 continue;
             }
             let fmt = Format::new(width, i16::from(width) - i16::from(g.exponent))
                 .map_err(|_| DecodeError::Corrupt("group width/exponent pair is invalid"))?;
+            lane.clear();
+            lane.reserve(g.count * d);
             for _ in 0..g.count * d {
-                let bits = r.read_bits(width)?;
-                values.push(fmt.dequantize(fmt.from_bits(bits)));
+                lane.push(r.read_bits(width)?);
             }
+            fmt.dequantize_bits_slice(lane, values);
         }
-        Batch::new(indices, values)
-            .map_err(|_| DecodeError::Corrupt("decoded batch failed validation"))
+        // By construction the indices are strictly increasing and the value
+        // count is `k·d`; mirror the `Batch::new` consistency check anyway so
+        // a logic regression surfaces as a decode error, not a bad batch.
+        if indices.is_empty() != values.is_empty()
+            || (!indices.is_empty() && !values.len().is_multiple_of(indices.len()))
+        {
+            return Err(DecodeError::Corrupt("decoded batch failed validation"));
+        }
+        Ok(())
     }
 }
 
@@ -611,6 +658,124 @@ mod tests {
         let max = *widths.iter().max().unwrap();
         let min = *widths.iter().min().unwrap();
         assert!(max - min <= 1, "round robin keeps widths within one bit");
+    }
+
+    #[test]
+    #[ignore]
+    fn profile_stages() {
+        use crate::group::{
+            form_groups_into, measurement_exponents_into, merge_groups_in_place,
+            optimize_partition_in_place, select_max_groups, MergeScratch,
+        };
+        use std::time::Instant;
+        let c = cfg();
+        let d = c.features();
+        let k = c.max_len();
+        let batch = Batch::new(
+            (0..k).collect(),
+            (0..k * d)
+                .map(|i| {
+                    let x = i as f64;
+                    (x * 0.17).sin() * (1.0 + (i % 7) as f64) - 2.5
+                })
+                .collect(),
+        )
+        .unwrap();
+        let enc = AgeEncoder::new(220);
+        let mut scratch = EncodeScratch::new();
+        let mut out = Vec::new();
+        let time = |label: &str, mut f: Box<dyn FnMut() + '_>| {
+            for _ in 0..1000 {
+                f();
+            }
+            let iters = 200_000u32;
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+            println!("{label}: {ns:.0} ns");
+        };
+        time(
+            "full encode",
+            Box::new(|| {
+                enc.encode_into(&batch, &c, &mut scratch, &mut out).unwrap();
+                std::hint::black_box(out.len());
+            }),
+        );
+        let mut exps = Vec::new();
+        time(
+            "exponents",
+            Box::new(|| {
+                measurement_exponents_into(&batch, c.format().integer_bits(), &mut exps);
+                std::hint::black_box(exps.len());
+            }),
+        );
+        let mut groups = Vec::new();
+        time(
+            "form_groups",
+            Box::new(|| {
+                form_groups_into(&exps, &mut groups);
+                std::hint::black_box(groups.len());
+            }),
+        );
+        let target_bits = 220usize * 8;
+        let fixed_bits = AgeEncoder::fixed_bits(&c);
+        let entry_bits = AgeEncoder::entry_bits(&c);
+        let max_groups = select_max_groups(
+            target_bits - fixed_bits,
+            k * d * 16,
+            entry_bits,
+            AgeEncoder::MIN_GROUPS,
+        )
+        .min(MAX_GROUPS);
+        let mut merge = MergeScratch::default();
+        let mut merged = Vec::new();
+        time(
+            "merge",
+            Box::new(|| {
+                merged.clear();
+                merged.extend_from_slice(&groups);
+                merge_groups_in_place(&mut merged, max_groups, &mut merge);
+                std::hint::black_box(merged.len());
+            }),
+        );
+        let base = merged.clone();
+        let mut split_log = Vec::new();
+        let mut trial = Vec::new();
+        let mut part = Vec::new();
+        time(
+            "optimize_partition",
+            Box::new(|| {
+                part.clear();
+                part.extend_from_slice(&base);
+                optimize_partition_in_place(
+                    &mut part,
+                    d,
+                    16,
+                    target_bits - fixed_bits,
+                    entry_bits,
+                    max_groups,
+                    &mut split_log,
+                    &mut trial,
+                );
+                std::hint::black_box(part.len());
+            }),
+        );
+        let mut widths = Vec::new();
+        time(
+            "assign_widths",
+            Box::new(|| {
+                assign_widths_into(
+                    &part,
+                    d,
+                    16,
+                    target_bits - fixed_bits - entry_bits * part.len(),
+                    &mut widths,
+                );
+                std::hint::black_box(widths.len());
+            }),
+        );
     }
 
     #[test]

@@ -41,10 +41,13 @@ pub fn measurement_exponents(batch: &Batch, max_n: u8) -> Vec<u8> {
 /// fills it with one exponent per measurement.
 pub fn measurement_exponents_into(batch: &Batch, max_n: u8, out: &mut Vec<u8>) {
     out.clear();
-    out.extend((0..batch.len()).map(|t| {
-        batch
-            .measurement(t)
-            .iter()
+    if batch.is_empty() {
+        return;
+    }
+    // One flat pass over the row-major values; `chunks_exact` lets the
+    // per-feature max reduce without a bounds check per measurement.
+    out.extend(batch.values().chunks_exact(batch.features()).map(|row| {
+        row.iter()
             .map(|&x| required_integer_bits(x, max_n))
             .max()
             .unwrap_or(1)

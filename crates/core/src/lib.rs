@@ -127,4 +127,29 @@ pub trait Encoder {
     /// Returns [`DecodeError`] if the message is truncated or internally
     /// inconsistent.
     fn decode(&self, message: &[u8], cfg: &BatchConfig) -> Result<Batch, DecodeError>;
+
+    /// Decodes message bytes into a caller-owned batch, reusing `out`'s and
+    /// `scratch`'s allocations.
+    ///
+    /// The default implementation delegates to [`Encoder::decode`] and
+    /// replaces `out` wholesale; encoders on the receiver hot path (notably
+    /// [`AgeEncoder`]) override it to decode without touching the heap once
+    /// warm, completing the zero-allocation seal→open→decode round trip. On
+    /// error `out`'s contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the message is truncated or internally
+    /// inconsistent.
+    fn decode_into(
+        &self,
+        message: &[u8],
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Batch,
+    ) -> Result<(), DecodeError> {
+        let _ = scratch;
+        *out = self.decode(message, cfg)?;
+        Ok(())
+    }
 }

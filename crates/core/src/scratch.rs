@@ -58,6 +58,12 @@ pub struct EncodeScratch {
     pub(crate) trial_widths: Vec<u8>,
     /// Per-feature previous raw values for delta encoding.
     pub(crate) prev_raw: Vec<i64>,
+    /// Lane buffer of quantized two's complement patterns, filled per group
+    /// by `Format::quantize_bits_slice` and drained by
+    /// `BitWriter::write_fields` (also reused by word-level decoding).
+    pub(crate) quant_bits: Vec<u64>,
+    /// Lane buffer of quantized raw integers for the delta codec.
+    pub(crate) quant_raw: Vec<i64>,
 }
 
 impl EncodeScratch {

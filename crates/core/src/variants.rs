@@ -59,14 +59,14 @@ fn validate(
 
 fn write_header_and_mask(w: &mut BitWriter, batch: &Batch, cfg: &BatchConfig) {
     w.write_u16(batch.len() as u16);
-    let mut iter = batch.indices().iter().peekable();
-    for t in 0..cfg.max_len() {
-        let collected = matches!(iter.peek(), Some(&&idx) if idx == t);
-        if collected {
-            iter.next();
-        }
-        w.write_bits(u64::from(collected), 1);
+    // Zero-runs between collected indices pack whole words per write.
+    let mut next_clear = 0usize;
+    for &idx in batch.indices() {
+        w.write_run(0, 1, idx - next_clear);
+        w.write_bits(1, 1);
+        next_clear = idx + 1;
     }
+    w.write_run(0, 1, cfg.max_len() - next_clear);
 }
 
 fn read_header_and_mask(
@@ -146,7 +146,7 @@ impl Encoder for SingleEncoder {
         &self,
         batch: &Batch,
         cfg: &BatchConfig,
-        _scratch: &mut EncodeScratch,
+        scratch: &mut EncodeScratch,
         out: &mut Vec<u8>,
     ) -> Result<(), EncodeError> {
         let min = Self::fixed_bits(cfg).div_ceil(8);
@@ -186,9 +186,8 @@ impl Encoder for SingleEncoder {
         if width > 0 {
             let fmt = Format::from_integer_bits(width, fmt0.integer_bits().min(width))
                 .expect("clamped integer bits always fit the width");
-            for &x in batch.values() {
-                w.write_bits(fmt.to_bits(fmt.quantize(x)), width);
-            }
+            fmt.quantize_bits_slice(batch.values(), &mut scratch.quant_bits);
+            w.write_fields(&scratch.quant_bits, width);
         }
         w.pad_to_bytes(self.target_bytes);
         *out = w.into_bytes();
@@ -290,7 +289,7 @@ impl Encoder for UnshiftedEncoder {
         &self,
         batch: &Batch,
         cfg: &BatchConfig,
-        _scratch: &mut EncodeScratch,
+        scratch: &mut EncodeScratch,
         out: &mut Vec<u8>,
     ) -> Result<(), EncodeError> {
         let min = Self::fixed_bits(cfg).div_ceil(8);
@@ -349,6 +348,8 @@ impl Encoder for UnshiftedEncoder {
         for &width in &widths {
             w.write_bits(u64::from(width), WIDTH_BITS);
         }
+        // Each even group's measurements are consecutive: quantize the
+        // group's contiguous value slice as one lane, then pack it.
         let mut t = 0usize;
         for (i, &c) in counts.iter().enumerate() {
             let width = widths[i];
@@ -358,12 +359,9 @@ impl Encoder for UnshiftedEncoder {
             }
             let fmt = Format::from_integer_bits(width, fmt0.integer_bits().min(width))
                 .expect("clamped integer bits always fit the width");
-            for _ in 0..c {
-                for &x in batch.measurement(t) {
-                    w.write_bits(fmt.to_bits(fmt.quantize(x)), width);
-                }
-                t += 1;
-            }
+            fmt.quantize_bits_slice(&batch.values()[t * d..(t + c) * d], &mut scratch.quant_bits);
+            w.write_fields(&scratch.quant_bits, width);
+            t += c;
         }
         w.pad_to_bytes(self.target_bytes);
         *out = w.into_bytes();
@@ -496,9 +494,15 @@ impl Encoder for PrunedEncoder {
         let mut stage_ns = age_telemetry::StageTimings::default();
         let data_budget = self.target_bytes * 8 - Self::fixed_bits(cfg);
         let drop = prune_count(batch.len(), d, fmt.width(), data_budget);
+        let EncodeScratch {
+            pruned,
+            prune,
+            quant_bits,
+            ..
+        } = scratch;
         let batch = if drop > 0 {
-            prune_into(batch, drop, &mut scratch.prune, &mut scratch.pruned);
-            &scratch.pruned
+            prune_into(batch, drop, prune, pruned);
+            &*pruned
         } else {
             batch
         };
@@ -511,9 +515,8 @@ impl Encoder for PrunedEncoder {
         out.reserve(self.target_bytes);
         let mut w = BitWriter::from_vec(std::mem::take(out));
         write_header_and_mask(&mut w, batch, cfg);
-        for &x in batch.values() {
-            w.write_bits(fmt.to_bits(fmt.quantize(x)), fmt.width());
-        }
+        fmt.quantize_bits_slice(batch.values(), quant_bits);
+        w.write_fields(quant_bits, fmt.width());
         w.pad_to_bytes(self.target_bytes);
         *out = w.into_bytes();
         #[cfg(feature = "telemetry")]

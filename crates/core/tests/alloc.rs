@@ -130,6 +130,88 @@ fn ablation_encoders_are_allocation_free_in_steady_state() {
     assert_zero_alloc("Delta", &DeltaCodec, &test_batches(), &cfg);
 }
 
+/// The whole sensor-to-server path — encode, seal, transfer, open, decode —
+/// must be allocation-free in steady state. This is the property the paper's
+/// MCU deployment depends on: a sensor sampling for months cannot afford a
+/// heap that fragments, and the receiving server amortizes one buffer set
+/// across millions of frames.
+#[test]
+fn full_round_trip_is_allocation_free_in_steady_state() {
+    use age_crypto::ChaCha20Poly1305;
+    use age_transport::{Receiver, Sensor};
+
+    let cfg = cfg();
+    let encoder = AgeEncoder::new(220);
+    let key = [0x42u8; 32];
+    let mut sensor = Sensor::new(Box::new(ChaCha20Poly1305::new(key)));
+    let mut receiver = Receiver::new(Box::new(ChaCha20Poly1305::new(key)));
+    let batches = test_batches();
+
+    let mut scratch = EncodeScratch::new();
+    let mut message = Vec::new();
+    let mut frame = Vec::new();
+    let mut opened = Vec::new();
+    let mut decoded = Batch::empty();
+
+    let mut round_trip = |batch: &Batch,
+                          scratch: &mut EncodeScratch,
+                          message: &mut Vec<u8>,
+                          frame: &mut Vec<u8>,
+                          opened: &mut Vec<u8>,
+                          decoded: &mut Batch| {
+        encoder
+            .encode_into(batch, &cfg, scratch, message)
+            .expect("bench batches encode");
+        sensor.seal_into(message, frame);
+        receiver
+            .receive_into(frame, opened)
+            .expect("sealed frames open");
+        encoder
+            .decode_into(opened, &cfg, scratch, decoded)
+            .expect("sealed messages decode");
+        assert_eq!(
+            decoded.indices(),
+            batch.indices(),
+            "round trip lost indices"
+        );
+    };
+
+    // Warm-up: grow every buffer (scratch, frame, replay window) to its
+    // working size.
+    for batch in &batches {
+        round_trip(
+            batch,
+            &mut scratch,
+            &mut message,
+            &mut frame,
+            &mut opened,
+            &mut decoded,
+        );
+    }
+    for (bi, batch) in batches.iter().enumerate() {
+        let before = alloc::snapshot();
+        for _ in 0..5 {
+            round_trip(
+                batch,
+                &mut scratch,
+                &mut message,
+                &mut frame,
+                &mut opened,
+                &mut decoded,
+            );
+        }
+        let delta = alloc::snapshot().since(before);
+        assert_eq!(
+            delta.allocations,
+            0,
+            "round trip: batch #{bi} (k={}) allocated {} times ({} bytes) in steady state",
+            batch.len(),
+            delta.allocations,
+            delta.bytes,
+        );
+    }
+}
+
 #[test]
 fn encode_into_matches_encode_bytes() {
     let cfg = cfg();

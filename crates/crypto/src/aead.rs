@@ -8,7 +8,7 @@
 
 use crate::chacha20::{chacha20_block, ChaCha20};
 use crate::cipher::{Cipher, CipherKind, OpenError};
-use crate::poly1305::{poly1305, tags_equal};
+use crate::poly1305::{tags_equal, Poly1305};
 
 const NONCE_LEN: usize = 12;
 const TAG_LEN: usize = 16;
@@ -50,17 +50,18 @@ impl ChaCha20Poly1305 {
         key
     }
 
-    /// The authenticated-data transcript the tag covers (empty AAD here —
-    /// the sensor protocol has no unencrypted header besides the nonce).
-    fn mac_data(ciphertext: &[u8]) -> Vec<u8> {
-        let pad = |len: usize| (16 - len % 16) % 16;
-        let mut data = Vec::with_capacity(ciphertext.len() + 32);
-        // aad is empty: zero pad, zero length.
-        data.extend_from_slice(ciphertext);
-        data.extend(std::iter::repeat_n(0u8, pad(ciphertext.len())));
-        data.extend_from_slice(&0u64.to_le_bytes()); // aad length
-        data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
-        data
+    /// Tags the authenticated transcript `ciphertext || pad || len(aad) ||
+    /// len(ct)` by streaming it into an incremental [`Poly1305`], so no heap
+    /// copy of the transcript is ever built (the AAD is empty here — the
+    /// sensor protocol has no unencrypted header besides the nonce).
+    fn mac(&self, nonce: &[u8; NONCE_LEN], ciphertext: &[u8]) -> [u8; 16] {
+        let mut mac = Poly1305::new(&self.poly_key(nonce));
+        mac.update(ciphertext);
+        let zeros = [0u8; 16];
+        mac.update(&zeros[..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&0u64.to_le_bytes()); // aad length
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
     }
 
     fn nonce_for(sequence: u64) -> [u8; NONCE_LEN] {
@@ -84,22 +85,33 @@ impl Cipher for ChaCha20Poly1305 {
     }
 
     fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
-        let nonce = Self::nonce_for(sequence);
-        let mut out = Vec::with_capacity(self.message_len(plaintext.len()));
-        out.extend_from_slice(&nonce);
-        out.extend_from_slice(plaintext);
-        {
-            let (nonce_bytes, body) = out.split_at_mut(NONCE_LEN);
-            let nonce_arr: [u8; NONCE_LEN] = nonce_bytes.try_into().expect("split at NONCE_LEN");
-            // RFC 7539 §2.8: payload uses counter 1.
-            ChaCha20::new(self.key).apply_keystream(&nonce_arr, 1, body);
-        }
-        let tag = poly1305(&self.poly_key(&nonce), &Self::mac_data(&out[NONCE_LEN..]));
-        out.extend_from_slice(&tag);
+        let mut out = Vec::new();
+        self.seal_into(sequence, plaintext, &mut out);
         out
     }
 
     fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        let mut out = Vec::new();
+        self.open_into(message, &mut out)?;
+        Ok(out)
+    }
+
+    fn seal_into(&self, sequence: u64, plaintext: &[u8], out: &mut Vec<u8>) {
+        let nonce = Self::nonce_for(sequence);
+        out.clear();
+        out.reserve(self.message_len(plaintext.len()));
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        {
+            let (_, body) = out.split_at_mut(NONCE_LEN);
+            // RFC 7539 §2.8: payload uses counter 1.
+            ChaCha20::new(self.key).apply_keystream(&nonce, 1, body);
+        }
+        let tag = self.mac(&nonce, &out[NONCE_LEN..]);
+        out.extend_from_slice(&tag);
+    }
+
+    fn open_into(&self, message: &[u8], out: &mut Vec<u8>) -> Result<(), OpenError> {
         if message.len() < NONCE_LEN + TAG_LEN {
             return Err(OpenError::Truncated {
                 len: message.len(),
@@ -108,14 +120,15 @@ impl Cipher for ChaCha20Poly1305 {
         }
         let nonce: [u8; NONCE_LEN] = message[..NONCE_LEN].try_into().expect("checked length");
         let (body, tag_bytes) = message[NONCE_LEN..].split_at(message.len() - NONCE_LEN - TAG_LEN);
-        let expected = poly1305(&self.poly_key(&nonce), &Self::mac_data(body));
+        let expected = self.mac(&nonce, body);
         let tag: [u8; 16] = tag_bytes.try_into().expect("16-byte tag");
         if !tags_equal(&expected, &tag) {
             return Err(OpenError::BadPadding); // authentication failure
         }
-        let mut plain = body.to_vec();
-        ChaCha20::new(self.key).apply_keystream(&nonce, 1, &mut plain);
-        Ok(plain)
+        out.clear();
+        out.extend_from_slice(body);
+        ChaCha20::new(self.key).apply_keystream(&nonce, 1, out);
+        Ok(())
     }
 
     fn sequence_of(&self, message: &[u8]) -> Option<u64> {

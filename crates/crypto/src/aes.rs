@@ -268,17 +268,28 @@ impl Cipher for AesCtr {
     }
 
     fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
-        let iv = Self::iv_for(sequence);
-        let mut out = Vec::with_capacity(plaintext.len() + BLOCK);
-        out.extend_from_slice(&iv);
-        out.extend_from_slice(plaintext);
-        let (iv_bytes, body) = out.split_at_mut(BLOCK);
-        let iv_arr: [u8; 16] = iv_bytes.try_into().expect("split at BLOCK");
-        self.keystream_xor(&iv_arr, body);
+        let mut out = Vec::new();
+        self.seal_into(sequence, plaintext, &mut out);
         out
     }
 
     fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        let mut out = Vec::new();
+        self.open_into(message, &mut out)?;
+        Ok(out)
+    }
+
+    fn seal_into(&self, sequence: u64, plaintext: &[u8], out: &mut Vec<u8>) {
+        let iv = Self::iv_for(sequence);
+        out.clear();
+        out.reserve(plaintext.len() + BLOCK);
+        out.extend_from_slice(&iv);
+        out.extend_from_slice(plaintext);
+        let (_, body) = out.split_at_mut(BLOCK);
+        self.keystream_xor(&iv, body);
+    }
+
+    fn open_into(&self, message: &[u8], out: &mut Vec<u8>) -> Result<(), OpenError> {
         if message.len() < BLOCK {
             return Err(OpenError::Truncated {
                 len: message.len(),
@@ -286,9 +297,10 @@ impl Cipher for AesCtr {
             });
         }
         let iv: [u8; 16] = message[..BLOCK].try_into().expect("checked length");
-        let mut body = message[BLOCK..].to_vec();
-        self.keystream_xor(&iv, &mut body);
-        Ok(body)
+        out.clear();
+        out.extend_from_slice(&message[BLOCK..]);
+        self.keystream_xor(&iv, out);
+        Ok(())
     }
 
     fn sequence_of(&self, message: &[u8]) -> Option<u64> {
@@ -330,28 +342,46 @@ impl Cipher for AesCbc {
     }
 
     fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
-        let iv = AesCtr::iv_for(sequence);
-        let pad = BLOCK - plaintext.len() % BLOCK;
-        let mut padded = plaintext.to_vec();
-        padded.extend(std::iter::repeat_n(pad as u8, pad));
-
-        let mut out = Vec::with_capacity(padded.len() + BLOCK);
-        out.extend_from_slice(&iv);
-        let mut prev = iv;
-        for chunk in padded.chunks(BLOCK) {
-            let mut block = [0u8; 16];
-            block.copy_from_slice(chunk);
-            for i in 0..BLOCK {
-                block[i] ^= prev[i];
-            }
-            let ct = self.aes.encrypt_block(block);
-            out.extend_from_slice(&ct);
-            prev = ct;
-        }
+        let mut out = Vec::new();
+        self.seal_into(sequence, plaintext, &mut out);
         out
     }
 
     fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        let mut out = Vec::new();
+        self.open_into(message, &mut out)?;
+        Ok(out)
+    }
+
+    fn seal_into(&self, sequence: u64, plaintext: &[u8], out: &mut Vec<u8>) {
+        let iv = AesCtr::iv_for(sequence);
+        out.clear();
+        out.reserve(self.message_len(plaintext.len()));
+        out.extend_from_slice(&iv);
+        let mut prev = iv;
+        let encrypt = |block: [u8; 16], prev: &mut [u8; 16], out: &mut Vec<u8>| {
+            let mut mixed = block;
+            for i in 0..BLOCK {
+                mixed[i] ^= prev[i];
+            }
+            let ct = self.aes.encrypt_block(mixed);
+            out.extend_from_slice(&ct);
+            *prev = ct;
+        };
+        let mut chunks = plaintext.chunks_exact(BLOCK);
+        for chunk in chunks.by_ref() {
+            encrypt(chunk.try_into().expect("16-byte chunk"), &mut prev, out);
+        }
+        // PKCS#7: pad the tail in a stack block instead of building a padded
+        // copy of the whole plaintext (a full extra block when aligned).
+        let rest = chunks.remainder();
+        let pad = BLOCK - rest.len();
+        let mut block = [pad as u8; 16];
+        block[..rest.len()].copy_from_slice(rest);
+        encrypt(block, &mut prev, out);
+    }
+
+    fn open_into(&self, message: &[u8], out: &mut Vec<u8>) -> Result<(), OpenError> {
         if message.len() < 2 * BLOCK {
             return Err(OpenError::Truncated {
                 len: message.len(),
@@ -366,28 +396,26 @@ impl Cipher for AesCbc {
             });
         }
         let mut prev: [u8; 16] = message[..BLOCK].try_into().expect("checked length");
-        let mut plain = Vec::with_capacity(body.len());
+        out.clear();
+        out.reserve(body.len());
         for chunk in body.chunks(BLOCK) {
             let ct: [u8; 16] = chunk.try_into().expect("exact chunks");
             let mut block = self.aes.decrypt_block(ct);
             for i in 0..BLOCK {
                 block[i] ^= prev[i];
             }
-            plain.extend_from_slice(&block);
+            out.extend_from_slice(&block);
             prev = ct;
         }
-        let pad = *plain.last().expect("non-empty plaintext") as usize;
-        if pad == 0 || pad > BLOCK || pad > plain.len() {
+        let pad = *out.last().expect("non-empty plaintext") as usize;
+        if pad == 0 || pad > BLOCK || pad > out.len() {
             return Err(OpenError::BadPadding);
         }
-        if plain[plain.len() - pad..]
-            .iter()
-            .any(|&b| b as usize != pad)
-        {
+        if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
             return Err(OpenError::BadPadding);
         }
-        plain.truncate(plain.len() - pad);
-        Ok(plain)
+        out.truncate(out.len() - pad);
+        Ok(())
     }
 
     fn sequence_of(&self, message: &[u8]) -> Option<u64> {

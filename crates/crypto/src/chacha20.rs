@@ -35,14 +35,33 @@ impl ChaCha20 {
 
     /// Applies the keystream for (`key`, `nonce`, starting `counter`) to
     /// `data` in place. Encryption and decryption are the same operation.
+    ///
+    /// The base state is assembled once per call and only word 12 (the block
+    /// counter) changes between blocks, so a multi-block frame keeps the
+    /// whole state in registers. Full 64-byte chunks XOR the keystream as
+    /// sixteen `u32` words; only a trailing partial chunk goes through a
+    /// serialized byte buffer.
     pub fn apply_keystream(&self, nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
-        let mut block_counter = counter;
-        for chunk in data.chunks_mut(64) {
-            let keystream = chacha20_block(&self.key, block_counter, nonce);
-            for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+        let mut state = base_state(&self.key, counter, nonce);
+        let mut chunks = data.chunks_exact_mut(64);
+        for chunk in chunks.by_ref() {
+            let words = block_words(&state);
+            for (bytes, word) in chunk.chunks_exact_mut(4).zip(words) {
+                let mixed = u32::from_le_bytes(bytes.try_into().expect("4-byte chunk")) ^ word;
+                bytes.copy_from_slice(&mixed.to_le_bytes());
+            }
+            state[12] = state[12].wrapping_add(1);
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let words = block_words(&state);
+            let mut keystream = [0u8; 64];
+            for (bytes, word) in keystream.chunks_exact_mut(4).zip(words) {
+                bytes.copy_from_slice(&word.to_le_bytes());
+            }
+            for (byte, ks) in rest.iter_mut().zip(keystream.iter()) {
                 *byte ^= ks;
             }
-            block_counter = block_counter.wrapping_add(1);
         }
     }
 
@@ -67,19 +86,30 @@ impl Cipher for ChaCha20 {
     }
 
     fn seal(&self, sequence: u64, plaintext: &[u8]) -> Vec<u8> {
-        let nonce = self.nonce_for(sequence);
-        let mut out = Vec::with_capacity(plaintext.len() + NONCE_LEN);
-        out.extend_from_slice(&nonce);
-        out.extend_from_slice(plaintext);
-        // RFC 7539 uses counter 1 for the first data block in AEAD; as a raw
-        // stream cipher we start at 0.
-        let (nonce_bytes, body) = out.split_at_mut(NONCE_LEN);
-        let nonce_arr: [u8; NONCE_LEN] = nonce_bytes.try_into().expect("split at NONCE_LEN");
-        self.apply_keystream(&nonce_arr, 0, body);
+        let mut out = Vec::new();
+        self.seal_into(sequence, plaintext, &mut out);
         out
     }
 
     fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError> {
+        let mut out = Vec::new();
+        self.open_into(message, &mut out)?;
+        Ok(out)
+    }
+
+    fn seal_into(&self, sequence: u64, plaintext: &[u8], out: &mut Vec<u8>) {
+        let nonce = self.nonce_for(sequence);
+        out.clear();
+        out.reserve(plaintext.len() + NONCE_LEN);
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        // RFC 7539 uses counter 1 for the first data block in AEAD; as a raw
+        // stream cipher we start at 0.
+        let (_, body) = out.split_at_mut(NONCE_LEN);
+        self.apply_keystream(&nonce, 0, body);
+    }
+
+    fn open_into(&self, message: &[u8], out: &mut Vec<u8>) -> Result<(), OpenError> {
         if message.len() < NONCE_LEN {
             return Err(OpenError::Truncated {
                 len: message.len(),
@@ -87,9 +117,10 @@ impl Cipher for ChaCha20 {
             });
         }
         let nonce: [u8; NONCE_LEN] = message[..NONCE_LEN].try_into().expect("checked length");
-        let mut body = message[NONCE_LEN..].to_vec();
-        self.apply_keystream(&nonce, 0, &mut body);
-        Ok(body)
+        out.clear();
+        out.extend_from_slice(&message[NONCE_LEN..]);
+        self.apply_keystream(&nonce, 0, out);
+        Ok(())
     }
 
     fn sequence_of(&self, message: &[u8]) -> Option<u64> {
@@ -100,6 +131,17 @@ impl Cipher for ChaCha20 {
 
 /// Computes one 64-byte ChaCha20 keystream block (RFC 7539 §2.3).
 pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let state = base_state(key, counter, nonce);
+    let words = block_words(&state);
+    let mut out = [0u8; 64];
+    for (bytes, word) in out.chunks_exact_mut(4).zip(words) {
+        bytes.copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Assembles the 16-word initial state for (`key`, `counter`, `nonce`).
+fn base_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
     let mut state = [0u32; 16];
     // "expand 32-byte k"
     state[0] = 0x6170_7865;
@@ -114,38 +156,63 @@ pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64
         state[13 + i] =
             u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("nonce chunk"));
     }
+    state
+}
 
-    let mut working = state;
+/// Runs the 20 ChaCha rounds and the final state addition, returning the
+/// keystream block as 16 little-endian-ready words.
+///
+/// The state rows are kept as four `[u32; 4]` lanes: a column round is one
+/// lane-wise quarter-round, and a diagonal round is the same operation after
+/// rotating rows b/c/d left by 1/2/3 lanes — exactly the shuffle an SIMD
+/// implementation uses, which the autovectorizer recognizes.
+fn block_words(state: &[u32; 16]) -> [u32; 16] {
+    let mut a: [u32; 4] = state[0..4].try_into().expect("row 0");
+    let mut b: [u32; 4] = state[4..8].try_into().expect("row 1");
+    let mut c: [u32; 4] = state[8..12].try_into().expect("row 2");
+    let mut d: [u32; 4] = state[12..16].try_into().expect("row 3");
+
     for _ in 0..10 {
-        // Column rounds.
-        quarter_round(&mut working, 0, 4, 8, 12);
-        quarter_round(&mut working, 1, 5, 9, 13);
-        quarter_round(&mut working, 2, 6, 10, 14);
-        quarter_round(&mut working, 3, 7, 11, 15);
-        // Diagonal rounds.
-        quarter_round(&mut working, 0, 5, 10, 15);
-        quarter_round(&mut working, 1, 6, 11, 12);
-        quarter_round(&mut working, 2, 7, 8, 13);
-        quarter_round(&mut working, 3, 4, 9, 14);
+        // Column round: quarter-rounds on the four columns at once.
+        lane_quarter_round(&mut a, &mut b, &mut c, &mut d);
+        // Diagonal round: rotate rows so the diagonals line up as columns.
+        b = [b[1], b[2], b[3], b[0]];
+        c = [c[2], c[3], c[0], c[1]];
+        d = [d[3], d[0], d[1], d[2]];
+        lane_quarter_round(&mut a, &mut b, &mut c, &mut d);
+        b = [b[3], b[0], b[1], b[2]];
+        c = [c[2], c[3], c[0], c[1]];
+        d = [d[1], d[2], d[3], d[0]];
     }
 
-    let mut out = [0u8; 64];
-    for i in 0..16 {
-        let word = working[i].wrapping_add(state[i]);
-        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    let mut out = [0u32; 16];
+    for i in 0..4 {
+        out[i] = a[i].wrapping_add(state[i]);
+        out[4 + i] = b[i].wrapping_add(state[4 + i]);
+        out[8 + i] = c[i].wrapping_add(state[8 + i]);
+        out[12 + i] = d[i].wrapping_add(state[12 + i]);
     }
     out
 }
 
-fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    s[a] = s[a].wrapping_add(s[b]);
-    s[d] = (s[d] ^ s[a]).rotate_left(16);
-    s[c] = s[c].wrapping_add(s[d]);
-    s[b] = (s[b] ^ s[c]).rotate_left(12);
-    s[a] = s[a].wrapping_add(s[b]);
-    s[d] = (s[d] ^ s[a]).rotate_left(8);
-    s[c] = s[c].wrapping_add(s[d]);
-    s[b] = (s[b] ^ s[c]).rotate_left(7);
+#[inline]
+fn lane_quarter_round(a: &mut [u32; 4], b: &mut [u32; 4], c: &mut [u32; 4], d: &mut [u32; 4]) {
+    for i in 0..4 {
+        a[i] = a[i].wrapping_add(b[i]);
+        d[i] = (d[i] ^ a[i]).rotate_left(16);
+    }
+    for i in 0..4 {
+        c[i] = c[i].wrapping_add(d[i]);
+        b[i] = (b[i] ^ c[i]).rotate_left(12);
+    }
+    for i in 0..4 {
+        a[i] = a[i].wrapping_add(b[i]);
+        d[i] = (d[i] ^ a[i]).rotate_left(8);
+    }
+    for i in 0..4 {
+        c[i] = c[i].wrapping_add(d[i]);
+        b[i] = (b[i] ^ c[i]).rotate_left(7);
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,32 @@ pub trait Cipher {
     /// Returns [`OpenError`] if the framing is malformed.
     fn open(&self, message: &[u8]) -> Result<Vec<u8>, OpenError>;
 
+    /// Encrypts `plaintext` into `out`, reusing its allocation.
+    ///
+    /// `out` is cleared first and holds exactly the framed message on
+    /// return — byte-identical to [`Cipher::seal`]. The default delegates to
+    /// `seal`; every workspace cipher overrides it to seal without touching
+    /// the heap once `out` has grown to the message length, which is what
+    /// keeps the transport send path allocation-free.
+    fn seal_into(&self, sequence: u64, plaintext: &[u8], out: &mut Vec<u8>) {
+        *out = self.seal(sequence, plaintext);
+    }
+
+    /// Decrypts a framed message into `out`, reusing its allocation.
+    ///
+    /// On success `out` holds exactly the plaintext, byte-identical to
+    /// [`Cipher::open`]; on error its contents are unspecified. The default
+    /// delegates to `open`; workspace ciphers override it to open without
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError`] if the framing is malformed.
+    fn open_into(&self, message: &[u8], out: &mut Vec<u8>) -> Result<(), OpenError> {
+        *out = self.open(message)?;
+        Ok(())
+    }
+
     /// Recovers the sequence number a framed message was sealed with, if
     /// the framing carries one (`None` if the message is too short to hold
     /// the nonce/IV). All workspace ciphers derive their nonce or IV

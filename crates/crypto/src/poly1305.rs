@@ -1,54 +1,79 @@
 //! Poly1305 one-time authenticator (RFC 7539 §2.5).
 //!
 //! Implemented with five 26-bit limbs so all products fit in `u64` — the
-//! classic portable construction. Used by [`crate::ChaCha20Poly1305`] to
-//! authenticate sensor messages; a forged or corrupted message is rejected
-//! before decoding.
+//! classic portable construction. The incremental [`Poly1305`] state lets
+//! [`crate::ChaCha20Poly1305`] authenticate the RFC transcript
+//! (`ciphertext || pad || lengths`) piecewise without assembling it in a
+//! heap buffer; a forged or corrupted message is rejected before decoding.
 
-/// Computes the Poly1305 tag of `message` under a 32-byte one-time key.
+/// Incremental Poly1305 state: feed the message with [`Poly1305::update`]
+/// in arbitrary pieces, then consume with [`Poly1305::finalize`].
+///
+/// Equivalent to the one-shot [`poly1305`] over the concatenated input.
 ///
 /// # Examples
 ///
 /// ```
-/// use age_crypto::poly1305;
+/// use age_crypto::{poly1305, Poly1305};
 ///
-/// let tag = poly1305(&[0u8; 32], b"anything");
-/// assert_eq!(tag, [0u8; 16]); // zero key gives a zero tag
+/// let key = [7u8; 32];
+/// let mut mac = Poly1305::new(&key);
+/// mac.update(b"split ");
+/// mac.update(b"message");
+/// assert_eq!(mac.finalize(), poly1305(&key, b"split message"));
 /// ```
-pub fn poly1305(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
-    // r is clamped per the RFC.
-    let mut r_bytes = [0u8; 16];
-    r_bytes.copy_from_slice(&key[..16]);
-    r_bytes[3] &= 15;
-    r_bytes[7] &= 15;
-    r_bytes[11] &= 15;
-    r_bytes[15] &= 15;
-    r_bytes[4] &= 252;
-    r_bytes[8] &= 252;
-    r_bytes[12] &= 252;
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 5],
+    h: [u32; 5],
+    pad: u128,
+    buffer: [u8; 16],
+    buffered: usize,
+}
 
-    let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes(b.try_into().expect("4 bytes")) };
+impl Poly1305 {
+    /// Starts a MAC computation under a 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        // r is clamped per the RFC.
+        let mut r_bytes = [0u8; 16];
+        r_bytes.copy_from_slice(&key[..16]);
+        r_bytes[3] &= 15;
+        r_bytes[7] &= 15;
+        r_bytes[11] &= 15;
+        r_bytes[15] &= 15;
+        r_bytes[4] &= 252;
+        r_bytes[8] &= 252;
+        r_bytes[12] &= 252;
 
-    // Five 26-bit limbs of r.
-    let r0 = le32(&r_bytes[0..4]) & 0x3ff_ffff;
-    let r1 = (le32(&r_bytes[3..7]) >> 2) & 0x3ff_ff03;
-    let r2 = (le32(&r_bytes[6..10]) >> 4) & 0x3ff_c0ff;
-    let r3 = (le32(&r_bytes[9..13]) >> 6) & 0x3f0_3fff;
-    let r4 = (le32(&r_bytes[12..16]) >> 8) & 0x00f_ffff;
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes(b.try_into().expect("4 bytes")) };
 
-    let s1 = r1 * 5;
-    let s2 = r2 * 5;
-    let s3 = r3 * 5;
-    let s4 = r4 * 5;
+        // Five 26-bit limbs of r, plus the 5·r folding terms.
+        let r = [
+            le32(&r_bytes[0..4]) & 0x3ff_ffff,
+            (le32(&r_bytes[3..7]) >> 2) & 0x3ff_ff03,
+            (le32(&r_bytes[6..10]) >> 4) & 0x3ff_c0ff,
+            (le32(&r_bytes[9..13]) >> 6) & 0x3f0_3fff,
+            (le32(&r_bytes[12..16]) >> 8) & 0x00f_ffff,
+        ];
+        Poly1305 {
+            r,
+            s: [0, r[1] * 5, r[2] * 5, r[3] * 5, r[4] * 5],
+            h: [0; 5],
+            pad: u128::from_le_bytes(key[16..32].try_into().expect("16 bytes")),
+            buffer: [0u8; 16],
+            buffered: 0,
+        }
+    }
 
-    let mut h0 = 0u32;
-    let mut h1 = 0u32;
-    let mut h2 = 0u32;
-    let mut h3 = 0u32;
-    let mut h4 = 0u32;
+    /// Absorbs one 16-byte block; `hibit` is 1 for full message blocks and
+    /// 0 for the final padded partial block (whose padding bit sits inside
+    /// the 16 bytes).
+    fn process(&mut self, block: &[u8; 16], hibit: u32) {
+        let [r0, r1, r2, r3, r4] = self.r;
+        let [_, s1, s2, s3, s4] = self.s;
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
 
-    let mut chunks = message.chunks_exact(16);
-    let mut process = |block: &[u8; 17]| {
         // Add the block (with its high bit) to the accumulator.
         let t0 = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
         let t1 = u32::from_le_bytes(block[3..7].try_into().expect("4 bytes"));
@@ -59,7 +84,7 @@ pub fn poly1305(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
         h1 = h1.wrapping_add((t1 >> 2) & 0x3ff_ffff);
         h2 = h2.wrapping_add((t2 >> 4) & 0x3ff_ffff);
         h3 = h3.wrapping_add((t3 >> 6) & 0x3ff_ffff);
-        h4 = h4.wrapping_add((t4 >> 8) | (u32::from(block[16]) << 24));
+        h4 = h4.wrapping_add((t4 >> 8) | (hibit << 24));
 
         // h *= r (mod 2^130 - 5), schoolbook with 5·x folding.
         let d0 = u64::from(h0) * u64::from(r0)
@@ -107,71 +132,108 @@ pub fn poly1305(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
         let c2 = h0 >> 26;
         h0 &= 0x3ff_ffff;
         h1 += c2;
-    };
 
-    for chunk in chunks.by_ref() {
-        let mut block = [0u8; 17];
-        block[..16].copy_from_slice(chunk);
-        block[16] = 1;
-        process(&block);
-    }
-    let rest = chunks.remainder();
-    if !rest.is_empty() {
-        let mut block = [0u8; 17];
-        block[..rest.len()].copy_from_slice(rest);
-        block[rest.len()] = 1; // padding bit inside the 16-byte window
-        process(&block);
+        self.h = [h0, h1, h2, h3, h4];
     }
 
-    // Final reduction: h mod 2^130 - 5.
-    let mut c = h1 >> 26;
-    h1 &= 0x3ff_ffff;
-    h2 += c;
-    c = h2 >> 26;
-    h2 &= 0x3ff_ffff;
-    h3 += c;
-    c = h3 >> 26;
-    h3 &= 0x3ff_ffff;
-    h4 += c;
-    c = h4 >> 26;
-    h4 &= 0x3ff_ffff;
-    h0 += c * 5;
-    c = h0 >> 26;
-    h0 &= 0x3ff_ffff;
-    h1 += c;
-
-    // Compute h + -p and select.
-    let mut g0 = h0.wrapping_add(5);
-    c = g0 >> 26;
-    g0 &= 0x3ff_ffff;
-    let mut g1 = h1.wrapping_add(c);
-    c = g1 >> 26;
-    g1 &= 0x3ff_ffff;
-    let mut g2 = h2.wrapping_add(c);
-    c = g2 >> 26;
-    g2 &= 0x3ff_ffff;
-    let mut g3 = h3.wrapping_add(c);
-    c = g3 >> 26;
-    g3 &= 0x3ff_ffff;
-    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
-
-    if g4 >> 31 == 0 {
-        h0 = g0;
-        h1 = g1;
-        h2 = g2;
-        h3 = g3;
-        h4 = g4;
+    /// Feeds message bytes into the MAC.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffered > 0 {
+            let want = (16 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + want].copy_from_slice(&data[..want]);
+            self.buffered += want;
+            data = &data[want..];
+            if self.buffered < 16 {
+                return;
+            }
+            let block = self.buffer;
+            self.process(&block, 1);
+            self.buffered = 0;
+        }
+        let mut chunks = data.chunks_exact(16);
+        for chunk in chunks.by_ref() {
+            self.process(chunk.try_into().expect("16-byte chunk"), 1);
+        }
+        let rest = chunks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
     }
 
-    // Serialize h and add s = key[16..32] (mod 2^128).
-    let h_low = u128::from(h0)
-        | (u128::from(h1) << 26)
-        | (u128::from(h2) << 52)
-        | (u128::from(h3) << 78)
-        | (u128::from(h4) << 104);
-    let s = u128::from_le_bytes(key[16..32].try_into().expect("16 bytes"));
-    let tag = h_low.wrapping_add(s);
-    tag.to_le_bytes()
+    /// Completes the computation and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buffered > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+            block[self.buffered] = 1; // padding bit inside the 16-byte window
+            self.process(&block, 0);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+
+        // Final reduction: h mod 2^130 - 5.
+        let mut c = h1 >> 26;
+        h1 &= 0x3ff_ffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x3ff_ffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x3ff_ffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x3ff_ffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x3ff_ffff;
+        h1 += c;
+
+        // Compute h + -p and select.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x3ff_ffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x3ff_ffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x3ff_ffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x3ff_ffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        if g4 >> 31 == 0 {
+            h0 = g0;
+            h1 = g1;
+            h2 = g2;
+            h3 = g3;
+            h4 = g4;
+        }
+
+        // Serialize h and add s = key[16..32] (mod 2^128).
+        let h_low = u128::from(h0)
+            | (u128::from(h1) << 26)
+            | (u128::from(h2) << 52)
+            | (u128::from(h3) << 78)
+            | (u128::from(h4) << 104);
+        h_low.wrapping_add(self.pad).to_le_bytes()
+    }
+}
+
+/// Computes the Poly1305 tag of `message` under a 32-byte one-time key.
+///
+/// # Examples
+///
+/// ```
+/// use age_crypto::poly1305;
+///
+/// let tag = poly1305(&[0u8; 32], b"anything");
+/// assert_eq!(tag, [0u8; 16]); // zero key gives a zero tag
+/// ```
+pub fn poly1305(key: &[u8; 32], message: &[u8]) -> [u8; 16] {
+    let mut mac = Poly1305::new(key);
+    mac.update(message);
+    mac.finalize()
 }
 
 /// Constant-time tag comparison (bitwise OR of differences).
@@ -221,6 +283,32 @@ mod tests {
         for w in tags.windows(2) {
             assert_ne!(w[0], w[1]);
         }
+    }
+
+    #[test]
+    fn incremental_updates_match_one_shot_for_every_split() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 37 + 11) as u8);
+        let message: Vec<u8> = (0..75).map(|i| (i * 29 + 3) as u8).collect();
+        let expected = poly1305(&key, &message);
+        // Every two-piece split, including empty pieces.
+        for cut in 0..=message.len() {
+            let mut mac = Poly1305::new(&key);
+            mac.update(&message[..cut]);
+            mac.update(&message[cut..]);
+            assert_eq!(mac.finalize(), expected, "split at {cut}");
+        }
+        // Byte-at-a-time.
+        let mut mac = Poly1305::new(&key);
+        for &byte in &message {
+            mac.update(&[byte]);
+        }
+        assert_eq!(mac.finalize(), expected);
+        // Three uneven pieces crossing block boundaries.
+        let mut mac = Poly1305::new(&key);
+        mac.update(&message[..7]);
+        mac.update(&message[7..40]);
+        mac.update(&message[40..]);
+        assert_eq!(mac.finalize(), expected);
     }
 
     #[test]

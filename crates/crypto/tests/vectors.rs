@@ -10,7 +10,9 @@
 //! uses its own explicit-IV framing; the block cipher underneath must still
 //! match the standard exactly.
 
-use age_crypto::{chacha20_block, poly1305, Aes128, ChaCha20};
+use age_crypto::{
+    chacha20_block, poly1305, Aes128, AesCbc, AesCtr, ChaCha20, ChaCha20Poly1305, Cipher,
+};
 
 /// Decodes a whitespace-separated hex string (test-only helper).
 fn hex(s: &str) -> Vec<u8> {
@@ -159,6 +161,106 @@ fn aes128_ctr_sp800_38a_f5_1_encrypt() {
         let out: Vec<u8> = pt.iter().zip(keystream).map(|(p, k)| p ^ k).collect();
         assert_eq!(&out, ct);
         bump_counter(&mut counter);
+    }
+}
+
+/// The multi-block `apply_keystream` fast path must agree with composing
+/// the RFC 7539 block function one counter at a time — including at
+/// non-zero starting counters, across block boundaries, and on trailing
+/// partial blocks.
+#[test]
+fn chacha20_multi_block_keystream_matches_block_composition() {
+    let key = rfc7539_key();
+    let nonce = [
+        0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+    ];
+    let cipher = ChaCha20::new(key);
+    for &counter in &[0u32, 1, 2, 1000, u32::MAX - 1, u32::MAX] {
+        for &len in &[1usize, 63, 64, 65, 128, 200, 300] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let mut fast = plaintext.clone();
+            cipher.apply_keystream(&nonce, counter, &mut fast);
+
+            // Reference: one block-function call per 64-byte chunk, with
+            // the counter wrapping like the in-state u32 does.
+            let mut reference = plaintext.clone();
+            for (i, chunk) in reference.chunks_mut(64).enumerate() {
+                let block = chacha20_block(&key, counter.wrapping_add(i as u32), &nonce);
+                for (byte, k) in chunk.iter_mut().zip(block.iter()) {
+                    *byte ^= k;
+                }
+            }
+            assert_eq!(fast, reference, "counter={counter} len={len}");
+        }
+    }
+}
+
+/// `seal_into`/`open_into` must be byte-for-byte and error-for-error
+/// equivalent to `seal`/`open` on every workspace cipher, and must fully
+/// replace the contents of a dirty output buffer.
+#[test]
+fn seal_into_and_open_into_match_allocating_forms() {
+    let ciphers: Vec<(&str, Box<dyn Cipher>)> = vec![
+        ("ChaCha20", Box::new(ChaCha20::new([0x42; 32]))),
+        (
+            "ChaCha20Poly1305",
+            Box::new(ChaCha20Poly1305::new([0x42; 32])),
+        ),
+        ("AesCtr", Box::new(AesCtr::new([0x42; 16]))),
+        ("AesCbc", Box::new(AesCbc::new([0x42; 16]))),
+    ];
+    for (name, cipher) in &ciphers {
+        for &len in &[0usize, 1, 15, 16, 17, 64, 220] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+            let sealed = cipher.seal(len as u64, &plaintext);
+
+            let mut sealed_into = vec![0xAA; 500]; // dirty buffer
+            cipher.seal_into(len as u64, &plaintext, &mut sealed_into);
+            assert_eq!(sealed, sealed_into, "{name} seal len={len}");
+
+            let opened = cipher.open(&sealed).expect("seal output opens");
+            let mut opened_into = vec![0xBB; 500];
+            cipher
+                .open_into(&sealed, &mut opened_into)
+                .expect("seal_into output opens");
+            assert_eq!(opened, opened_into, "{name} open len={len}");
+            assert_eq!(opened_into, plaintext, "{name} roundtrip len={len}");
+        }
+    }
+}
+
+/// Error parity on malformed input: `open_into` reports exactly the error
+/// `open` does, for truncation, misalignment, and corruption.
+#[test]
+fn open_into_error_parity_with_open() {
+    let ciphers: Vec<(&str, Box<dyn Cipher>)> = vec![
+        ("ChaCha20", Box::new(ChaCha20::new([0x42; 32]))),
+        (
+            "ChaCha20Poly1305",
+            Box::new(ChaCha20Poly1305::new([0x42; 32])),
+        ),
+        ("AesCtr", Box::new(AesCtr::new([0x42; 16]))),
+        ("AesCbc", Box::new(AesCbc::new([0x42; 16]))),
+    ];
+    for (name, cipher) in &ciphers {
+        // Truncated messages, from empty up past each cipher's framing.
+        for len in 0..40 {
+            let msg = vec![0x5C; len];
+            let via_open = cipher.open(&msg).map(|_| ());
+            let mut out = Vec::new();
+            let via_into = cipher.open_into(&msg, &mut out);
+            assert_eq!(via_open, via_into, "{name} truncated len={len}");
+        }
+        // Corrupted full-size messages (bit flips through the whole frame).
+        let sealed = cipher.seal(3, &[0x11; 32]);
+        for i in 0..sealed.len() {
+            let mut forged = sealed.clone();
+            forged[i] ^= 0x80;
+            let via_open = cipher.open(&forged).map(|_| ());
+            let mut out = Vec::new();
+            let via_into = cipher.open_into(&forged, &mut out);
+            assert_eq!(via_open, via_into, "{name} flip at {i}");
+        }
     }
 }
 

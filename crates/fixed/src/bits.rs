@@ -4,10 +4,22 @@
 //! multiples), then pads to a byte-exact target length. The writer and reader
 //! here use MSB-first order within each byte, matching how a microcontroller
 //! would shift bits onto a radio buffer.
+//!
+//! Both sides operate on a `u64` word accumulator: the writer shifts fields
+//! into the low end of a word and spills eight big-endian bytes per 64-bit
+//! flush; the reader refills a word from the byte slice and peels fields off
+//! its high end. The wire format is identical to a bit-at-a-time
+//! implementation (a property test in `tests/properties.rs` pins this against
+//! a reference oracle) — only the number of memory operations changes.
 
 use std::fmt;
 
 /// Accumulates bit fields into a byte vector, MSB first.
+///
+/// Internally the writer keeps a `u64` accumulator holding the trailing
+/// `acc_bits` bits of the stream in its low positions; `bytes` always holds a
+/// whole number of fully flushed bytes. Writing is a shift/OR per field with
+/// one eight-byte spill per 64 bits written.
 ///
 /// # Examples
 ///
@@ -23,9 +35,15 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
+    /// Fully flushed bytes. Never holds a partial byte; trailing bits live in
+    /// `acc` until a flush or [`BitWriter::into_bytes`].
     bytes: Vec<u8>,
-    /// Number of valid bits in the final partial byte (0 = none pending).
-    pending_bits: u8,
+    /// Pending bits, right-aligned: the low `acc_bits` bits are valid and the
+    /// oldest pending bit is the most significant of them.
+    acc: u64,
+    /// Number of valid bits in `acc` (always `< 64`; a full word is spilled
+    /// to `bytes` eagerly).
+    acc_bits: u8,
 }
 
 impl BitWriter {
@@ -38,7 +56,8 @@ impl BitWriter {
     pub fn with_capacity(bytes: usize) -> Self {
         BitWriter {
             bytes: Vec::with_capacity(bytes),
-            pending_bits: 0,
+            acc: 0,
+            acc_bits: 0,
         }
     }
 
@@ -51,22 +70,19 @@ impl BitWriter {
         bytes.clear();
         BitWriter {
             bytes,
-            pending_bits: 0,
+            acc: 0,
+            acc_bits: 0,
         }
     }
 
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
-        if self.pending_bits == 0 {
-            self.bytes.len() * 8
-        } else {
-            (self.bytes.len() - 1) * 8 + usize::from(8 - self.pending_bits)
-        }
+        self.bytes.len() * 8 + usize::from(self.acc_bits)
     }
 
     /// Number of bytes the current content occupies (rounding up).
     pub fn byte_len(&self) -> usize {
-        self.bytes.len()
+        self.bytes.len() + usize::from(self.acc_bits).div_ceil(8)
     }
 
     /// Appends the low `count` bits of `value`, most significant first.
@@ -76,16 +92,102 @@ impl BitWriter {
     /// Panics if `count > 64`.
     pub fn write_bits(&mut self, value: u64, count: u8) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        for i in (0..count).rev() {
-            let bit = ((value >> i) & 1) as u8;
-            if self.pending_bits == 0 {
-                self.bytes.push(0);
-                self.pending_bits = 8;
-            }
-            let byte = self.bytes.last_mut().expect("pushed above");
-            *byte |= bit << (self.pending_bits - 1);
-            self.pending_bits -= 1;
+        let value = value & mask_low(count);
+        let free = 64 - u32::from(self.acc_bits);
+        if u32::from(count) < free {
+            self.acc = (self.acc << count) | value;
+            self.acc_bits += count;
+        } else {
+            // Fill the accumulator to exactly 64 bits, spill it, and keep the
+            // remaining low bits of `value` as the new pending tail.
+            let rest = u32::from(count) - free;
+            let word = if free == 64 {
+                value
+            } else {
+                (self.acc << free) | (value >> rest)
+            };
+            self.bytes.extend_from_slice(&word.to_be_bytes());
+            self.acc = value & mask_low(rest as u8);
+            self.acc_bits = rest as u8;
         }
+    }
+
+    /// Appends `repeats` copies of the same `count`-bit field.
+    ///
+    /// Copies are packed into whole words first, so long runs (e.g. the zero
+    /// gaps of a collection bitmask) cost one memory write per 64 bits rather
+    /// than one per field. Output is identical to calling
+    /// [`BitWriter::write_bits`] `repeats` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_run(&mut self, value: u64, count: u8, repeats: usize) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        if count == 0 || repeats == 0 {
+            return;
+        }
+        let per_word = usize::from(64 / count);
+        if per_word <= 1 || repeats == 1 {
+            for _ in 0..repeats {
+                self.write_bits(value, count);
+            }
+            return;
+        }
+        let value = value & mask_low(count);
+        let mut packed = value;
+        for _ in 1..per_word {
+            packed = (packed << count) | value;
+        }
+        let packed_bits = (per_word as u8) * count;
+        let mut left = repeats;
+        while left >= per_word {
+            self.write_bits(packed, packed_bits);
+            left -= per_word;
+        }
+        if left > 0 {
+            self.write_bits(packed, (left as u8) * count);
+        }
+    }
+
+    /// Appends every element of `values` as a `count`-bit field, most
+    /// significant bits first (a group-level batch write).
+    ///
+    /// Equivalent to calling [`BitWriter::write_bits`] per element; keeping
+    /// the accumulator in locals lets the compiler hold it in registers
+    /// across the whole lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_fields(&mut self, values: &[u64], count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        if count == 0 {
+            return;
+        }
+        let mask = mask_low(count);
+        let mut acc = self.acc;
+        let mut acc_bits = u32::from(self.acc_bits);
+        for &raw in values {
+            let value = raw & mask;
+            let free = 64 - acc_bits;
+            if u32::from(count) < free {
+                acc = (acc << count) | value;
+                acc_bits += u32::from(count);
+            } else {
+                let rest = u32::from(count) - free;
+                let word = if free == 64 {
+                    value
+                } else {
+                    (acc << free) | (value >> rest)
+                };
+                self.bytes.extend_from_slice(&word.to_be_bytes());
+                acc = value & mask_low(rest as u8);
+                acc_bits = rest;
+            }
+        }
+        self.acc = acc;
+        self.acc_bits = acc_bits as u8;
     }
 
     /// Appends a full byte (convenience for headers).
@@ -111,16 +213,38 @@ impl BitWriter {
             "content of {current} bits exceeds pad target of {target} bits"
         );
         // Close the partial byte, then extend with zero bytes directly.
-        while !self.bit_len().is_multiple_of(8) {
-            self.write_bits(0, 1);
-        }
+        self.flush_partial();
         self.bytes.resize(target_bytes, 0);
-        self.pending_bits = 0;
+    }
+
+    /// Spills the pending accumulator bits to `bytes`, zero-padding the
+    /// final partial byte.
+    fn flush_partial(&mut self) {
+        if self.acc_bits > 0 {
+            let whole = usize::from(self.acc_bits).div_ceil(8);
+            // Left-align the pending bits in the word; acc_bits < 64 so the
+            // shift is in 1..=63.
+            let word = self.acc << (64 - u32::from(self.acc_bits));
+            self.bytes.extend_from_slice(&word.to_be_bytes()[..whole]);
+            self.acc = 0;
+            self.acc_bits = 0;
+        }
     }
 
     /// Finishes the stream, zero-padding the final partial byte.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.flush_partial();
         self.bytes
+    }
+}
+
+/// Mask selecting the low `count` bits (`count <= 64`).
+#[inline]
+fn mask_low(count: u8) -> u64 {
+    if count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
     }
 }
 
@@ -147,6 +271,10 @@ impl std::error::Error for BitReaderError {}
 
 /// Reads bit fields from a byte slice, MSB first.
 ///
+/// The mirror of [`BitWriter`]: a `u64` accumulator is refilled eight bytes
+/// at a time (big-endian) and fields are peeled off its high end, so a read
+/// touches memory once per 64 bits instead of once per bit.
+///
 /// # Examples
 ///
 /// ```
@@ -160,25 +288,37 @@ impl std::error::Error for BitReaderError {}
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    bit_pos: usize,
+    /// Index of the next byte not yet pulled into the accumulator.
+    byte_pos: usize,
+    /// Prefetched bits, left-aligned: the high `acc_bits` bits are valid and
+    /// the next bit of the stream is the most significant.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    acc_bits: u8,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, bit_pos: 0 }
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            acc: 0,
+            acc_bits: 0,
+        }
     }
 
     /// Bits not yet consumed.
     pub fn remaining_bits(&self) -> usize {
-        self.bytes.len() * 8 - self.bit_pos
+        usize::from(self.acc_bits) + (self.bytes.len() - self.byte_pos) * 8
     }
 
     /// Reads `count` bits as the low bits of a `u64`, most significant first.
     ///
     /// # Errors
     ///
-    /// Returns [`BitReaderError`] if fewer than `count` bits remain.
+    /// Returns [`BitReaderError`] if fewer than `count` bits remain. A failed
+    /// read consumes nothing.
     pub fn read_bits(&mut self, count: u8) -> Result<u64, BitReaderError> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
         if usize::from(count) > self.remaining_bits() {
@@ -187,14 +327,54 @@ impl<'a> BitReader<'a> {
                 remaining: self.remaining_bits(),
             });
         }
-        let mut out = 0u64;
-        for _ in 0..count {
-            let byte = self.bytes[self.bit_pos / 8];
-            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
-            out = (out << 1) | u64::from(bit);
-            self.bit_pos += 1;
+        if count == 0 {
+            return Ok(0);
         }
-        Ok(out)
+        if self.acc_bits == 0 {
+            self.refill();
+        }
+        if count <= self.acc_bits {
+            return Ok(self.take(count));
+        }
+        // Straddles the refill boundary: take what the accumulator has, then
+        // the rest from a fresh word. `first >= 1` here, so `rest <= 63`.
+        let first = self.acc_bits;
+        let rest = count - first;
+        let high = self.take(first);
+        self.refill();
+        let low = self.take(rest);
+        Ok((high << rest) | low)
+    }
+
+    /// Peels the high `count` bits off the accumulator.
+    /// Caller must ensure `1 <= count <= self.acc_bits`.
+    #[inline]
+    fn take(&mut self, count: u8) -> u64 {
+        debug_assert!(count >= 1 && count <= self.acc_bits);
+        let out = self.acc >> (64 - u32::from(count));
+        self.acc = if count == 64 { 0 } else { self.acc << count };
+        self.acc_bits -= count;
+        out
+    }
+
+    /// Refills the empty accumulator from the byte slice: a whole word when
+    /// eight bytes remain, otherwise whatever tail is left, left-aligned.
+    fn refill(&mut self) {
+        debug_assert_eq!(self.acc_bits, 0);
+        let tail = &self.bytes[self.byte_pos..];
+        if let Some(chunk) = tail.first_chunk::<8>() {
+            self.acc = u64::from_be_bytes(*chunk);
+            self.acc_bits = 64;
+            self.byte_pos += 8;
+        } else {
+            let mut acc = 0u64;
+            for &b in tail {
+                acc = (acc << 8) | u64::from(b);
+            }
+            self.acc = acc << (8 * (8 - tail.len()));
+            self.acc_bits = (8 * tail.len()) as u8;
+            self.byte_pos = self.bytes.len();
+        }
     }
 
     /// Reads a full byte.
@@ -336,5 +516,80 @@ mod tests {
         w.write_bits(0, 1);
         assert_eq!(w.bit_len(), 9);
         assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn write_run_matches_repeated_writes() {
+        for &(value, count, repeats) in &[
+            (0u64, 1u8, 0usize),
+            (1, 1, 1),
+            (1, 1, 63),
+            (0, 1, 200),
+            (0b101, 3, 41),
+            (0xABC, 12, 17),
+            (0x12345, 20, 5),
+            (u64::MAX, 64, 3),
+            (0x7F, 7, 64),
+        ] {
+            let mut batched = BitWriter::new();
+            batched.write_bits(0b11, 2); // start unaligned
+            batched.write_run(value, count, repeats);
+            let mut looped = BitWriter::new();
+            looped.write_bits(0b11, 2);
+            for _ in 0..repeats {
+                looped.write_bits(value, count);
+            }
+            assert_eq!(batched.bit_len(), looped.bit_len());
+            assert_eq!(
+                batched.into_bytes(),
+                looped.into_bytes(),
+                "value={value:#x} count={count} repeats={repeats}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_fields_matches_write_bits_loop() {
+        let values: Vec<u64> = (0..97).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for count in 1..=64u8 {
+            for lead in [0u8, 3, 7, 13] {
+                let mut batched = BitWriter::new();
+                batched.write_bits(0, lead);
+                batched.write_fields(&values, count);
+                let mut looped = BitWriter::new();
+                looped.write_bits(0, lead);
+                for &v in &values {
+                    looped.write_bits(v, count);
+                }
+                assert_eq!(batched.bit_len(), looped.bit_len());
+                assert_eq!(
+                    batched.into_bytes(),
+                    looped.into_bytes(),
+                    "count={count} lead={lead}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reads_straddle_refill_boundaries() {
+        // 24 bytes so several word refills happen; read widths that never
+        // divide 64 evenly to force boundary-straddling reads.
+        let bytes: Vec<u8> = (0..24).map(|i| (i as u8).wrapping_mul(37) ^ 0x5A).collect();
+        let mut word = BitReader::new(&bytes);
+        let mut slow_pos = 0usize;
+        for &count in [13u8, 7, 64, 1, 3, 33, 17, 30, 24].iter() {
+            let got = word.read_bits(count).unwrap();
+            // Reference: extract the same bit range by address arithmetic.
+            let mut expect = 0u64;
+            for i in 0..count {
+                let pos = slow_pos + usize::from(i);
+                let bit = (bytes[pos / 8] >> (7 - pos % 8)) & 1;
+                expect = (expect << 1) | u64::from(bit);
+            }
+            slow_pos += usize::from(count);
+            assert_eq!(got, expect, "count={count} at bit {slow_pos}");
+        }
+        assert_eq!(word.remaining_bits(), 24 * 8 - slow_pos);
     }
 }

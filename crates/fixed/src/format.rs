@@ -198,6 +198,86 @@ impl Format {
             (1u64 << self.width) - 1
         }
     }
+
+    /// Quantizes a whole slice into raw integers, replacing the contents of
+    /// `out` (which is cleared and resized — no allocation once warm).
+    ///
+    /// The scale factor and saturation bounds are hoisted out of the loop so
+    /// the body is pure straight-line float math the compiler can vectorize.
+    /// Results are bit-identical to calling [`Format::quantize`] per element.
+    pub fn quantize_slice(&self, xs: &[f64], out: &mut Vec<i64>) {
+        out.clear();
+        out.resize(xs.len(), 0);
+        let scale = exp2(i32::from(self.frac));
+        let max_raw = self.max_raw();
+        let min_raw = self.min_raw();
+        let hi = max_raw as f64;
+        let lo = min_raw as f64;
+        for (raw, &x) in out.iter_mut().zip(xs) {
+            let scaled = x * scale;
+            *raw = if x.is_nan() {
+                0
+            } else if scaled >= hi {
+                max_raw
+            } else if scaled <= lo {
+                min_raw
+            } else {
+                scaled.round() as i64
+            };
+        }
+    }
+
+    /// Quantizes a whole slice straight to `width`-bit two's complement
+    /// patterns ready for [`crate::BitWriter::write_fields`], replacing the
+    /// contents of `out`.
+    ///
+    /// Fuses [`Format::quantize_slice`] and [`Format::to_bits`] into one
+    /// lane loop; bit-identical to the per-element composition.
+    pub fn quantize_bits_slice(&self, xs: &[f64], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(xs.len(), 0);
+        let scale = exp2(i32::from(self.frac));
+        let max_raw = self.max_raw();
+        let min_raw = self.min_raw();
+        let hi = max_raw as f64;
+        let lo = min_raw as f64;
+        let mask = self.mask();
+        for (bits, &x) in out.iter_mut().zip(xs) {
+            let scaled = x * scale;
+            let raw = if x.is_nan() {
+                0
+            } else if scaled >= hi {
+                max_raw
+            } else if scaled <= lo {
+                min_raw
+            } else {
+                scaled.round() as i64
+            };
+            *bits = (raw as u64) & mask;
+        }
+    }
+
+    /// Sign-extends and dequantizes a slice of `width`-bit patterns,
+    /// appending the real values to `out`.
+    ///
+    /// The step factor is hoisted out of the loop (one `2^e` for the whole
+    /// group instead of one per sample); bit-identical to
+    /// `fmt.dequantize(fmt.from_bits(b))` per element.
+    pub fn dequantize_bits_slice(&self, bits: &[u64], out: &mut Vec<f64>) {
+        let step = self.step();
+        let mask = self.mask();
+        let sign_bit = 1u64 << (self.width - 1);
+        out.reserve(bits.len());
+        for &b in bits {
+            let b = b & mask;
+            let raw = if b & sign_bit != 0 {
+                (b | !mask) as i64
+            } else {
+                b as i64
+            };
+            out.push(raw as f64 * step);
+        }
+    }
 }
 
 impl fmt::Display for Format {
@@ -207,8 +287,18 @@ impl fmt::Display for Format {
 }
 
 /// Computes `2^e` as an `f64` for any `i32` exponent.
+///
+/// Normal-range exponents (every one a valid [`Format`] can produce, since
+/// `Format::new` bounds `width - frac` to 1..=64) are built directly from the
+/// IEEE-754 exponent field — a shift instead of a `powi` call in the
+/// quantization hot loop. Powers of two are exact in both paths, so the
+/// result is bit-identical to `f64::powi(2.0, e)`.
 fn exp2(e: i32) -> f64 {
-    f64::powi(2.0, e)
+    if (-1022..=1023).contains(&e) {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::powi(2.0, e)
+    }
 }
 
 /// Smallest non-fractional width `n` (including the sign bit) such that a
@@ -231,17 +321,19 @@ fn exp2(e: i32) -> f64 {
 /// assert_eq!(required_integer_bits(2.0, 16), 3);
 /// ```
 pub fn required_integer_bits(x: f64, max_n: u8) -> u8 {
-    let max_n = max_n.max(1);
-    if !x.is_finite() {
-        return max_n;
-    }
-    for n in 1..=max_n {
-        let hi = exp2(i32::from(n) - 1);
-        if x < hi && x >= -hi {
-            return n;
-        }
-    }
-    max_n
+    // Read the answer off the IEEE-754 exponent field instead of scanning
+    // widths one by one: a finite x with unbiased exponent e satisfies
+    // |x| < 2^(e+1), so n = e + 2 always fits, and nothing narrower does —
+    // except x == -2^e exactly (sign set, zero mantissa, normal), the one
+    // value whose magnitude bound is inclusive (-2^(n-1) <= x), which fits
+    // in n = e + 1. The clamp covers every special case: zero and
+    // subnormals come out far below 1, while NaN and the infinities carry
+    // exponent field 0x7ff and come out far above any `max_n`.
+    let bits = x.to_bits();
+    let exp_field = ((bits >> 52) & 0x7ff) as i32;
+    let neg_pow2 = (bits >> 63) != 0 && (bits & ((1u64 << 52) - 1)) == 0 && exp_field != 0;
+    let n = exp_field - 1023 + 2 - i32::from(neg_pow2);
+    n.clamp(1, i32::from(max_n.max(1))) as u8
 }
 
 #[cfg(test)]
@@ -335,6 +427,121 @@ mod tests {
         assert_eq!(fmt.to_string(), "Q3.13");
         let err = Format::new(0, 0).unwrap_err();
         assert!(err.to_string().contains("width 0"));
+    }
+
+    #[test]
+    fn required_integer_bits_matches_reference_scan() {
+        // The original width-by-width scan, kept as the ground truth for the
+        // exponent-field fast path.
+        fn reference(x: f64, max_n: u8) -> u8 {
+            let max_n = max_n.max(1);
+            if !x.is_finite() {
+                return max_n;
+            }
+            for n in 1..=max_n {
+                let hi = exp2(i32::from(n) - 1);
+                if x < hi && x >= -hi {
+                    return n;
+                }
+            }
+            max_n
+        }
+        let mut cases: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            -5e-324,
+            f64::MAX,
+            f64::MIN,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e30,
+            -1e30,
+        ];
+        // Every power of two in the clamp-relevant range, its negation, and
+        // the representable values on either side of each.
+        for e in -20..=20 {
+            let p = exp2(e);
+            for v in [p, -p] {
+                cases.extend([v, v.next_up(), v.next_down()]);
+            }
+        }
+        // A dense irrational-step sweep across the interesting range.
+        let mut x = -70.0;
+        while x < 70.0 {
+            cases.push(x);
+            x += 0.0371;
+        }
+        for &x in &cases {
+            for max_n in [1u8, 2, 5, 8, 16, 64] {
+                assert_eq!(
+                    required_integer_bits(x, max_n),
+                    reference(x, max_n),
+                    "x={x:e} max_n={max_n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_exp2_is_bit_identical_to_powi() {
+        for e in -1100..=1100 {
+            assert_eq!(
+                exp2(e).to_bits(),
+                f64::powi(2.0, e).to_bits(),
+                "exp2({e}) diverges from powi"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_apis_match_scalar_paths() {
+        let cases = [
+            Format::new(16, 13).unwrap(),
+            Format::new(5, -3).unwrap(),
+            Format::new(32, 31).unwrap(),
+            Format::new(1, 0).unwrap(),
+            Format::new(9, 0).unwrap(),
+        ];
+        let xs: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.25,
+            -1.03,
+            1e9,
+            -1e9,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            0.49999,
+            -0.5,
+            123.456,
+        ];
+        let mut raws = Vec::new();
+        let mut bits = Vec::new();
+        for fmt in cases {
+            fmt.quantize_slice(&xs, &mut raws);
+            fmt.quantize_bits_slice(&xs, &mut bits);
+            assert_eq!(raws.len(), xs.len());
+            for (i, &x) in xs.iter().enumerate() {
+                let raw = fmt.quantize(x);
+                assert_eq!(raws[i], raw, "{fmt} x={x}");
+                assert_eq!(bits[i], fmt.to_bits(raw), "{fmt} x={x}");
+            }
+            let mut values = vec![7.0]; // appends after existing content
+            fmt.dequantize_bits_slice(&bits, &mut values);
+            assert_eq!(values[0], 7.0);
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!(
+                    values[i + 1],
+                    fmt.dequantize(fmt.from_bits(b)),
+                    "{fmt} bits={b:#x}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,220 @@ fn writer_reader_roundtrip() {
     }
 }
 
+/// The original bit-at-a-time writer/reader, kept verbatim as a reference
+/// oracle: the word-level implementation in `age_fixed::bits` must stay
+/// byte-identical to this for every input sequence.
+mod reference {
+    pub struct SlowWriter {
+        bytes: Vec<u8>,
+        /// Number of valid bits in the final partial byte (0 = none pending).
+        pending_bits: u8,
+    }
+
+    impl SlowWriter {
+        pub fn new() -> Self {
+            SlowWriter {
+                bytes: Vec::new(),
+                pending_bits: 0,
+            }
+        }
+
+        pub fn bit_len(&self) -> usize {
+            if self.pending_bits == 0 {
+                self.bytes.len() * 8
+            } else {
+                (self.bytes.len() - 1) * 8 + usize::from(8 - self.pending_bits)
+            }
+        }
+
+        pub fn byte_len(&self) -> usize {
+            self.bytes.len()
+        }
+
+        pub fn write_bits(&mut self, value: u64, count: u8) {
+            assert!(count <= 64);
+            for i in (0..count).rev() {
+                let bit = ((value >> i) & 1) as u8;
+                if self.pending_bits == 0 {
+                    self.bytes.push(0);
+                    self.pending_bits = 8;
+                }
+                let byte = self.bytes.last_mut().expect("pushed above");
+                *byte |= bit << (self.pending_bits - 1);
+                self.pending_bits -= 1;
+            }
+        }
+
+        pub fn pad_to_bytes(&mut self, target_bytes: usize) {
+            assert!(self.bit_len() <= target_bytes * 8);
+            while !self.bit_len().is_multiple_of(8) {
+                self.write_bits(0, 1);
+            }
+            self.bytes.resize(target_bytes, 0);
+            self.pending_bits = 0;
+        }
+
+        pub fn into_bytes(self) -> Vec<u8> {
+            self.bytes
+        }
+    }
+
+    pub struct SlowReader<'a> {
+        bytes: &'a [u8],
+        bit_pos: usize,
+    }
+
+    impl<'a> SlowReader<'a> {
+        pub fn new(bytes: &'a [u8]) -> Self {
+            SlowReader { bytes, bit_pos: 0 }
+        }
+
+        pub fn remaining_bits(&self) -> usize {
+            self.bytes.len() * 8 - self.bit_pos
+        }
+
+        pub fn read_bits(&mut self, count: u8) -> Option<u64> {
+            assert!(count <= 64);
+            if usize::from(count) > self.remaining_bits() {
+                return None;
+            }
+            let mut out = 0u64;
+            for _ in 0..count {
+                let byte = self.bytes[self.bit_pos / 8];
+                let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
+                out = (out << 1) | u64::from(bit);
+                self.bit_pos += 1;
+            }
+            Some(out)
+        }
+    }
+}
+
+#[test]
+fn word_writer_matches_reference_on_random_sequences() {
+    let mut rng = DetRng::seed_from_u64(0xF9);
+    for _ in 0..CASES {
+        let n_fields = rng.gen_range(0usize..60);
+        let mut word = BitWriter::new();
+        let mut slow = reference::SlowWriter::new();
+        for _ in 0..n_fields {
+            let c = rng.gen_range(0u32..=64) as u8;
+            let v = rng.next_u64();
+            word.write_bits(v, c);
+            slow.write_bits(v, c);
+            assert_eq!(word.bit_len(), slow.bit_len());
+            assert_eq!(word.byte_len(), slow.byte_len());
+        }
+        if rng.gen_range(0u32..2) == 1 {
+            let target = word.bit_len().div_ceil(8) + rng.gen_range(0usize..8);
+            word.pad_to_bytes(target);
+            slow.pad_to_bytes(target);
+        }
+        assert_eq!(word.into_bytes(), slow.into_bytes());
+    }
+}
+
+#[test]
+fn word_reader_matches_reference_on_random_streams() {
+    let mut rng = DetRng::seed_from_u64(0xFA);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..40);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let mut word = BitReader::new(&bytes);
+        let mut slow = reference::SlowReader::new(&bytes);
+        for _ in 0..20 {
+            let c = rng.gen_range(0u32..=64) as u8;
+            match (word.read_bits(c), slow.read_bits(c)) {
+                (Ok(a), Some(b)) => assert_eq!(a, b, "count={c}"),
+                (Err(e), None) => {
+                    // Exhaustion must report the same error fields and leave
+                    // both readers at the same (unconsumed) position.
+                    assert_eq!(e.requested, c);
+                    assert_eq!(e.remaining, slow.remaining_bits());
+                }
+                (a, b) => panic!("readers disagree on exhaustion: {a:?} vs {b:?}"),
+            }
+            assert_eq!(word.remaining_bits(), slow.remaining_bits());
+        }
+    }
+}
+
+#[test]
+fn bit_len_exhaustive_at_flush_boundaries() {
+    // Every lead length that brackets both the 8-bit byte boundary and the
+    // 64-bit accumulator flush boundary, crossed with every legal width.
+    for lead in 0usize..=65 {
+        for width in 0u8..=64 {
+            let mut word = BitWriter::new();
+            let mut slow = reference::SlowWriter::new();
+            for _ in 0..lead {
+                word.write_bits(1, 1);
+                slow.write_bits(1, 1);
+            }
+            assert_eq!(word.bit_len(), lead);
+            assert_eq!(word.byte_len(), lead.div_ceil(8));
+            word.write_bits(u64::MAX, width);
+            slow.write_bits(u64::MAX, width);
+            assert_eq!(word.bit_len(), lead + usize::from(width));
+            assert_eq!(word.byte_len(), (lead + usize::from(width)).div_ceil(8));
+            assert_eq!(
+                word.into_bytes(),
+                slow.into_bytes(),
+                "lead={lead} width={width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_widths_cross_boundaries_like_reference() {
+    // A fixed adversarial width schedule that repeatedly straddles the
+    // accumulator flush: wide-narrow alternation plus exact-fill widths.
+    let widths: &[u8] = &[64, 1, 63, 2, 62, 31, 33, 7, 57, 8, 56, 16, 48, 5, 64, 64, 3];
+    let mut word = BitWriter::new();
+    let mut slow = reference::SlowWriter::new();
+    for (i, &c) in widths.iter().enumerate() {
+        let v = (i as u64).wrapping_mul(0x0123_4567_89AB_CDEF) | 1;
+        word.write_bits(v, c);
+        slow.write_bits(v, c);
+        assert_eq!(word.bit_len(), slow.bit_len(), "after field {i}");
+    }
+    assert_eq!(word.into_bytes(), slow.into_bytes());
+}
+
+#[test]
+fn write_run_and_fields_match_reference() {
+    let mut rng = DetRng::seed_from_u64(0xFB);
+    for _ in 0..CASES {
+        let mut word = BitWriter::new();
+        let mut slow = reference::SlowWriter::new();
+        let lead = rng.gen_range(0u32..=9) as u8;
+        word.write_bits(0x155, lead);
+        slow.write_bits(0x155, lead);
+        // A run of one repeated field...
+        let (rv, rc, reps) = (
+            rng.next_u64(),
+            rng.gen_range(1u32..=64) as u8,
+            rng.gen_range(0usize..100),
+        );
+        word.write_run(rv, rc, reps);
+        for _ in 0..reps {
+            slow.write_bits(rv, rc);
+        }
+        // ...then a uniform-width lane batch.
+        let fc = rng.gen_range(1u32..=64) as u8;
+        let lanes: Vec<u64> = (0..rng.gen_range(0usize..50))
+            .map(|_| rng.next_u64())
+            .collect();
+        word.write_fields(&lanes, fc);
+        for &v in &lanes {
+            slow.write_bits(v, fc);
+        }
+        assert_eq!(word.bit_len(), slow.bit_len());
+        assert_eq!(word.into_bytes(), slow.into_bytes());
+    }
+}
+
 #[test]
 fn pad_to_bytes_is_byte_exact() {
     let mut rng = DetRng::seed_from_u64(0xF8);

@@ -780,6 +780,8 @@ impl Runner {
         let mut records = Vec::with_capacity(test.len());
         let mut scratch = EncodeScratch::new();
         let mut plaintext = Vec::new();
+        let mut message = Vec::new();
+        let mut opened = Vec::new();
         let mut transport = None;
 
         if let Some(setup) = faults {
@@ -1094,7 +1096,7 @@ impl Runner {
                 clock.advance_encode();
                 tracer.end(clock.now_us());
                 tracer.begin("seal", "crypto", clock.now_us());
-                let message = cipher.seal(i as u64, &plaintext);
+                cipher.seal_into(i as u64, &plaintext, &mut message);
                 clock.advance_seal();
                 tracer.end(clock.now_us());
                 let cost =
@@ -1143,7 +1145,9 @@ impl Runner {
                 clock.advance_ack();
                 tracer.end(clock.now_us());
 
-                let opened = cipher.open(&message).expect("sealed messages always open");
+                cipher
+                    .open_into(&message, &mut opened)
+                    .expect("sealed messages always open");
                 let decoded = encoder
                     .decode(&opened, &self.batch_cfg)
                     .expect("own messages always decode");

@@ -86,10 +86,21 @@ impl Sensor {
 
     /// Seals `payload` under the next sequence number.
     pub fn seal(&mut self, payload: &[u8]) -> (u64, Vec<u8>) {
+        let mut frame = Vec::new();
+        let sequence = self.seal_into(payload, &mut frame);
+        (sequence, frame)
+    }
+
+    /// Seals `payload` under the next sequence number into `frame`,
+    /// reusing its allocation (byte-identical to [`Sensor::seal`]). Returns
+    /// the sequence number used. Once `frame` has grown to the session's
+    /// fixed frame length, sealing never touches the heap.
+    pub fn seal_into(&mut self, payload: &[u8], frame: &mut Vec<u8>) -> u64 {
         let sequence = self.next_sequence;
         self.next_sequence += 1;
         self.note_sealed(sequence);
-        (sequence, self.cipher.seal(sequence, payload))
+        self.cipher.seal_into(sequence, payload, frame);
+        sequence
     }
 
     /// Seals `payload` under an explicit sequence number without touching
@@ -105,6 +116,14 @@ impl Sensor {
     /// metric (release builds still seal, preserving legacy behavior; the
     /// run-wide nonce auditor is the backstop that fails the run).
     pub fn seal_as(&mut self, sequence: u64, payload: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::new();
+        self.seal_as_into(sequence, payload, &mut frame);
+        frame
+    }
+
+    /// [`Sensor::seal_as`] into a caller-owned frame buffer, with the same
+    /// high-water-mark guard and `NONCE_REUSE_RISKED` accounting.
+    pub fn seal_as_into(&mut self, sequence: u64, payload: &[u8], frame: &mut Vec<u8>) {
         if let Some(high) = self.highest_sealed {
             if sequence <= high {
                 #[cfg(feature = "telemetry")]
@@ -117,7 +136,7 @@ impl Sensor {
             }
         }
         self.note_sealed(sequence);
-        self.cipher.seal(sequence, payload)
+        self.cipher.seal_into(sequence, payload, frame);
     }
 
     /// Models a power loss: the RAM high-water mark is gone, and the
@@ -175,11 +194,29 @@ impl Receiver {
     ///
     /// [`ReceiveError`] for any frame the server must not act on.
     pub fn receive(&mut self, frame: &[u8]) -> Result<(u64, Vec<u8>), ReceiveError> {
+        let mut payload = Vec::new();
+        let sequence = self.receive_into(frame, &mut payload)?;
+        Ok((sequence, payload))
+    }
+
+    /// [`Receiver::receive`] into a caller-owned payload buffer, reusing its
+    /// allocation; returns the accepted frame's sequence number. On error
+    /// `payload`'s contents are unspecified. Once warm, receiving never
+    /// touches the heap.
+    ///
+    /// # Errors
+    ///
+    /// [`ReceiveError`] for any frame the server must not act on.
+    pub fn receive_into(
+        &mut self,
+        frame: &[u8],
+        payload: &mut Vec<u8>,
+    ) -> Result<u64, ReceiveError> {
         let sequence = self
             .cipher
             .sequence_of(frame)
             .ok_or(ReceiveError::MissingSequence)?;
-        let payload = self.cipher.open(frame).map_err(|e| {
+        self.cipher.open_into(frame, payload).map_err(|e| {
             #[cfg(feature = "telemetry")]
             age_telemetry::metrics::global::FRAMES_AUTH_FAILED.add(1);
             ReceiveError::Cipher(e)
@@ -198,7 +235,7 @@ impl Receiver {
             age_telemetry::metrics::global::FRAMES_REPLAY_REJECTED.add(1);
             ReceiveError::Replay(e)
         })?;
-        Ok((sequence, payload))
+        Ok(sequence)
     }
 }
 
@@ -338,6 +375,10 @@ pub struct Link {
     retry: RetryPolicy,
     stats: LinkStats,
     journal: Option<SequenceJournal>,
+    /// Session-owned frame buffer: every send seals into this scratch, so
+    /// the sealing side of the link stops allocating once it has grown to
+    /// the session's fixed frame length.
+    frame_scratch: Vec<u8>,
 }
 
 impl Link {
@@ -371,6 +412,7 @@ impl Link {
             retry,
             stats: LinkStats::default(),
             journal: None,
+            frame_scratch: Vec::new(),
         }
     }
 
@@ -423,13 +465,19 @@ impl Link {
     /// lost instead (a zero-attempt, zero-length [`Delivery`]).
     pub fn send(&mut self, payload: &[u8]) -> Delivery {
         if self.journal.is_none() {
-            let (sequence, frame) = self.sensor.seal(payload);
-            return self.drive(sequence, frame);
+            let mut frame = std::mem::take(&mut self.frame_scratch);
+            let sequence = self.sensor.seal_into(payload, &mut frame);
+            let delivery = self.drive(sequence, &frame);
+            self.frame_scratch = frame;
+            return delivery;
         }
         match self.journal_reserve() {
             Ok(sequence) => {
-                let frame = self.sensor.seal_as(sequence, payload);
-                self.drive(sequence, frame)
+                let mut frame = std::mem::take(&mut self.frame_scratch);
+                self.sensor.seal_as_into(sequence, payload, &mut frame);
+                let delivery = self.drive(sequence, &frame);
+                self.frame_scratch = frame;
+                delivery
             }
             Err(stuck_at) => {
                 self.stats.messages_lost += 1;
@@ -453,11 +501,13 @@ impl Link {
     /// journal the seal still burns a RAM sequence number, which the
     /// reboot then forgets.
     pub fn abort_send(&mut self, payload: &[u8]) {
+        let mut frame = std::mem::take(&mut self.frame_scratch);
         if self.journal.is_none() {
-            let _ = self.sensor.seal(payload);
+            let _ = self.sensor.seal_into(payload, &mut frame);
         } else if let Ok(sequence) = self.journal_reserve() {
-            let _unsent = self.sensor.seal_as(sequence, payload);
+            self.sensor.seal_as_into(sequence, payload, &mut frame);
         }
+        self.frame_scratch = frame;
         self.reboot_sensor();
     }
 
@@ -510,8 +560,11 @@ impl Link {
     /// Sends `payload` under an explicit sequence number (does not advance
     /// the session counter).
     pub fn send_as(&mut self, sequence: u64, payload: &[u8]) -> Delivery {
-        let frame = self.sensor.seal_as(sequence, payload);
-        self.drive(sequence, frame)
+        let mut frame = std::mem::take(&mut self.frame_scratch);
+        self.sensor.seal_as_into(sequence, payload, &mut frame);
+        let delivery = self.drive(sequence, &frame);
+        self.frame_scratch = frame;
+        delivery
     }
 
     /// Releases any frame still held by a reordering fault and returns the
@@ -525,7 +578,7 @@ impl Link {
         accepted
     }
 
-    fn drive(&mut self, sequence: u64, frame: Vec<u8>) -> Delivery {
+    fn drive(&mut self, sequence: u64, frame: &[u8]) -> Delivery {
         let mut delivery = Delivery {
             sequence,
             frame_len: frame.len(),
@@ -549,7 +602,7 @@ impl Link {
                 #[cfg(feature = "telemetry")]
                 age_telemetry::metrics::global::FRAMES_RETRIED.add(1);
             }
-            let arriving = self.channel.transmit(&frame);
+            let arriving = self.channel.transmit(frame);
             let before = delivery.payloads.len();
             if self.receive_frames(arriving, sequence, &mut delivery.payloads) {
                 delivery.delivered = true;
