@@ -1,0 +1,248 @@
+//! Fleet-gateway throughput benchmark, written to `BENCH_gateway.json`
+//! (schema `age-bench/gateway-v1`).
+//!
+//! Synthesizes a seeded fleet (default 100k sensors × 4 frames), drains
+//! it through the sharded gateway, and reports sustained ingest
+//! throughput, p50/p99 per-frame ingest latency, per-shard session
+//! balance, and steady-state heap traffic on the single-shard ingest
+//! path (which must be zero — the property
+//! `crates/gateway/tests/alloc.rs` enforces per frame class).
+//!
+//! ```text
+//! cargo run -p age-bench --release --bin bench_gateway
+//! cargo run -p age-bench --release --bin bench_gateway -- --sensors 200000 --shards 8
+//! cargo run -p age-bench --release --bin bench_gateway -- --check
+//! ```
+//!
+//! `--check` is the CI perf-sanity mode: a reduced fleet re-measure that
+//! fails (non-zero exit) if steady-state ingest allocates at all or if
+//! `ns_per_frame` regressed to more than 3× the committed
+//! `BENCH_gateway.json` figure. It writes nothing.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use age_bench::{run_gateway, GatewayRunConfig};
+use age_sim::fleet::{generate, provisioned_gateway, FleetConfig};
+use age_telemetry::alloc::{self, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const SCHEMA: &str = "age-bench/gateway-v1";
+
+fn die(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+/// Steady-state single-thread ingest: ns/frame and allocs/frame, with
+/// the shard warm. Thread-local alloc counters require this to run on
+/// one thread, so it uses `ingest` rather than `run`. The trace must
+/// be deep (many frames per sensor) and the warm-up long: a session
+/// only stops allocating once it has seen every (event, size) and
+/// (event, gap) histogram key at least once, and events are drawn
+/// randomly per frame.
+fn measure_steady(sensors: u64, frames_per_sensor: usize, seed: u64) -> (f64, f64) {
+    let fleet = FleetConfig {
+        frames_per_sensor,
+        ..FleetConfig::new(sensors, seed)
+    };
+    let traffic = generate(&fleet);
+    let mut gateway = provisioned_gateway(&fleet, 1);
+    let split = traffic.frames.len() * 3 / 4;
+    for frame in &traffic.frames[..split] {
+        let _ = gateway.ingest(frame);
+    }
+    let steady = &traffic.frames[split..];
+    let before = alloc::snapshot();
+    let start = Instant::now();
+    for frame in steady {
+        let _ = gateway.ingest(frame);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let delta = alloc::snapshot().since(before);
+    (
+        elapsed / steady.len() as f64,
+        delta.allocations as f64 / steady.len() as f64,
+    )
+}
+
+fn committed_ns_per_frame(report: &str) -> Option<f64> {
+    let key = "\"ns_per_frame\": ";
+    let at = report.find(key)? + key.len();
+    let rest = &report[at..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn check_mode() -> ! {
+    let report = std::fs::read_to_string("BENCH_gateway.json").unwrap_or_else(|e| {
+        die(&format!(
+            "--check needs a committed BENCH_gateway.json: {e}"
+        ))
+    });
+    let committed = committed_ns_per_frame(&report)
+        .unwrap_or_else(|| die("committed BENCH_gateway.json carries no ns_per_frame"));
+
+    let (ns_per_frame, allocs_per_frame) = measure_steady(1_000, 40, 2022);
+    println!(
+        "gateway perf check: {ns_per_frame:.0} ns/frame (committed {committed:.0}, \
+         limit {:.0}), {allocs_per_frame:.4} allocs/frame",
+        committed * 3.0
+    );
+    let mut failed = false;
+    if allocs_per_frame > 0.0 {
+        eprintln!(
+            "FAIL: gateway ingest allocates in steady state ({allocs_per_frame:.4} allocs/frame)"
+        );
+        failed = true;
+    }
+    if ns_per_frame > committed * 3.0 {
+        eprintln!("FAIL: ns_per_frame {ns_per_frame:.0} exceeds 3x the committed {committed:.0}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("gateway perf check passed");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        check_mode();
+    }
+    let mut config = GatewayRunConfig::new(100_000);
+    config.record_latency = true;
+    let mut out_path = String::from("BENCH_gateway.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sensors" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => config.sensors = n,
+                    _ => die("--sensors needs a positive integer"),
+                }
+            }
+            "--frames" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => config.frames_per_sensor = n,
+                    _ => die("--frames needs a positive integer"),
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => config.shards = n,
+                    _ => die("--shards needs a positive integer"),
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => config.threads = n,
+                    _ => die("--threads needs a positive integer"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out_path = path.clone(),
+                    None => die("--out needs a path"),
+                }
+            }
+            other => die(&format!(
+                "unknown flag '{other}'; usage: bench_gateway [--sensors N] [--frames N] \
+                 [--shards K] [--threads T] [--out FILE] [--check]"
+            )),
+        }
+        i += 1;
+    }
+
+    let frames = config.sensors * config.frames_per_sensor as u64;
+    println!(
+        "fleet: {} sensors x {} frames = {} frames, {} shards, {} threads",
+        config.sensors, config.frames_per_sensor, frames, config.shards, config.threads
+    );
+    let run = run_gateway(&config);
+    let frames_per_sec = run.report.stats.frames as f64 / run.ingest_seconds.max(1e-9);
+    let p50 = run.latency.p50_ns();
+    let p99 = run.latency.p99_ns();
+    let max_occupancy = run.occupancy.iter().copied().max().unwrap_or(0);
+    let min_occupancy = run.occupancy.iter().copied().min().unwrap_or(0);
+    let balance = max_occupancy as f64 / (min_occupancy.max(1)) as f64;
+    let (steady_ns, steady_allocs) = measure_steady(1_000, 40, config.seed);
+
+    print!("{}", run.report);
+    println!(
+        "generated in {:.2}s, drained in {:.2}s ({:.0} frames/s)",
+        run.generate_seconds, run.ingest_seconds, frames_per_sec
+    );
+    println!("ingest latency: p50 <= {p50} ns, p99 <= {p99} ns");
+    println!(
+        "shard balance: {min_occupancy}..={max_occupancy} sessions/shard (ratio {balance:.3})"
+    );
+    println!(
+        "steady single-thread ingest: {steady_ns:.0} ns/frame, {steady_allocs:.4} allocs/frame"
+    );
+    #[cfg(feature = "telemetry")]
+    {
+        println!(
+            "leakage gate: {}, nonce audits: {}",
+            if run.gate_passed() { "PASS" } else { "FAIL" },
+            if run.nonce_clean { "clean" } else { "VIOLATED" }
+        );
+    }
+
+    let mut json = String::with_capacity(1024);
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"sensors\": {},\n  \"frames_per_sensor\": {},\n  \
+         \"frames\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"seed\": {},\n  \
+         \"accepted\": {},\n  \"rejected\": {},\n  \"generate_seconds\": {:.3},\n  \
+         \"ingest_seconds\": {:.3},\n  \"frames_per_sec\": {:.0},\n  \"ns_per_frame\": {:.1},\n  \
+         \"steady_allocs_per_frame\": {:.4},\n  \"p50_ingest_ns\": {},\n  \"p99_ingest_ns\": {},\n  \
+         \"min_shard_sessions\": {},\n  \"max_shard_sessions\": {},\n  \"balance_ratio\": {:.4}",
+        config.sensors,
+        config.frames_per_sensor,
+        frames,
+        config.shards,
+        config.threads,
+        config.seed,
+        run.report.stats.accepted,
+        run.report.stats.rejected(),
+        run.generate_seconds,
+        run.ingest_seconds,
+        frames_per_sec,
+        steady_ns,
+        steady_allocs,
+        p50,
+        p99,
+        min_occupancy,
+        max_occupancy,
+        balance,
+    );
+    #[cfg(feature = "telemetry")]
+    {
+        let _ = write!(
+            json,
+            ",\n  \"gate_passed\": {},\n  \"nonce_clean\": {}",
+            run.gate_passed(),
+            run.nonce_clean
+        );
+    }
+    json.push_str("\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("[report written to {out_path}]"),
+        Err(e) => die(&format!("cannot write '{out_path}': {e}")),
+    }
+
+    #[cfg(feature = "telemetry")]
+    if !run.gate_passed() || !run.nonce_clean {
+        std::process::exit(1);
+    }
+}

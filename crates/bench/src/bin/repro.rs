@@ -33,6 +33,15 @@
 //! Perfetto. Timestamps are virtual microseconds, not wall time, so the
 //! file is byte-deterministic for a fixed seed. Requires the `telemetry`
 //! feature.
+//!
+//! `--gateway` runs the fleet-scale ingest experiment instead of (or in
+//! addition to) the paper experiments: `--sensors N` simulated sensors
+//! drain through a `--shards K` sharded gateway, the deterministic run
+//! artifact is written to `GATEWAY.json` (`--gateway-out <path>` to
+//! relocate), and with the `telemetry` feature the two-channel leakage
+//! gate plus both nonce audits must pass or the process exits non-zero.
+//! The artifact is byte-identical at any `--shards`/`--threads` value —
+//! CI's determinism leg compares two such runs with `cmp`.
 
 use std::time::Instant;
 
@@ -49,10 +58,48 @@ fn main() {
     let mut audit = false;
     let mut audit_out = String::from("LEAKAGE.json");
     let mut trace_path: Option<String> = None;
+    let mut gateway = false;
+    let mut gateway_out = String::from("GATEWAY.json");
+    let mut sensors: u64 = 10_000;
+    let mut shards: usize = 4;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--audit" => audit = true,
+            "--gateway" => gateway = true,
+            "--gateway-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => {
+                        gateway = true;
+                        gateway_out = path.clone();
+                    }
+                    None => {
+                        eprintln!("--gateway-out needs an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--sensors" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => sensors = n,
+                    _ => {
+                        eprintln!("--sensors needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => shards = n,
+                    _ => {
+                        eprintln!("--shards needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--audit-out" => {
                 i += 1;
                 match args.get(i) {
@@ -134,11 +181,12 @@ fn main() {
     if power_fault_rate.is_some() {
         settings.power_fault_rate = power_fault_rate;
     }
-    if ids.is_empty() {
+    if ids.is_empty() && !gateway {
         eprintln!(
             "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
              [--power-faults RATE] [--telemetry out.jsonl] [--audit] \
              [--audit-out LEAKAGE.json] [--trace TRACE.json] \
+             [--gateway [--sensors N] [--shards K] [--gateway-out GATEWAY.json]] \
              <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
@@ -146,6 +194,48 @@ fn main() {
         std::process::exit(2);
     }
     ids.dedup();
+
+    if gateway {
+        let mut config = age_bench::GatewayRunConfig::new(sensors);
+        config.shards = shards;
+        config.threads = if settings.threads > 0 {
+            settings.threads
+        } else {
+            shards
+        };
+        config.permutations = settings.permutations.min(500);
+        config.seed = settings.seed;
+        let start = Instant::now();
+        let run = age_bench::run_gateway(&config);
+        print!("{}", run.report);
+        println!("shard occupancy: {:?} sessions", run.occupancy);
+        #[cfg(feature = "telemetry")]
+        {
+            print!("{}", run.leakage);
+            println!(
+                "nonce audits (seal-side and gateway-side): {}",
+                if run.nonce_clean { "clean" } else { "VIOLATED" }
+            );
+        }
+        match std::fs::write(&gateway_out, run.gateway_json()) {
+            Ok(()) => println!("[gateway report written to {gateway_out}]"),
+            Err(e) => {
+                eprintln!("cannot write gateway report '{gateway_out}': {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "[gateway: {} sensors through {} shards in {:.1}s]\n",
+            sensors,
+            shards,
+            start.elapsed().as_secs_f64()
+        );
+        #[cfg(feature = "telemetry")]
+        if !run.gate_passed() || !run.nonce_clean {
+            eprintln!("gateway run FAILED its leakage gate or nonce audit");
+            std::process::exit(1);
+        }
+    }
 
     #[cfg(not(feature = "telemetry"))]
     {

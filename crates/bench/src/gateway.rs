@@ -1,0 +1,145 @@
+//! Shared fleet-gateway runner for `bench_gateway` and `repro --gateway`.
+//!
+//! Generates seeded fleet traffic with [`age_sim::fleet`], drains it
+//! through an [`age_gateway::Gateway`], and assembles `GATEWAY.json`:
+//! the deterministic artifact CI compares byte-for-byte across
+//! shard/thread configurations. Wall-clock numbers (throughput, ingest
+//! latency) are returned separately and never enter that artifact.
+
+use std::time::Instant;
+
+use age_gateway::{FleetReport, Gateway, LatencyHistogram};
+use age_sim::fleet::{fleet_gateway_config, generate, FleetConfig};
+
+#[cfg(feature = "telemetry")]
+use crate::audit::default_gate;
+#[cfg(feature = "telemetry")]
+use age_telemetry::LeakageReport;
+
+/// Shape of one gateway run.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayRunConfig {
+    /// Simulated sensors.
+    pub sensors: u64,
+    /// Frames each sensor transmits.
+    pub frames_per_sensor: usize,
+    /// Session-table shards.
+    pub shards: usize,
+    /// Worker threads for the drain (clamped to the shard count).
+    pub threads: usize,
+    /// Fleet seed (keys, events, phases).
+    pub seed: u64,
+    /// Permutations for the leakage report's p-values.
+    pub permutations: usize,
+    /// Record per-frame wall-clock ingest latency.
+    pub record_latency: bool,
+}
+
+impl GatewayRunConfig {
+    /// The standard fleet benchmark shape at `sensors` sensors.
+    pub fn new(sensors: u64) -> GatewayRunConfig {
+        GatewayRunConfig {
+            sensors,
+            frames_per_sensor: 4,
+            shards: 4,
+            threads: 4,
+            seed: 2022,
+            permutations: 200,
+            record_latency: false,
+        }
+    }
+}
+
+/// Everything one run produces. Deterministic pieces (`report`,
+/// `gateway_json`) depend only on the traffic; timing pieces depend on
+/// the machine.
+pub struct GatewayRun {
+    /// The deterministic fleet rollup.
+    pub report: FleetReport,
+    /// Sessions per shard.
+    pub occupancy: Vec<usize>,
+    /// Merged ingest latency (empty unless `record_latency`).
+    pub latency: LatencyHistogram,
+    /// Wall-clock seconds spent draining the traffic.
+    pub ingest_seconds: f64,
+    /// Wall-clock seconds spent synthesizing the traffic.
+    pub generate_seconds: f64,
+    /// Scored leakage report over the aggregated fleet traffic, with
+    /// the pinned gate verdict stamped.
+    #[cfg(feature = "telemetry")]
+    pub leakage: LeakageReport,
+    /// Seal-side and gateway-side nonce audits both clean.
+    #[cfg(feature = "telemetry")]
+    pub nonce_clean: bool,
+}
+
+impl GatewayRun {
+    /// Whether the two-channel leakage gate passed on fleet traffic.
+    #[cfg(feature = "telemetry")]
+    pub fn gate_passed(&self) -> bool {
+        self.leakage.gate.as_ref().is_some_and(|g| g.passed)
+    }
+
+    /// `GATEWAY.json`: the deterministic run artifact. Byte-identical
+    /// for a given `(sensors, frames, seed)` at any shard or thread
+    /// count — CI's determinism leg relies on exactly this.
+    pub fn gateway_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"version\": 1,\n\"fleet\": ");
+        out.push_str(&self.report.to_json());
+        #[cfg(feature = "telemetry")]
+        {
+            out.push_str(",\n\"nonce_clean\": ");
+            out.push_str(if self.nonce_clean { "true" } else { "false" });
+            out.push_str(",\n\"leakage\": ");
+            out.push_str(&self.leakage.to_json());
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs one fleet through one gateway.
+pub fn run_gateway(config: &GatewayRunConfig) -> GatewayRun {
+    let mut fleet = FleetConfig::new(config.sensors, config.seed);
+    fleet.frames_per_sensor = config.frames_per_sensor;
+
+    let generate_start = Instant::now();
+    let traffic = generate(&fleet);
+    let generate_seconds = generate_start.elapsed().as_secs_f64();
+
+    let mut gateway_config = fleet_gateway_config(&fleet, config.shards);
+    gateway_config.record_latency = config.record_latency;
+    let mut gateway = Gateway::new(gateway_config);
+    for sensor_id in 0..fleet.sensors {
+        // cohort_of is always in range for the fleet's two cohorts.
+        let _ = gateway.provision(sensor_id, fleet.cohort_of(sensor_id));
+    }
+
+    let ingest_start = Instant::now();
+    gateway.run(&traffic.frames, config.threads);
+    let ingest_seconds = ingest_start.elapsed().as_secs_f64();
+
+    #[cfg(feature = "telemetry")]
+    let leakage = {
+        let mut report = gateway
+            .leakage_audit()
+            .report(config.permutations, config.seed);
+        report.gate = Some(default_gate().evaluate(&report.entries));
+        report
+    };
+    #[cfg(feature = "telemetry")]
+    let nonce_clean = traffic.sealed_nonces.is_clean() && gateway.nonce_audit().is_clean();
+
+    GatewayRun {
+        report: gateway.fleet_report(),
+        occupancy: gateway.shard_occupancy(),
+        latency: gateway.latency(),
+        ingest_seconds,
+        generate_seconds,
+        #[cfg(feature = "telemetry")]
+        leakage,
+        #[cfg(feature = "telemetry")]
+        nonce_clean,
+    }
+}

@@ -144,6 +144,50 @@ impl Encoder for StandardEncoder {
         }
         Ok(batch)
     }
+
+    fn decode_into(
+        &self,
+        message: &[u8],
+        cfg: &BatchConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Batch,
+    ) -> Result<(), DecodeError> {
+        let _ = scratch;
+        let fmt = cfg.format();
+        let mut r = BitReader::new(message);
+        let k = usize::from(r.read_u16()?);
+        if k > cfg.max_len() {
+            return Err(DecodeError::Corrupt(
+                "measurement count exceeds batch maximum",
+            ));
+        }
+        // Exact-length check up front: the declared count fixes the layout.
+        let expected = cfg.standard_message_bytes(k);
+        if message.len() != expected {
+            return Err(DecodeError::Length {
+                len: message.len(),
+                expected,
+            });
+        }
+        out.clear();
+        let (indices, values) = out.parts_mut();
+        indices.reserve(k);
+        values.reserve(k * cfg.features());
+        for _ in 0..k {
+            let index = r.read_bits(cfg.index_bits())? as usize;
+            if index >= cfg.max_len() {
+                return Err(DecodeError::Corrupt("decoded index out of range"));
+            }
+            if indices.last().is_some_and(|&prev| prev >= index) {
+                return Err(DecodeError::Corrupt("decoded indices not increasing"));
+            }
+            indices.push(index);
+            for _ in 0..cfg.features() {
+                values.push(fmt.dequantize(fmt.from_bits(r.read_bits(fmt.width())?)));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The padding defense (BuFLO-style, §5.1): standard encoding padded with
@@ -401,5 +445,27 @@ mod tests {
             .decode(&StandardEncoder.encode(&Batch::empty(), &c).unwrap(), &c)
             .unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn standard_decode_into_matches_decode() {
+        let c = cfg();
+        let mut scratch = EncodeScratch::default();
+        let mut out = Batch::empty();
+        for k in [0, 1, 7, 50] {
+            let msg = StandardEncoder.encode(&batch(k), &c).unwrap();
+            StandardEncoder
+                .decode_into(&msg, &c, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, StandardEncoder.decode(&msg, &c).unwrap());
+        }
+        // Both reject a truncated and an extended message.
+        let msg = StandardEncoder.encode(&batch(3), &c).unwrap();
+        for bad in [&msg[..msg.len() - 1], &[msg.clone(), vec![0]].concat()[..]] {
+            assert!(StandardEncoder
+                .decode_into(bad, &c, &mut scratch, &mut out)
+                .is_err());
+            assert!(StandardEncoder.decode(bad, &c).is_err());
+        }
     }
 }

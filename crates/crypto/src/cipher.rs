@@ -70,7 +70,12 @@ impl std::error::Error for OpenError {}
 /// [`Cipher::message_len`]`(plaintext.len())` bytes: the attacker in the
 /// paper's threat model observes only this length, so the simulator relies
 /// on it being exact.
-pub trait Cipher {
+///
+/// `Send + Sync` is a supertrait so boxed ciphers (and the sessions that
+/// hold them) can migrate across the gateway's shard worker threads;
+/// every cipher here is plain key material plus counters, so this costs
+/// implementations nothing.
+pub trait Cipher: Send + Sync {
     /// Stream or block construction.
     fn kind(&self) -> CipherKind;
 

@@ -1,0 +1,152 @@
+//! A fixed-bucket log2 latency histogram for ingest timing.
+//!
+//! Wall-clock ingest latency is a *diagnostic*, not part of the
+//! deterministic fleet report (it varies run to run by nature), so it
+//! lives in its own type that [`FleetReport`](crate::FleetReport) never
+//! embeds. Buckets are powers of two in nanoseconds: recording is two
+//! instructions, merging is elementwise addition (commutative and
+//! associative, like every other gateway rollup), and the quantile
+//! error is bounded by one octave — plenty for a p99 regression gate.
+
+/// Power-of-two nanosecond buckets; bucket `i` covers `[2^(i-1), 2^i)`
+/// with bucket 0 holding sub-nanosecond (i.e. clamped zero) samples.
+const BUCKETS: usize = 64;
+
+/// Histogram of per-frame ingest latencies in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        (self.sum_ns / u128::from(self.count)) as u64
+    }
+
+    /// Nearest-rank quantile, reported as the upper bound of the bucket
+    /// holding that rank (so the estimate never understates latency).
+    /// `q` is clamped to `[0, 1]`; returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The p99 ingest latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// The median ingest latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples_from_above() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 falls in the bucket holding 200–256 ns.
+        assert!(h.p50_ns() >= 200 && h.p50_ns() <= 512);
+        // p99 lands on the outlier's bucket.
+        assert!(h.p99_ns() >= 100_000 && h.p99_ns() <= 262_144);
+    }
+
+    #[test]
+    fn merge_matches_single_recording() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let ns = i * 37 + 1;
+            all.record(ns);
+            if i % 2 == 0 {
+                a.record(ns)
+            } else {
+                b.record(ns)
+            }
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn extreme_samples_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,78 @@
+//! One sensor's server-side session state.
+//!
+//! The session table maps sensor id → (receive keys, replay window,
+//! epoch, per-sensor leakage histograms). Everything a shard rolls up
+//! at report time is either kept here per sensor or merged
+//! commutatively, which is what lets the fleet report come out
+//! byte-identical at any shard or thread count.
+
+use age_crypto::ChaCha20Poly1305;
+#[cfg(feature = "telemetry")]
+use age_telemetry::LeakageStream;
+use age_transport::Receiver;
+
+/// Sequence numbers a fresh receiver will tolerate skipping ahead —
+/// generous enough for lossy fleets, small enough that a corrupted
+/// header cannot slide the replay window out from under live traffic.
+pub(crate) const MAX_SKIP: u64 = 1024;
+
+/// Server-side state for one provisioned sensor.
+pub(crate) struct Session {
+    /// Authenticates and replay-checks this sensor's frames.
+    pub(crate) receiver: Receiver,
+    /// Index into the gateway's cohort table (selects the decoder and
+    /// the leakage stream name).
+    pub(crate) cohort: usize,
+    /// Key epoch, forwarded into the nonce audit so reuse across a
+    /// rekey is distinguishable from reuse within one.
+    pub(crate) epoch: u64,
+    /// Virtual send stamp of the last *accepted* frame; the anchor for
+    /// per-sensor inter-transmission gaps. Kept per session because the
+    /// fleet interleaves sensors arbitrarily — a shared gap clock would
+    /// measure the interleaving, not any sensor's cadence.
+    pub(crate) last_send_us: Option<u64>,
+    /// Size histogram of this sensor's accepted frames.
+    #[cfg(feature = "telemetry")]
+    pub(crate) sizes: LeakageStream,
+    /// Gap histogram of this sensor's accepted frames.
+    #[cfg(feature = "telemetry")]
+    pub(crate) gaps: LeakageStream,
+}
+
+impl Session {
+    /// A fresh session over `key` in `cohort`.
+    pub(crate) fn new(key: [u8; 32], cohort: usize, epoch: u64) -> Session {
+        Session {
+            receiver: Receiver::with_max_skip(Box::new(ChaCha20Poly1305::new(key)), MAX_SKIP),
+            cohort,
+            epoch,
+            last_send_us: None,
+            #[cfg(feature = "telemetry")]
+            sizes: LeakageStream::default(),
+            #[cfg(feature = "telemetry")]
+            gaps: LeakageStream::default(),
+        }
+    }
+
+    /// Feeds one accepted frame into the session's leakage histograms:
+    /// the wire size always, and — when this is not the session's first
+    /// frame and the stamp advanced — the gap since the previous accept,
+    /// labeled with the arriving frame's event (matching
+    /// `LeakageAudit::observe_timed` semantics exactly).
+    pub(crate) fn observe_accepted(&mut self, event: usize, wire_len: usize, sent_at_us: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.sizes.observe(event, wire_len);
+            if let Some(prev) = self.last_send_us {
+                if sent_at_us > prev {
+                    self.gaps.observe(event, (sent_at_us - prev) as usize);
+                }
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (event, wire_len);
+        // A non-advancing stamp is a sensor clock restart; no gap is
+        // recorded across the seam, same as `LeakageAudit::observe_timed`.
+        self.last_send_us = Some(sent_at_us);
+    }
+}

@@ -1,0 +1,293 @@
+//! One shard of the session table plus its ingest hot path.
+//!
+//! A shard owns a disjoint slice of the fleet's sessions (selected by
+//! [`shard_of`](crate::shard_of)) and all the scratch buffers the
+//! open→decode path needs, so steady-state ingest touches no heap and
+//! takes no locks. Every rollup a shard accumulates — counters, cohort
+//! stats, nonce sets, leakage histograms held by its sessions — merges
+//! commutatively, which is the whole determinism story: any partition
+//! of the fleet into shards, processed by any number of threads, folds
+//! to the same bytes.
+
+use std::collections::BTreeMap;
+
+use age_core::{Batch, EncodeScratch};
+#[cfg(feature = "telemetry")]
+use age_telemetry::FleetNonceAudit;
+use age_transport::{ReceiveError, ReceiverStats};
+
+use crate::frame::{FleetFrame, GatewayError, HeaderError, HEADER_LEN};
+use crate::gateway::GatewayConfig;
+use crate::latency::LatencyHistogram;
+use crate::session::Session;
+
+/// Datagram-level counters for one shard (or, after merging, the
+/// fleet). Every arrival lands in exactly one of `accepted` or a
+/// rejection counter, so `frames` always equals their sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Datagrams that arrived at the shard.
+    pub frames: u64,
+    /// Attacker-visible bytes across all arrivals, accepted or not.
+    pub wire_bytes: u64,
+    /// Frames that authenticated, passed replay checks, and decoded.
+    pub accepted: u64,
+    /// Plaintext payload bytes recovered from accepted frames.
+    pub payload_bytes: u64,
+    /// Measurements recovered from accepted frames.
+    pub decoded_values: u64,
+    /// Datagrams shorter than the addressing header.
+    pub header_truncated: u64,
+    /// Datagrams over the configured size ceiling.
+    pub header_oversized: u64,
+    /// Datagrams addressed to sensors with no session.
+    pub unknown_sensor: u64,
+    /// Frames whose AEAD tag failed (includes cross-sensor replays).
+    pub auth_failed: u64,
+    /// Frames rejected by a session's replay window.
+    pub replay_rejected: u64,
+    /// Frames whose sequence jumped past the far-future guard.
+    pub far_future: u64,
+    /// Frames too short to carry a sequence number.
+    pub missing_sequence: u64,
+    /// Frames that authenticated but whose payload failed to decode.
+    pub decode_failed: u64,
+}
+
+impl ShardStats {
+    /// Total rejected datagrams.
+    pub fn rejected(&self) -> u64 {
+        self.header_truncated
+            + self.header_oversized
+            + self.unknown_sensor
+            + self.auth_failed
+            + self.replay_rejected
+            + self.far_future
+            + self.missing_sequence
+            + self.decode_failed
+    }
+
+    /// Folds another shard's counters into this one (commutative).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.frames += other.frames;
+        self.wire_bytes += other.wire_bytes;
+        self.accepted += other.accepted;
+        self.payload_bytes += other.payload_bytes;
+        self.decoded_values += other.decoded_values;
+        self.header_truncated += other.header_truncated;
+        self.header_oversized += other.header_oversized;
+        self.unknown_sensor += other.unknown_sensor;
+        self.auth_failed += other.auth_failed;
+        self.replay_rejected += other.replay_rejected;
+        self.far_future += other.far_future;
+        self.missing_sequence += other.missing_sequence;
+        self.decode_failed += other.decode_failed;
+    }
+}
+
+/// Per-cohort accepted-traffic rollup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CohortStats {
+    /// Sensors provisioned into the cohort.
+    pub sensors: u64,
+    /// Frames accepted from the cohort's sensors.
+    pub frames: u64,
+    /// Wire bytes of those frames (header included).
+    pub wire_bytes: u64,
+    /// Smallest accepted wire frame (`usize::MAX` until one arrives).
+    pub min_wire_bytes: usize,
+    /// Largest accepted wire frame.
+    pub max_wire_bytes: usize,
+    /// Measurements decoded from the cohort's frames.
+    pub decoded_values: u64,
+}
+
+impl Default for CohortStats {
+    fn default() -> Self {
+        CohortStats {
+            sensors: 0,
+            frames: 0,
+            wire_bytes: 0,
+            min_wire_bytes: usize::MAX,
+            max_wire_bytes: 0,
+            decoded_values: 0,
+        }
+    }
+}
+
+impl CohortStats {
+    fn note(&mut self, wire_len: usize, decoded: usize) {
+        self.frames += 1;
+        self.wire_bytes += wire_len as u64;
+        self.min_wire_bytes = self.min_wire_bytes.min(wire_len);
+        self.max_wire_bytes = self.max_wire_bytes.max(wire_len);
+        self.decoded_values += decoded as u64;
+    }
+
+    /// Folds another shard's view of the same cohort into this one.
+    pub fn merge(&mut self, other: &CohortStats) {
+        self.sensors += other.sensors;
+        self.frames += other.frames;
+        self.wire_bytes += other.wire_bytes;
+        self.min_wire_bytes = self.min_wire_bytes.min(other.min_wire_bytes);
+        self.max_wire_bytes = self.max_wire_bytes.max(other.max_wire_bytes);
+        self.decoded_values += other.decoded_values;
+    }
+
+    /// `true` when every accepted frame had the same wire length — the
+    /// fleet-level constant-size invariant for a defended cohort.
+    pub fn wire_constant(&self) -> bool {
+        self.frames == 0 || self.min_wire_bytes == self.max_wire_bytes
+    }
+}
+
+/// One shard: a disjoint slice of the session table plus scratch.
+pub(crate) struct Shard {
+    sessions: BTreeMap<u64, Session>,
+    pub(crate) stats: ShardStats,
+    pub(crate) cohorts: Vec<CohortStats>,
+    #[cfg(feature = "telemetry")]
+    pub(crate) nonces: FleetNonceAudit,
+    pub(crate) latency: LatencyHistogram,
+    payload: Vec<u8>,
+    decoded: Batch,
+    scratch: EncodeScratch,
+}
+
+impl Shard {
+    pub(crate) fn new(cohorts: usize) -> Shard {
+        Shard {
+            sessions: BTreeMap::new(),
+            stats: ShardStats::default(),
+            cohorts: vec![CohortStats::default(); cohorts],
+            #[cfg(feature = "telemetry")]
+            nonces: FleetNonceAudit::default(),
+            latency: LatencyHistogram::new(),
+            payload: Vec::new(),
+            decoded: Batch::empty(),
+            scratch: EncodeScratch::new(),
+        }
+    }
+
+    pub(crate) fn sessions(&self) -> &BTreeMap<u64, Session> {
+        &self.sessions
+    }
+
+    pub(crate) fn occupancy(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub(crate) fn insert_session(&mut self, sensor_id: u64, session: Session) {
+        let cohort = session.cohort;
+        // Re-provisioning replaces the session; keep cohort headcounts
+        // exact either way.
+        if let Some(old) = self.sessions.insert(sensor_id, session) {
+            if let Some(stats) = self.cohorts.get_mut(old.cohort) {
+                stats.sensors = stats.sensors.saturating_sub(1);
+            }
+        }
+        if let Some(stats) = self.cohorts.get_mut(cohort) {
+            stats.sensors += 1;
+        }
+    }
+
+    /// Summed per-receiver stats across the shard's sessions — the
+    /// cross-check that session-level and shard-level accounting agree.
+    pub(crate) fn receiver_stats(&self) -> ReceiverStats {
+        let mut total = ReceiverStats::default();
+        for session in self.sessions.values() {
+            total.merge(session.receiver.stats());
+        }
+        total
+    }
+
+    /// Ingests one datagram: header checks, session lookup,
+    /// authenticate/replay-check, decode, rollups. Returns the accepted
+    /// frame's sequence number. Steady-state (all event classes seen
+    /// once) this allocates nothing: the payload buffer, decode batch,
+    /// and scratch are shard-owned, and every histogram bin already
+    /// exists.
+    pub(crate) fn ingest(
+        &mut self,
+        frame: &FleetFrame,
+        config: &GatewayConfig,
+    ) -> Result<u64, GatewayError> {
+        let started = config.record_latency.then(std::time::Instant::now);
+        let result = self.ingest_inner(frame, config);
+        if let Some(t0) = started {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.latency.record(ns);
+        }
+        result
+    }
+
+    fn ingest_inner(
+        &mut self,
+        frame: &FleetFrame,
+        config: &GatewayConfig,
+    ) -> Result<u64, GatewayError> {
+        let wire = frame.wire.as_slice();
+        self.stats.frames += 1;
+        self.stats.wire_bytes += wire.len() as u64;
+        if wire.len() < HEADER_LEN {
+            self.stats.header_truncated += 1;
+            return Err(GatewayError::Header(HeaderError::Truncated {
+                len: wire.len(),
+            }));
+        }
+        if wire.len() > config.max_datagram_len {
+            self.stats.header_oversized += 1;
+            return Err(GatewayError::Header(HeaderError::Oversized {
+                len: wire.len(),
+                max: config.max_datagram_len,
+            }));
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&wire[..HEADER_LEN]);
+        let sensor_id = u64::from_le_bytes(header);
+        let Some(session) = self.sessions.get_mut(&sensor_id) else {
+            self.stats.unknown_sensor += 1;
+            return Err(GatewayError::UnknownSensor { sensor_id });
+        };
+        let sequence = session
+            .receiver
+            .receive_into(&wire[HEADER_LEN..], &mut self.payload)
+            .map_err(|e| {
+                match e {
+                    ReceiveError::Cipher(_) => self.stats.auth_failed += 1,
+                    ReceiveError::Replay(_) => self.stats.replay_rejected += 1,
+                    ReceiveError::FarFuture { .. } => self.stats.far_future += 1,
+                    ReceiveError::MissingSequence => self.stats.missing_sequence += 1,
+                }
+                GatewayError::Receive(e)
+            })?;
+        let Some(cohort) = config.cohorts.get(session.cohort) else {
+            self.stats.decode_failed += 1;
+            return Err(GatewayError::UnknownCohort {
+                cohort: session.cohort,
+            });
+        };
+        cohort
+            .encoder
+            .decode_into(
+                &self.payload,
+                &config.batch,
+                &mut self.scratch,
+                &mut self.decoded,
+            )
+            .map_err(|e| {
+                self.stats.decode_failed += 1;
+                GatewayError::Decode(e)
+            })?;
+        self.stats.accepted += 1;
+        self.stats.payload_bytes += self.payload.len() as u64;
+        self.stats.decoded_values += self.decoded.len() as u64;
+        if let Some(stats) = self.cohorts.get_mut(session.cohort) {
+            stats.note(wire.len(), self.decoded.len());
+        }
+        session.observe_accepted(frame.event, wire.len(), frame.sent_at_us);
+        #[cfg(feature = "telemetry")]
+        self.nonces.observe(sensor_id, session.epoch, sequence);
+        Ok(sequence)
+    }
+}

@@ -1,0 +1,144 @@
+//! Allocation regression for the per-shard steady-state ingest path.
+//!
+//! A gateway holding 100k+ sessions processes millions of frames; any
+//! per-frame allocation is a throughput cliff and a fragmentation
+//! hazard. After a warm-up pass has grown the shard's payload buffer,
+//! decode scratch, and created every histogram bin the traffic will
+//! touch (one size and one gap key per event class, the session's
+//! nonce run, the per-sensor BTree nodes), the full frame → open →
+//! decode → rollup path must not allocate at all.
+//!
+//! This test binary owns its `#[global_allocator]`; the counting
+//! allocator's counters are thread-local, so measurement runs on the
+//! single-frame `ingest` path (the multi-threaded `run` would spread
+//! counts across worker threads).
+
+use age_core::{AgeEncoder, Batch, BatchConfig, Encoder};
+use age_crypto::ChaCha20Poly1305;
+use age_fixed::Format;
+use age_gateway::{derive_key, Cohort, FleetFrame, Gateway, GatewayConfig};
+use age_telemetry::alloc::{self, CountingAllocator};
+use age_transport::Sensor;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const SEED: u64 = 7;
+const SENSOR: u64 = 5;
+
+fn batch_cfg() -> BatchConfig {
+    BatchConfig::new(25, 2, Format::new(16, 10).unwrap()).unwrap()
+}
+
+/// Valid frames from one AGE sensor on a constant cadence, cycling the
+/// three event classes. Constant frame size (AGE) + constant cadence
+/// means the session's histograms see exactly one (event, size) and one
+/// (event, gap) key per class — all created during warm-up.
+fn frames(count: usize) -> Vec<FleetFrame> {
+    let cfg = batch_cfg();
+    let age = AgeEncoder::new(160);
+    let mut sensor = Sensor::new(Box::new(ChaCha20Poly1305::new(derive_key(SEED, SENSOR))));
+    (0..count)
+        .map(|i| {
+            let event = i % 3;
+            let kept = 6 + event * 8;
+            let batch = Batch::new(
+                (0..kept).collect(),
+                (0..kept * 2).map(|v| (v as f64) * 0.25 - 3.0).collect(),
+            )
+            .unwrap();
+            let payload = age.encode(&batch, &cfg).unwrap();
+            let mut sealed = Vec::new();
+            sensor.seal_into(&payload, &mut sealed);
+            FleetFrame::encode(SENSOR, &sealed, event, (i as u64 + 1) * 260_000)
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_ingest_is_allocation_free() {
+    let config = GatewayConfig::new(
+        batch_cfg(),
+        vec![Cohort::new("AGE", Box::new(AgeEncoder::new(160)))],
+        SEED,
+        1,
+    );
+    let mut gateway = Gateway::new(config);
+    gateway.provision(SENSOR, 0).unwrap();
+
+    let all = frames(4 + 30);
+    // Warm-up: first frame of each event class plus one wrap-around, so
+    // every histogram key — (event, size) and (event, gap) for events
+    // 0, 1, 2 — and the session's nonce run exist before measurement.
+    let (warmup, steady) = all.split_at(4);
+    for frame in warmup {
+        gateway.ingest(frame).expect("warm-up frame accepted");
+    }
+
+    let before = alloc::snapshot();
+    for frame in steady {
+        gateway.ingest(frame).expect("steady-state frame accepted");
+    }
+    let delta = alloc::snapshot().since(before);
+    assert_eq!(
+        delta.allocations,
+        0,
+        "steady-state ingest allocated {} times ({} bytes) over {} frames",
+        delta.allocations,
+        delta.bytes,
+        steady.len(),
+    );
+
+    let report = gateway.fleet_report();
+    assert_eq!(report.stats.accepted, all.len() as u64);
+    assert_eq!(report.stats.rejected(), 0);
+}
+
+/// Rejections on the hot path must not allocate either: a flood of
+/// garbage datagrams is exactly when the gateway can least afford heap
+/// traffic.
+#[test]
+fn steady_state_rejections_are_allocation_free() {
+    let config = GatewayConfig::new(
+        batch_cfg(),
+        vec![Cohort::new("AGE", Box::new(AgeEncoder::new(160)))],
+        SEED,
+        1,
+    );
+    let mut gateway = Gateway::new(config);
+    gateway.provision(SENSOR, 0).unwrap();
+
+    let valid = frames(8);
+    // Warm the accept path (grows payload/scratch buffers).
+    for frame in &valid[..4] {
+        gateway.ingest(frame).expect("warm-up frame accepted");
+    }
+    // Pre-built hostile datagrams: truncated, unknown sensor, corrupted.
+    let truncated = FleetFrame {
+        wire: vec![1, 2, 3],
+        event: 0,
+        sent_at_us: 0,
+    };
+    let mut unknown = valid[4].clone();
+    unknown.wire[..8].copy_from_slice(&999u64.to_le_bytes());
+    let mut corrupt = valid[5].clone();
+    corrupt.wire[20] ^= 0xFF;
+    // Warm-up pass over each rejection class (counters are plain
+    // fields, but the first corrupt open may grow the payload buffer).
+    for frame in [&truncated, &unknown, &corrupt] {
+        gateway.ingest(frame).expect_err("hostile frame rejected");
+    }
+
+    let before = alloc::snapshot();
+    for _ in 0..10 {
+        for frame in [&truncated, &unknown, &corrupt] {
+            gateway.ingest(frame).expect_err("hostile frame rejected");
+        }
+    }
+    let delta = alloc::snapshot().since(before);
+    assert_eq!(
+        delta.allocations, 0,
+        "steady-state rejection allocated {} times ({} bytes)",
+        delta.allocations, delta.bytes,
+    );
+}

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod clock;
+pub mod fleet;
 pub mod node;
 mod runner;
 pub mod sweep;

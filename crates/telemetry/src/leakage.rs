@@ -364,6 +364,35 @@ mod audit {
             }
         }
 
+        /// Folds externally collected size and gap histograms into the
+        /// `(label, encoder)` stream. This is the entry point for fleet
+        /// gateways that keep one histogram pair per sensor session (the
+        /// per-`(label, encoder)` [`observe_timed`](Self::observe_timed)
+        /// gap state is arrival-order sensitive and would mis-measure
+        /// interleaved multi-sensor traffic): sessions extract their own
+        /// gaps against their own last-send stamp, and the pre-binned
+        /// counts merge here commutatively, so the absorbed audit is
+        /// byte-identical at any shard or thread count.
+        pub fn absorb(
+            &mut self,
+            label: &str,
+            encoder: &str,
+            sizes: &LeakageStream,
+            gaps: &LeakageStream,
+        ) {
+            self.streams
+                .entry((label.to_string(), encoder.to_string()))
+                .or_default()
+                .merge(sizes);
+            if gaps.total() > 0 {
+                self.gaps
+                    .entry((label.to_string(), encoder.to_string()))
+                    .or_default()
+                    .stream
+                    .merge(gaps);
+            }
+        }
+
         /// Folds another audit into this one. Commutative, so per-thread
         /// audits merge to the same state in any order. Exact for the
         /// timing channel as long as no single stream's arrivals were split

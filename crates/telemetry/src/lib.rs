@@ -55,7 +55,10 @@ pub use leakage::{
 };
 pub use metrics::{Counter, Histogram};
 #[cfg(feature = "audit")]
-pub use nonce::{begin_epoch, reset_epoch_counters, NonceAudit, NonceAuditSink, NonceReuse};
+pub use nonce::{
+    begin_epoch, reset_epoch_counters, FleetNonceAudit, FleetNonceReuse, NonceAudit,
+    NonceAuditSink, NonceReuse, SeqSet,
+};
 #[cfg(feature = "audit")]
 pub use record::WireRecord;
 pub use record::{BatchRecord, GroupRecord, StageTimings};

@@ -222,6 +222,281 @@ fn epoch_runs() -> &'static Mutex<BTreeMap<String, u64>> {
     EPOCH_RUNS.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// A set of `u64` sequence numbers stored as sorted, disjoint, inclusive
+/// runs.
+///
+/// Fleet traffic is overwhelmingly monotone — each sensor seals sequence
+/// `n + 1` right after `n` — so the common case is *extending the last run
+/// in place*, which touches no heap once the run vector has its working
+/// capacity. That is what lets a gateway shard audit per-sensor sequence
+/// uniqueness for millions of frames with zero steady-state allocations,
+/// where the string-keyed [`NonceAudit`] would allocate per frame.
+///
+/// Out-of-order arrivals (a replay window tolerates up to 64 of skew)
+/// create short-lived holes; inserts coalesce neighbouring runs as the
+/// holes fill, so the vector stays tiny.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqSet {
+    runs: Vec<(u64, u64)>,
+}
+
+impl SeqSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `seq`, returning `true` if it was newly added and `false`
+    /// if it was already present (a duplicate — for nonce auditing, a
+    /// reuse). Appending one past the highest run extends it in place
+    /// without allocating.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        let idx = self.runs.partition_point(|&(_, end)| end < seq);
+        if idx < self.runs.len() && self.runs[idx].0 <= seq {
+            return false;
+        }
+        let glue_left = idx > 0 && self.runs[idx - 1].1.checked_add(1) == Some(seq);
+        let glue_right = idx < self.runs.len() && seq.checked_add(1) == Some(self.runs[idx].0);
+        match (glue_left, glue_right) {
+            (true, true) => {
+                self.runs[idx - 1].1 = self.runs[idx].1;
+                self.runs.remove(idx);
+            }
+            (true, false) => self.runs[idx - 1].1 = seq,
+            (false, true) => self.runs[idx].0 = seq,
+            (false, false) => self.runs.insert(idx, (seq, seq)),
+        }
+        true
+    }
+
+    /// Whether `seq` is in the set.
+    pub fn contains(&self, seq: u64) -> bool {
+        let idx = self.runs.partition_point(|&(_, end)| end < seq);
+        idx < self.runs.len() && self.runs[idx].0 <= seq
+    }
+
+    /// Number of sequences covered (saturating at `u64::MAX`).
+    pub fn count(&self) -> u64 {
+        self.runs.iter().fold(0u64, |acc, &(start, end)| {
+            acc.saturating_add((end - start).saturating_add(1))
+        })
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The sorted, disjoint, inclusive runs.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// The set union. Used by the commutative fleet merge.
+    pub fn union(a: &SeqSet, b: &SeqSet) -> SeqSet {
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(a.runs.len() + b.runs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.runs.len() || j < b.runs.len() {
+            let take_a = j >= b.runs.len() || (i < a.runs.len() && a.runs[i].0 <= b.runs[j].0);
+            let next = if take_a {
+                let r = a.runs[i];
+                i += 1;
+                r
+            } else {
+                let r = b.runs[j];
+                j += 1;
+                r
+            };
+            match out.last_mut() {
+                Some(last) if next.0 <= last.1.saturating_add(1) => last.1 = last.1.max(next.1),
+                _ => out.push(next),
+            }
+        }
+        SeqSet { runs: out }
+    }
+
+    /// The set intersection. A non-empty intersection between two shards'
+    /// per-sensor sets is the cross-shard reuse signature the fleet merge
+    /// records as a violation.
+    pub fn intersection(a: &SeqSet, b: &SeqSet) -> SeqSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.runs.len() && j < b.runs.len() {
+            let lo = a.runs[i].0.max(b.runs[j].0);
+            let hi = a.runs[i].1.min(b.runs[j].1);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if a.runs[i].1 < b.runs[j].1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        SeqSet { runs: out }
+    }
+}
+
+/// One run of sequence numbers a fleet sensor sealed (or a gateway
+/// accepted) more than once within one key epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetNonceReuse {
+    /// The sensor whose session reused sequence numbers.
+    pub sensor_id: u64,
+    /// The key epoch the reuse happened in.
+    pub epoch: u64,
+    /// First reused sequence number of the run.
+    pub first: u64,
+    /// Last reused sequence number of the run (inclusive).
+    pub last: u64,
+}
+
+/// Run-wide nonce-uniqueness auditor keyed by **numeric sensor id**, built
+/// for fleet-scale ingest.
+///
+/// The string-keyed [`NonceAudit`] allocates an epoch `String` and a map
+/// node per observed frame, which is fine for a sweep of a few thousand
+/// frames but not for a gateway shard ingesting millions. This auditor
+/// keys per-sensor [`SeqSet`] interval sets by `(sensor id, epoch)`:
+/// observing a sensor's next monotone sequence extends the top run in
+/// place, so the steady-state ingest path performs **zero allocations**.
+///
+/// [`merge`](Self::merge) is commutative and associative (pure interval
+/// set algebra: union of the seen-sets, plus every pairwise intersection
+/// recorded as reuse), so per-shard auditors fold into byte-identical
+/// fleet state at any shard or thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetNonceAudit {
+    seen: BTreeMap<(u64, u64), SeqSet>,
+    reused: BTreeMap<(u64, u64), SeqSet>,
+    frames: u64,
+}
+
+impl FleetNonceAudit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sealed (or accepted) frame for `(sensor_id, epoch)`.
+    /// A sequence observed twice within one epoch is recorded as a reuse.
+    pub fn observe(&mut self, sensor_id: u64, epoch: u64, sequence: u64) {
+        self.frames += 1;
+        if !self
+            .seen
+            .entry((sensor_id, epoch))
+            .or_default()
+            .insert(sequence)
+        {
+            self.reused
+                .entry((sensor_id, epoch))
+                .or_default()
+                .insert(sequence);
+        }
+    }
+
+    /// Folds another audit in. Commutative and associative: the seen-sets
+    /// union, and any overlap between two audits' per-sensor sets — the
+    /// same `(sensor, epoch, sequence)` observed on both sides — is
+    /// recorded as reuse, exactly as if the frames had been observed by a
+    /// single auditor.
+    pub fn merge(&mut self, other: &FleetNonceAudit) {
+        self.frames += other.frames;
+        for (key, set) in &other.seen {
+            match self.seen.get_mut(key) {
+                Some(mine) => {
+                    let overlap = SeqSet::intersection(mine, set);
+                    if !overlap.is_empty() {
+                        let r = self.reused.entry(*key).or_default();
+                        *r = SeqSet::union(r, &overlap);
+                    }
+                    *mine = SeqSet::union(mine, set);
+                }
+                None => {
+                    self.seen.insert(*key, set.clone());
+                }
+            }
+        }
+        for (key, set) in &other.reused {
+            let r = self.reused.entry(*key).or_default();
+            *r = SeqSet::union(r, set);
+        }
+    }
+
+    /// Total frames observed.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Distinct sensor ids observed.
+    pub fn sensors(&self) -> usize {
+        let mut n = 0;
+        let mut last = None;
+        for &(sensor, _) in self.seen.keys() {
+            if last != Some(sensor) {
+                n += 1;
+                last = Some(sensor);
+            }
+        }
+        n
+    }
+
+    /// Total distinct `(sensor, epoch, sequence)` triples observed.
+    pub fn distinct(&self) -> u64 {
+        self.seen
+            .values()
+            .fold(0u64, |acc, set| acc.saturating_add(set.count()))
+    }
+
+    /// `true` when no sequence was observed twice for any sensor/epoch.
+    pub fn is_clean(&self) -> bool {
+        self.reused.values().all(SeqSet::is_empty)
+    }
+
+    /// Every reused sequence run, in `(sensor, epoch, sequence)` order.
+    /// Runs keep the report bounded even if a whole session was replayed.
+    pub fn violations(&self) -> Vec<FleetNonceReuse> {
+        self.reused
+            .iter()
+            .flat_map(|(&(sensor_id, epoch), set)| {
+                set.runs()
+                    .iter()
+                    .map(move |&(first, last)| FleetNonceReuse {
+                        sensor_id,
+                        epoch,
+                        first,
+                        last,
+                    })
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for FleetNonceAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} frames from {} sensors, {} distinct (sensor, epoch, seq) triples",
+            self.frames(),
+            self.sensors(),
+            self.distinct()
+        )?;
+        let violations = self.violations();
+        if violations.is_empty() {
+            writeln!(f, "  all per-sensor nonces unique")
+        } else {
+            for v in violations {
+                writeln!(
+                    f,
+                    "  NONCE REUSED: sensor={} epoch={} seq={}..={}",
+                    v.sensor_id, v.epoch, v.first, v.last
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +585,135 @@ mod tests {
         assert_eq!(begin_epoch("cellA"), "cellA#1");
         reset_epoch_counters();
         assert_eq!(begin_epoch("cellA"), "cellA#0");
+    }
+
+    #[test]
+    fn seq_set_coalesces_runs_and_rejects_duplicates() {
+        let mut set = SeqSet::new();
+        // Monotone appends extend a single run.
+        for seq in 0..100u64 {
+            assert!(set.insert(seq), "seq {seq} should be new");
+        }
+        assert_eq!(set.runs(), &[(0, 99)]);
+        assert_eq!(set.count(), 100);
+        // Duplicates anywhere in the run are rejected.
+        assert!(!set.insert(0));
+        assert!(!set.insert(50));
+        assert!(!set.insert(99));
+        // A gap opens a new run; filling it coalesces back to one.
+        assert!(set.insert(102));
+        assert_eq!(set.runs(), &[(0, 99), (102, 102)]);
+        assert!(set.insert(100));
+        assert!(set.insert(101));
+        assert_eq!(set.runs(), &[(0, 102)]);
+        assert!(set.contains(101));
+        assert!(!set.contains(103));
+    }
+
+    #[test]
+    fn seq_set_handles_u64_extremes_without_overflow() {
+        let mut set = SeqSet::new();
+        assert!(set.insert(u64::MAX));
+        assert!(set.insert(u64::MAX - 1));
+        assert!(!set.insert(u64::MAX));
+        assert!(set.insert(0));
+        assert_eq!(set.runs(), &[(0, 0), (u64::MAX - 1, u64::MAX)]);
+        assert_eq!(set.count(), 3);
+    }
+
+    #[test]
+    fn seq_set_union_and_intersection_are_exact() {
+        let mut a = SeqSet::new();
+        let mut b = SeqSet::new();
+        for seq in [1u64, 2, 3, 10, 11, 20] {
+            a.insert(seq);
+        }
+        for seq in [3u64, 4, 11, 12, 30] {
+            b.insert(seq);
+        }
+        let union = SeqSet::union(&a, &b);
+        assert_eq!(union.runs(), &[(1, 4), (10, 12), (20, 20), (30, 30)]);
+        let both = SeqSet::intersection(&a, &b);
+        assert_eq!(both.runs(), &[(3, 3), (11, 11)]);
+        // Union/intersection commute.
+        assert_eq!(union, SeqSet::union(&b, &a));
+        assert_eq!(both, SeqSet::intersection(&b, &a));
+    }
+
+    #[test]
+    fn fleet_audit_is_clean_on_unique_sequences() {
+        let mut audit = FleetNonceAudit::new();
+        for sensor in 0..10u64 {
+            for seq in 0..50u64 {
+                audit.observe(sensor, 0, seq);
+            }
+        }
+        assert!(audit.is_clean());
+        assert_eq!(audit.frames(), 500);
+        assert_eq!(audit.sensors(), 10);
+        assert_eq!(audit.distinct(), 500);
+        assert!(audit.to_string().contains("all per-sensor nonces unique"));
+    }
+
+    #[test]
+    fn fleet_audit_catches_reuse_within_and_across_epochs() {
+        let mut audit = FleetNonceAudit::new();
+        audit.observe(7, 0, 3);
+        audit.observe(7, 0, 3); // reuse
+        audit.observe(7, 1, 3); // new epoch: fine
+        audit.observe(8, 0, 3); // other sensor: fine
+        assert!(!audit.is_clean());
+        let violations = audit.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            (
+                violations[0].sensor_id,
+                violations[0].epoch,
+                violations[0].first
+            ),
+            (7, 0, 3)
+        );
+        assert!(audit.to_string().contains("NONCE REUSED: sensor=7"));
+    }
+
+    #[test]
+    fn fleet_merge_is_commutative_and_matches_single_observer() {
+        // Split one fleet's frames across two "shards" (disjoint sensors)
+        // plus a deliberate cross-shard overlap for sensor 5.
+        let mut a = FleetNonceAudit::new();
+        let mut b = FleetNonceAudit::new();
+        let mut whole = FleetNonceAudit::new();
+        for seq in 0..40u64 {
+            a.observe(1, 0, seq);
+            whole.observe(1, 0, seq);
+            b.observe(2, 0, seq);
+            whole.observe(2, 0, seq);
+        }
+        for seq in 0..10u64 {
+            a.observe(5, 0, seq);
+            whole.observe(5, 0, seq);
+            b.observe(5, 0, seq + 5); // [5, 10) seen by both
+            whole.observe(5, 0, seq + 5);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+        assert!(!ab.is_clean());
+        let violations = ab.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!((violations[0].first, violations[0].last), (5, 9));
+        // Three-way associativity: ((a+b)+c) == (a+(b+c)).
+        let mut c = FleetNonceAudit::new();
+        c.observe(5, 0, 7); // overlaps both halves
+        let mut abc1 = ab.clone();
+        abc1.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut abc2 = a.clone();
+        abc2.merge(&bc);
+        assert_eq!(abc1, abc2);
     }
 }

@@ -61,7 +61,9 @@ mod persist;
 mod replay;
 
 pub use fault::{ChannelStats, FaultChannel, FaultPlan};
-pub use link::{Delivery, Link, LinkStats, ReceiveError, Receiver, RetryPolicy, Sensor};
+pub use link::{
+    Delivery, Link, LinkStats, ReceiveError, Receiver, ReceiverStats, RetryPolicy, Sensor,
+};
 pub use persist::{
     JournalError, JournalStats, NvmFaultPlan, NvmStats, NvmStore, RecoveredState, SequenceJournal,
 };

@@ -158,6 +158,45 @@ impl Sensor {
     }
 }
 
+/// Per-receiver frame counters.
+///
+/// The process-global metrics aggregate every receiver in the process; a
+/// gateway serving many sensors needs the same accounting *per session* so
+/// a fleet report can attribute rejections to the sensor (and shard) they
+/// happened on. All fields are plain counts, so [`merge`](Self::merge) is
+/// commutative and associative — per-shard rollups fold into identical
+/// fleet totals at any shard count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Frames that authenticated and cleared the replay window.
+    pub accepted: u64,
+    /// Frames whose decryption/authentication failed.
+    pub auth_failed: u64,
+    /// Frames the replay window rejected (duplicate or stale).
+    pub replay_rejected: u64,
+    /// Frames rejected by the far-future guard.
+    pub far_future: u64,
+    /// Frames too short to carry a sequence number.
+    pub missing_sequence: u64,
+}
+
+impl ReceiverStats {
+    /// Total frames this receiver rejected, for any reason.
+    pub fn rejected(&self) -> u64 {
+        self.auth_failed + self.replay_rejected + self.far_future + self.missing_sequence
+    }
+
+    /// Folds another receiver's counters in (counts add, so merge order
+    /// never matters).
+    pub fn merge(&mut self, other: &ReceiverStats) {
+        self.accepted += other.accepted;
+        self.auth_failed += other.auth_failed;
+        self.replay_rejected += other.replay_rejected;
+        self.far_future += other.far_future;
+        self.missing_sequence += other.missing_sequence;
+    }
+}
+
 /// The server half: opens frames, enforces the replay window, and degrades
 /// gracefully — every malformed, forged, replayed, or stale frame becomes a
 /// [`ReceiveError`], never a panic.
@@ -165,6 +204,7 @@ pub struct Receiver {
     cipher: Box<dyn Cipher>,
     window: ReplayWindow,
     max_skip: u64,
+    stats: ReceiverStats,
 }
 
 impl Receiver {
@@ -178,12 +218,27 @@ impl Receiver {
             cipher,
             window: ReplayWindow::new(),
             max_skip: Self::MAX_SKIP,
+            stats: ReceiverStats::default(),
         }
+    }
+
+    /// A receiver with a custom far-future guard distance (sessions whose
+    /// senders legitimately skip far ahead, or fuzz harnesses probing the
+    /// guard, tighten or widen it here).
+    pub fn with_max_skip(cipher: Box<dyn Cipher>, max_skip: u64) -> Self {
+        let mut receiver = Receiver::new(cipher);
+        receiver.max_skip = max_skip;
+        receiver
     }
 
     /// The replay window's highest accepted sequence number, if any.
     pub fn highest_sequence(&self) -> Option<u64> {
         self.window.highest()
+    }
+
+    /// This receiver's accept/reject counters.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
     }
 
     /// Opens one frame: authenticates/decrypts, then runs the sequence
@@ -212,11 +267,15 @@ impl Receiver {
         frame: &[u8],
         payload: &mut Vec<u8>,
     ) -> Result<u64, ReceiveError> {
-        let sequence = self
-            .cipher
-            .sequence_of(frame)
-            .ok_or(ReceiveError::MissingSequence)?;
+        let sequence = match self.cipher.sequence_of(frame) {
+            Some(sequence) => sequence,
+            None => {
+                self.stats.missing_sequence += 1;
+                return Err(ReceiveError::MissingSequence);
+            }
+        };
         self.cipher.open_into(frame, payload).map_err(|e| {
+            self.stats.auth_failed += 1;
             #[cfg(feature = "telemetry")]
             age_telemetry::metrics::global::FRAMES_AUTH_FAILED.add(1);
             ReceiveError::Cipher(e)
@@ -226,15 +285,18 @@ impl Receiver {
             .highest()
             .map_or(self.max_skip, |h| h.saturating_add(self.max_skip));
         if sequence > limit {
+            self.stats.far_future += 1;
             #[cfg(feature = "telemetry")]
             age_telemetry::metrics::global::FRAMES_FAR_FUTURE.add(1);
             return Err(ReceiveError::FarFuture { sequence, limit });
         }
         self.window.observe(sequence).map_err(|e| {
+            self.stats.replay_rejected += 1;
             #[cfg(feature = "telemetry")]
             age_telemetry::metrics::global::FRAMES_REPLAY_REJECTED.add(1);
             ReceiveError::Replay(e)
         })?;
+        self.stats.accepted += 1;
         Ok(sequence)
     }
 }
