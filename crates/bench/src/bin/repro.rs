@@ -36,12 +36,35 @@
 //!
 //! `--gateway` runs the fleet-scale ingest experiment instead of (or in
 //! addition to) the paper experiments: `--sensors N` simulated sensors
-//! drain through a `--shards K` sharded gateway, the deterministic run
-//! artifact is written to `GATEWAY.json` (`--gateway-out <path>` to
-//! relocate), and with the `telemetry` feature the two-channel leakage
-//! gate plus both nonce audits must pass or the process exits non-zero.
-//! The artifact is byte-identical at any `--shards`/`--threads` value —
-//! CI's determinism leg compares two such runs with `cmp`.
+//! drain through a `--shards K` sharded gateway, a per-shard ingest
+//! table is printed, the deterministic run artifact is written to
+//! `GATEWAY.json` (`--gateway-out <path>` to relocate), and with the
+//! `telemetry` feature the two-channel leakage gate plus both nonce
+//! audits must pass or the process exits non-zero (deferred to the end
+//! of the run so trace/telemetry artifacts still land). The artifact is
+//! byte-identical at any `--shards`/`--threads` value — CI's
+//! determinism leg compares two such runs with `cmp`. Combined with
+//! `--trace`, gateway ingest emits per-shard span trees
+//! (ingest → decode → audit) into the same Chrome-trace file.
+//!
+//! `--health <path>` re-runs the fleet through the *monitored* driver
+//! (streaming windowed leakage monitor + flight recorder + periodic
+//! health snapshots) and writes one JSON line per virtual half-second
+//! to `path`, plus a Prometheus-style exposition of the final snapshot
+//! to `<path>.prom`. The stream is byte-identical at any shard/thread
+//! count — CI `cmp`s it at 1 vs 4 shards. Implies `--gateway`;
+//! requires the `telemetry` feature.
+//!
+//! `--postmortem <dir>` arms postmortem capture for the monitored run:
+//! the first windowed alarm (or dirty nonce audit, or end-of-run gate
+//! failure) freezes the merged flight-recorder ring into
+//! `<dir>/POSTMORTEM.json`. Implies `--gateway`; requires `telemetry`.
+//!
+//! `--inject-regression <us>` injects the monitor-leg regression
+//! scenario into the monitored run: after virtual time `us`, defended
+//! sensors delay transmissions in proportion to the event class, so the
+//! windowed monitor must raise a timing-leak alarm mid-run — CI runs
+//! this and asserts the alarm and postmortem appear.
 
 use std::time::Instant;
 
@@ -62,6 +85,9 @@ fn main() {
     let mut gateway_out = String::from("GATEWAY.json");
     let mut sensors: u64 = 10_000;
     let mut shards: usize = 4;
+    let mut health_out: Option<String> = None;
+    let mut postmortem_dir: Option<String> = None;
+    let mut inject_regression_us: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -165,6 +191,36 @@ fn main() {
                     }
                 }
             }
+            "--health" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => health_out = Some(path.clone()),
+                    None => {
+                        eprintln!("--health needs an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--postmortem" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => postmortem_dir = Some(dir.clone()),
+                    None => {
+                        eprintln!("--postmortem needs an output directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--inject-regression" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<u64>().ok()) {
+                    Some(us) => inject_regression_us = Some(us),
+                    None => {
+                        eprintln!("--inject-regression needs a virtual-time threshold in µs");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "all" => ids.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             "extensions" => ids.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
@@ -181,12 +237,17 @@ fn main() {
     if power_fault_rate.is_some() {
         settings.power_fault_rate = power_fault_rate;
     }
+    // The monitored-run flags only make sense with the fleet experiment.
+    if health_out.is_some() || postmortem_dir.is_some() || inject_regression_us.is_some() {
+        gateway = true;
+    }
     if ids.is_empty() && !gateway {
         eprintln!(
             "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
              [--power-faults RATE] [--telemetry out.jsonl] [--audit] \
              [--audit-out LEAKAGE.json] [--trace TRACE.json] \
-             [--gateway [--sensors N] [--shards K] [--gateway-out GATEWAY.json]] \
+             [--gateway [--sensors N] [--shards K] [--gateway-out GATEWAY.json] \
+             [--health HEALTH.jsonl] [--postmortem DIR] [--inject-regression US]] \
              <experiment...|all|extensions>"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
@@ -194,48 +255,6 @@ fn main() {
         std::process::exit(2);
     }
     ids.dedup();
-
-    if gateway {
-        let mut config = age_bench::GatewayRunConfig::new(sensors);
-        config.shards = shards;
-        config.threads = if settings.threads > 0 {
-            settings.threads
-        } else {
-            shards
-        };
-        config.permutations = settings.permutations.min(500);
-        config.seed = settings.seed;
-        let start = Instant::now();
-        let run = age_bench::run_gateway(&config);
-        print!("{}", run.report);
-        println!("shard occupancy: {:?} sessions", run.occupancy);
-        #[cfg(feature = "telemetry")]
-        {
-            print!("{}", run.leakage);
-            println!(
-                "nonce audits (seal-side and gateway-side): {}",
-                if run.nonce_clean { "clean" } else { "VIOLATED" }
-            );
-        }
-        match std::fs::write(&gateway_out, run.gateway_json()) {
-            Ok(()) => println!("[gateway report written to {gateway_out}]"),
-            Err(e) => {
-                eprintln!("cannot write gateway report '{gateway_out}': {e}");
-                std::process::exit(2);
-            }
-        }
-        println!(
-            "[gateway: {} sensors through {} shards in {:.1}s]\n",
-            sensors,
-            shards,
-            start.elapsed().as_secs_f64()
-        );
-        #[cfg(feature = "telemetry")]
-        if !run.gate_passed() || !run.nonce_clean {
-            eprintln!("gateway run FAILED its leakage gate or nonce audit");
-            std::process::exit(1);
-        }
-    }
 
     #[cfg(not(feature = "telemetry"))]
     {
@@ -257,6 +276,13 @@ fn main() {
             );
             std::process::exit(2);
         }
+        if health_out.is_some() || postmortem_dir.is_some() || inject_regression_us.is_some() {
+            eprintln!(
+                "--health/--postmortem/--inject-regression require the `telemetry` feature \
+                 (this binary was built without it)"
+            );
+            std::process::exit(2);
+        }
         if power_fault_rate.is_some() {
             eprintln!(
                 "note: built without the `telemetry` feature — power faults still run, \
@@ -266,6 +292,9 @@ fn main() {
         let _ = audit_out;
     }
 
+    // Sinks go in before the gateway runs: shard tracers snapshot the
+    // trace switch at construction, so `--trace --gateway` only records
+    // ingest spans if the trace sink is already installed here.
     #[cfg(feature = "telemetry")]
     let (summary_sink, leakage_sink, nonce_sink, trace_sink) = {
         use std::sync::Arc;
@@ -309,6 +338,137 @@ fn main() {
         }
         (summary, leakage, nonce, trace)
     };
+
+    // A failed gate or nonce audit no longer exits on the spot: the
+    // verdict is deferred to the end of `main` so the trace, telemetry,
+    // health, and postmortem artifacts still land for the postmortem.
+    #[cfg(feature = "telemetry")]
+    let mut gateway_failed = false;
+
+    if gateway {
+        let mut config = age_bench::GatewayRunConfig::new(sensors);
+        config.shards = shards;
+        config.threads = if settings.threads > 0 {
+            settings.threads
+        } else {
+            shards
+        };
+        config.permutations = settings.permutations.min(500);
+        config.seed = settings.seed;
+        // Latency never enters GATEWAY.json, so recording it keeps the
+        // artifact byte-comparable while making the table informative.
+        config.record_latency = true;
+        let start = Instant::now();
+        let run = age_bench::run_gateway(&config);
+        print!("{}", run.report);
+        println!("shard occupancy: {:?} sessions", run.occupancy);
+        println!("per-shard ingest:");
+        print!("{}", age_gateway::shard_table(&run.shard_reports));
+        #[cfg(feature = "telemetry")]
+        {
+            print!("{}", run.leakage);
+            println!(
+                "nonce audits (seal-side and gateway-side): {}",
+                if run.nonce_clean { "clean" } else { "VIOLATED" }
+            );
+        }
+        match std::fs::write(&gateway_out, run.gateway_json()) {
+            Ok(()) => println!("[gateway report written to {gateway_out}]"),
+            Err(e) => {
+                eprintln!("cannot write gateway report '{gateway_out}': {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "[gateway: {} sensors through {} shards in {:.1}s]\n",
+            sensors,
+            shards,
+            start.elapsed().as_secs_f64()
+        );
+        #[cfg(feature = "telemetry")]
+        if !run.gate_passed() || !run.nonce_clean {
+            eprintln!("gateway run FAILED its leakage gate or nonce audit");
+            gateway_failed = true;
+        }
+
+        // The monitored rerun: same fleet, ingested tick by tick with
+        // the streaming monitor, flight recorder, and health snapshots.
+        #[cfg(feature = "telemetry")]
+        if health_out.is_some() || postmortem_dir.is_some() || inject_regression_us.is_some() {
+            let mut monitor_config = match inject_regression_us {
+                Some(after_us) => {
+                    let mut scenario = age_sim::monitor::regression_scenario(sensors, config.seed);
+                    scenario.fleet.regress_timing_after_us = Some(after_us);
+                    scenario
+                }
+                None => age_sim::monitor::MonitorRunConfig::new(
+                    age_sim::fleet::FleetConfig::new(sensors, config.seed),
+                    shards,
+                    config.threads,
+                ),
+            };
+            monitor_config.shards = shards;
+            monitor_config.threads = config.threads;
+            monitor_config.gate_permutations = config.permutations;
+            let monitored_start = Instant::now();
+            let monitored = age_sim::monitor::run_monitored(&monitor_config);
+            println!(
+                "[monitored rerun: {} health ticks, {} windowed alarm(s) in {:.1}s]",
+                monitored.snapshots.len(),
+                monitored.alarms.len(),
+                monitored_start.elapsed().as_secs_f64()
+            );
+            for alarm in &monitored.alarms {
+                println!("  {alarm}");
+            }
+            if let (Some(at), false) =
+                (monitored.first_alarm_at_frames, monitored.alarms.is_empty())
+            {
+                println!(
+                    "  first alarm fired at {at} of {} frames (mid-run)",
+                    monitored.report.stats.frames
+                );
+            }
+            if let Some(path) = &health_out {
+                if let Err(e) = std::fs::write(path, &monitored.health_jsonl) {
+                    eprintln!("cannot write health stream '{path}': {e}");
+                    std::process::exit(2);
+                }
+                let prom_path = format!("{path}.prom");
+                if let Err(e) = std::fs::write(&prom_path, &monitored.prometheus) {
+                    eprintln!("cannot write prometheus exposition '{prom_path}': {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "[{} health snapshots written to {path}; final exposition to {prom_path}]",
+                    monitored.snapshots.len()
+                );
+            }
+            if let Some(dir) = &postmortem_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create postmortem directory '{dir}': {e}");
+                    std::process::exit(2);
+                }
+                match (&monitored.postmortem, &monitored.postmortem_trigger) {
+                    (Some(body), Some(trigger)) => {
+                        let path = format!("{dir}/POSTMORTEM.json");
+                        if let Err(e) = std::fs::write(&path, body) {
+                            eprintln!("cannot write postmortem '{path}': {e}");
+                            std::process::exit(2);
+                        }
+                        println!("[postmortem ({trigger}) written to {path}]");
+                    }
+                    _ => println!("[no postmortem trigger — flight recorder stayed quiet]"),
+                }
+            }
+            // An injected regression is *supposed* to leak; only an
+            // organic monitored-gate failure counts against the run.
+            if inject_regression_us.is_none() && !monitored.gate.passed {
+                eprintln!("monitored gateway rerun FAILED its leakage gate");
+                gateway_failed = true;
+            }
+        }
+    }
 
     for id in &ids {
         let start = Instant::now();
@@ -399,6 +559,11 @@ fn main() {
                 eprintln!("nonce audit FAILED: a (key, nonce) pair was used twice");
                 std::process::exit(1);
             }
+        }
+        // The deferred gateway verdict: every artifact above has been
+        // written, so a failed gate or nonce audit can exit non-zero now.
+        if gateway_failed {
+            std::process::exit(1);
         }
     }
 }

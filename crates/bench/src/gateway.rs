@@ -8,13 +8,13 @@
 
 use std::time::Instant;
 
-use age_gateway::{FleetReport, Gateway, LatencyHistogram};
+use age_gateway::{FleetReport, Gateway, LatencyHistogram, ShardReport};
 use age_sim::fleet::{fleet_gateway_config, generate, FleetConfig};
 
 #[cfg(feature = "telemetry")]
 use crate::audit::default_gate;
 #[cfg(feature = "telemetry")]
-use age_telemetry::LeakageReport;
+use age_telemetry::{LeakageReport, MonitorConfig};
 
 /// Shape of one gateway run.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,11 @@ pub struct GatewayRunConfig {
     pub permutations: usize,
     /// Record per-frame wall-clock ingest latency.
     pub record_latency: bool,
+    /// Arm the streaming leakage monitor (500 ms windows) inside every
+    /// shard. Changes no deterministic artifact byte — the monitor only
+    /// observes — so `GATEWAY.json` stays comparable; the point of the
+    /// knob is measuring the monitor's ingest overhead.
+    pub monitored: bool,
 }
 
 impl GatewayRunConfig {
@@ -46,6 +51,7 @@ impl GatewayRunConfig {
             seed: 2022,
             permutations: 200,
             record_latency: false,
+            monitored: false,
         }
     }
 }
@@ -58,6 +64,8 @@ pub struct GatewayRun {
     pub report: FleetReport,
     /// Sessions per shard.
     pub occupancy: Vec<usize>,
+    /// Per-shard ingest accounting — the `repro --gateway` table.
+    pub shard_reports: Vec<ShardReport>,
     /// Merged ingest latency (empty unless `record_latency`).
     pub latency: LatencyHistogram,
     /// Wall-clock seconds spent draining the traffic.
@@ -110,6 +118,13 @@ pub fn run_gateway(config: &GatewayRunConfig) -> GatewayRun {
 
     let mut gateway_config = fleet_gateway_config(&fleet, config.shards);
     gateway_config.record_latency = config.record_latency;
+    #[cfg(feature = "telemetry")]
+    if config.monitored {
+        gateway_config.monitor = Some(MonitorConfig {
+            window_us: 500_000,
+            ..MonitorConfig::default()
+        });
+    }
     let mut gateway = Gateway::new(gateway_config);
     for sensor_id in 0..fleet.sensors {
         // cohort_of is always in range for the fleet's two cohorts.
@@ -134,6 +149,7 @@ pub fn run_gateway(config: &GatewayRunConfig) -> GatewayRun {
     GatewayRun {
         report: gateway.fleet_report(),
         occupancy: gateway.shard_occupancy(),
+        shard_reports: gateway.shard_reports(),
         latency: gateway.latency(),
         ingest_seconds,
         generate_seconds,

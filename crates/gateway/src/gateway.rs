@@ -6,10 +6,11 @@ use std::sync::Mutex;
 
 use age_core::{BatchConfig, Encoder};
 #[cfg(feature = "telemetry")]
-use age_telemetry::{FleetNonceAudit, LeakageAudit};
+use age_telemetry::{FleetNonceAudit, FlightRecord, LeakageAudit, MonitorConfig, WindowedMonitor};
 use age_transport::ReceiverStats;
 
 use crate::frame::{sensor_id_of, FleetFrame, GatewayError};
+use crate::health::ShardReport;
 use crate::latency::LatencyHistogram;
 use crate::route::{derive_key, shard_of};
 use crate::session::Session;
@@ -60,11 +61,21 @@ pub struct GatewayConfig {
     /// Record wall-clock ingest latency per frame. Off by default:
     /// latency is a diagnostic, never part of the deterministic report.
     pub record_latency: bool,
+    /// Windowed streaming leakage monitor; `None` (the default) scores
+    /// nothing mid-run and adds nothing to the ingest path.
+    #[cfg(feature = "telemetry")]
+    pub monitor: Option<MonitorConfig>,
+    /// Flight-recorder ring capacity *per shard* (0 disables). The ring
+    /// is preallocated at shard construction, so steady-state recording
+    /// never allocates.
+    #[cfg(feature = "telemetry")]
+    pub recorder_capacity: usize,
 }
 
 impl GatewayConfig {
     /// A config with the fleet defaults: label `"fleet"`, a 4 KiB
-    /// datagram ceiling, and latency recording off.
+    /// datagram ceiling, latency recording off, no streaming monitor,
+    /// and a 256-record flight recorder per shard.
     pub fn new(batch: BatchConfig, cohorts: Vec<Cohort>, fleet_seed: u64, shards: usize) -> Self {
         GatewayConfig {
             label: "fleet".to_string(),
@@ -74,6 +85,10 @@ impl GatewayConfig {
             shards,
             max_datagram_len: 4096,
             record_latency: false,
+            #[cfg(feature = "telemetry")]
+            monitor: None,
+            #[cfg(feature = "telemetry")]
+            recorder_capacity: 256,
         }
     }
 }
@@ -104,11 +119,8 @@ impl Gateway {
     /// A gateway with empty session tables.
     pub fn new(config: GatewayConfig) -> Gateway {
         let nshards = config.shards.max(1);
-        let ncohorts = config.cohorts.len();
-        Gateway {
-            config,
-            shards: (0..nshards).map(|_| Shard::new(ncohorts)).collect(),
-        }
+        let shards = (0..nshards).map(|i| Shard::new(&config, i)).collect();
+        Gateway { config, shards }
     }
 
     /// The configuration the gateway was built with.
@@ -194,7 +206,6 @@ impl Gateway {
             return;
         }
 
-        let ncohorts = self.config.cohorts.len();
         let config = &self.config;
         let slots: Vec<Mutex<Option<Shard>>> = std::mem::take(&mut self.shards)
             .into_iter()
@@ -218,14 +229,16 @@ impl Gateway {
                 });
             }
         });
-        self.shards = slots
+        let rebuilt = slots
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(index, slot)| {
                 slot.into_inner()
                     .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .unwrap_or_else(|| Shard::new(ncohorts))
+                    .unwrap_or_else(|| Shard::new(config, index))
             })
             .collect();
+        self.shards = rebuilt;
     }
 
     /// The deterministic fleet rollup. Contains nothing that depends on
@@ -284,6 +297,69 @@ impl Gateway {
             merged.merge(&shard.latency);
         }
         merged
+    }
+
+    /// Fleet-wide datagram counters — the commutative shard-stats fold
+    /// without the session scan [`Gateway::fleet_report`] performs, so
+    /// periodic health snapshots stay cheap at large fleets.
+    pub fn fleet_stats(&self) -> ShardStats {
+        let mut stats = ShardStats::default();
+        for shard in &self.shards {
+            stats.merge(&shard.stats);
+        }
+        stats
+    }
+
+    /// Per-shard ingest accounting, in shard order — the load-imbalance
+    /// view `repro --gateway` prints. Unlike every merged report this is
+    /// *intentionally* shard-count-dependent.
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| ShardReport {
+                shard,
+                sessions: slot.occupancy(),
+                stats: slot.stats,
+                p50_ingest_ns: slot.latency.p50_ns(),
+                p99_ingest_ns: slot.latency.p99_ns(),
+            })
+            .collect()
+    }
+
+    /// The fleet-level windowed monitor: the commutative fold of every
+    /// shard's monitor (`None` when [`GatewayConfig::monitor`] is off).
+    /// Window counts are sums and the watermark is a max, so the result
+    /// — and every alarm scored from it — is byte-identical at any
+    /// shard or thread count.
+    #[cfg(feature = "telemetry")]
+    pub fn monitor(&self) -> Option<WindowedMonitor> {
+        let config = self.config.monitor?;
+        let mut merged = WindowedMonitor::new(config.window_us, self.config.cohorts.len());
+        for shard in &self.shards {
+            if let Some(monitor) = &shard.monitor {
+                merged.absorb(monitor);
+            }
+        }
+        Some(merged)
+    }
+
+    /// All retained flight records merged across shards and sorted into
+    /// arrival order, plus the count of records evicted by ring
+    /// wrap-around. With per-shard capacity large enough that nothing
+    /// was evicted, the merged list is byte-identical at any shard
+    /// count; once rings wrap, retention (but not ordering) depends on
+    /// how sensors were sharded.
+    #[cfg(feature = "telemetry")]
+    pub fn flight_records(&self) -> (Vec<FlightRecord>, u64) {
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            records.extend(shard.recorder.iter().copied());
+            dropped += shard.recorder.dropped();
+        }
+        records.sort_unstable();
+        (records, dropped)
     }
 
     /// Assembles the fleet leakage audit from every session's size and

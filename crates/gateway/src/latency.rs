@@ -36,21 +36,24 @@ impl LatencyHistogram {
         Self::default()
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. Counters saturate rather than wrap:
+    /// a histogram that has absorbed `u64::MAX` samples (or a merged
+    /// `sum_ns` past `u128::MAX`) pins at the ceiling instead of
+    /// silently restarting from zero mid-run.
     pub fn record(&mut self, ns: u64) {
         let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_ns += u128::from(ns);
+        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(u128::from(ns));
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one (saturating, commutative).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
     }
 
     /// Samples recorded.
@@ -148,5 +151,80 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile_ns(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_rank() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0, "q={q}");
+        }
+        assert_eq!(h.p50_ns(), 0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_answers_every_quantile_identically() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(300); // bucket [256, 512) → upper bound 512
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 512, "q={q}");
+        }
+        assert_eq!(h.mean_ns(), 300);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_occupied_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(10); // bucket upper bound 16
+        h.record(1_000_000); // bucket upper bound 2^20 = 1_048_576
+                             // q=0.0 clamps to rank 1 — the smallest sample's bucket.
+        assert_eq!(h.quantile_ns(0.0), 16);
+        assert_eq!(h.quantile_ns(1.0), 1 << 20);
+        // Out-of-range q clamps rather than panicking or overflowing.
+        assert_eq!(h.quantile_ns(-3.0), 16);
+        assert_eq!(h.quantile_ns(7.5), 1 << 20);
+    }
+
+    #[test]
+    fn merge_then_quantile_equals_quantile_of_the_union() {
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * 977) % 90_000 + 1).collect();
+        let mut union = LatencyHistogram::new();
+        let mut parts = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        for (i, &ns) in samples.iter().enumerate() {
+            union.record(ns);
+            parts[i % 3].record(ns);
+        }
+        let mut merged = LatencyHistogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile_ns(q), union.quantile_ns(q), "q={q}");
+        }
+        assert_eq!(merged.mean_ns(), union.mean_ns());
+    }
+
+    #[test]
+    fn saturated_counters_pin_instead_of_wrapping() {
+        let mut a = LatencyHistogram::new();
+        a.record(100);
+        let mut pinned = a.clone();
+        // Force the counters to the ceiling, then keep going.
+        pinned.count = u64::MAX;
+        pinned.buckets[7] = u64::MAX;
+        pinned.sum_ns = u128::MAX;
+        pinned.record(100);
+        assert_eq!(pinned.count, u64::MAX);
+        assert_eq!(pinned.buckets[7], u64::MAX);
+        assert_eq!(pinned.sum_ns, u128::MAX);
+        let mut merged = pinned.clone();
+        merged.merge(&a);
+        assert_eq!(merged.count, u64::MAX, "merge must saturate too");
     }
 }

@@ -72,6 +72,7 @@
 
 mod frame;
 mod gateway;
+mod health;
 mod latency;
 mod route;
 mod session;
@@ -79,6 +80,9 @@ mod shard;
 
 pub use frame::{sensor_id_of, FleetFrame, GatewayError, HeaderError, HEADER_LEN};
 pub use gateway::{Cohort, CohortReport, FleetReport, Gateway, GatewayConfig};
+#[cfg(feature = "telemetry")]
+pub use health::{render_postmortem, HealthSnapshot, StreamHealth};
+pub use health::{shard_table, ShardReport};
 pub use latency::LatencyHistogram;
 pub use route::{derive_key, shard_of};
 pub use shard::{CohortStats, ShardStats};

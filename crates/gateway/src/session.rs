@@ -59,14 +59,25 @@ impl Session {
     /// frame and the stamp advanced — the gap since the previous accept,
     /// labeled with the arriving frame's event (matching
     /// `LeakageAudit::observe_timed` semantics exactly).
-    pub(crate) fn observe_accepted(&mut self, event: usize, wire_len: usize, sent_at_us: u64) {
+    ///
+    /// Returns the gap that was recorded, if any, so the shard can feed
+    /// the same observation into its windowed monitor without
+    /// re-deriving the session's gap-anchor rules.
+    pub(crate) fn observe_accepted(
+        &mut self,
+        event: usize,
+        wire_len: usize,
+        sent_at_us: u64,
+    ) -> Option<u64> {
+        let gap_us = match self.last_send_us {
+            Some(prev) if sent_at_us > prev => Some(sent_at_us - prev),
+            _ => None,
+        };
         #[cfg(feature = "telemetry")]
         {
             self.sizes.observe(event, wire_len);
-            if let Some(prev) = self.last_send_us {
-                if sent_at_us > prev {
-                    self.gaps.observe(event, (sent_at_us - prev) as usize);
-                }
+            if let Some(gap) = gap_us {
+                self.gaps.observe(event, gap as usize);
             }
         }
         #[cfg(not(feature = "telemetry"))]
@@ -74,5 +85,6 @@ impl Session {
         // A non-advancing stamp is a sensor clock restart; no gap is
         // recorded across the seam, same as `LeakageAudit::observe_timed`.
         self.last_send_us = Some(sent_at_us);
+        gap_us
     }
 }

@@ -13,13 +13,46 @@ use std::collections::BTreeMap;
 
 use age_core::{Batch, EncodeScratch};
 #[cfg(feature = "telemetry")]
-use age_telemetry::FleetNonceAudit;
+use age_telemetry::{
+    FleetNonceAudit, FlightRecord, FlightRecorder, IngestRung, Tracer, WindowedMonitor,
+};
 use age_transport::{ReceiveError, ReceiverStats};
 
+#[cfg(feature = "telemetry")]
+use crate::frame::sensor_id_of;
 use crate::frame::{FleetFrame, GatewayError, HeaderError, HEADER_LEN};
 use crate::gateway::GatewayConfig;
 use crate::latency::LatencyHistogram;
 use crate::session::Session;
+
+/// Schematic virtual durations for the gateway-side trace spans. The
+/// gateway has no virtual CPU model of its own (frames are stamped by
+/// the *sensor's* clock), so ingest spans anchor at the frame's send
+/// stamp with nominal stage widths — enough to see per-shard ordering
+/// and rejection mix on a Chrome-trace timeline, deterministic by
+/// construction.
+#[cfg(feature = "telemetry")]
+const DECODE_SPAN_US: u64 = 60;
+#[cfg(feature = "telemetry")]
+const AUDIT_SPAN_US: u64 = 40;
+#[cfg(feature = "telemetry")]
+const REJECT_SPAN_US: u64 = 20;
+
+/// Maps a rejection to the flight-recorder rung that counted it.
+#[cfg(feature = "telemetry")]
+fn rung_of(error: &GatewayError) -> IngestRung {
+    match error {
+        GatewayError::Header(HeaderError::Truncated { .. }) => IngestRung::HeaderTruncated,
+        GatewayError::Header(HeaderError::Oversized { .. }) => IngestRung::HeaderOversized,
+        GatewayError::UnknownSensor { .. } => IngestRung::UnknownSensor,
+        GatewayError::UnknownCohort { .. } => IngestRung::DecodeFailed,
+        GatewayError::Receive(ReceiveError::Cipher(_)) => IngestRung::AuthFailed,
+        GatewayError::Receive(ReceiveError::Replay(_)) => IngestRung::ReplayRejected,
+        GatewayError::Receive(ReceiveError::FarFuture { .. }) => IngestRung::FarFuture,
+        GatewayError::Receive(ReceiveError::MissingSequence) => IngestRung::MissingSequence,
+        GatewayError::Decode(_) => IngestRung::DecodeFailed,
+    }
+}
 
 /// Datagram-level counters for one shard (or, after merging, the
 /// fleet). Every arrival lands in exactly one of `accepted` or a
@@ -149,20 +182,40 @@ pub(crate) struct Shard {
     #[cfg(feature = "telemetry")]
     pub(crate) nonces: FleetNonceAudit,
     pub(crate) latency: LatencyHistogram,
+    /// Windowed leakage monitor (present when the config enables it).
+    #[cfg(feature = "telemetry")]
+    pub(crate) monitor: Option<WindowedMonitor>,
+    /// Ring of recent ingest events for postmortem dumps.
+    #[cfg(feature = "telemetry")]
+    pub(crate) recorder: FlightRecorder,
+    /// Virtual-time span tracer (inert unless `repro --trace` enabled
+    /// collection before the gateway was built).
+    #[cfg(feature = "telemetry")]
+    tracer: Tracer,
     payload: Vec<u8>,
     decoded: Batch,
     scratch: EncodeScratch,
 }
 
 impl Shard {
-    pub(crate) fn new(cohorts: usize) -> Shard {
+    pub(crate) fn new(config: &GatewayConfig, index: usize) -> Shard {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = index;
         Shard {
             sessions: BTreeMap::new(),
             stats: ShardStats::default(),
-            cohorts: vec![CohortStats::default(); cohorts],
+            cohorts: vec![CohortStats::default(); config.cohorts.len()],
             #[cfg(feature = "telemetry")]
             nonces: FleetNonceAudit::default(),
             latency: LatencyHistogram::new(),
+            #[cfg(feature = "telemetry")]
+            monitor: config
+                .monitor
+                .map(|m| WindowedMonitor::new(m.window_us, config.cohorts.len())),
+            #[cfg(feature = "telemetry")]
+            recorder: FlightRecorder::with_capacity(config.recorder_capacity),
+            #[cfg(feature = "telemetry")]
+            tracer: Tracer::new(&format!("gateway/shard-{index:02}")),
             payload: Vec::new(),
             decoded: Batch::empty(),
             scratch: EncodeScratch::new(),
@@ -218,7 +271,49 @@ impl Shard {
             let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.latency.record(ns);
         }
+        #[cfg(feature = "telemetry")]
+        self.observe_ingest(frame, &result);
         result
+    }
+
+    /// Post-ingest observability: window traffic counters, the flight
+    /// recorder, and (when tracing) the ingest span tree. Allocation-free
+    /// in steady state — the recorder overwrites in place and the
+    /// monitor's current-window bins already exist.
+    #[cfg(feature = "telemetry")]
+    fn observe_ingest(&mut self, frame: &FleetFrame, result: &Result<u64, GatewayError>) {
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.observe_frame(frame.sent_at_us, result.is_ok());
+        }
+        if self.recorder.capacity() > 0 {
+            self.recorder.record(FlightRecord {
+                sent_at_us: frame.sent_at_us,
+                sensor_id: sensor_id_of(&frame.wire).unwrap_or(0),
+                sequence: match result {
+                    Ok(sequence) => *sequence,
+                    Err(_) => u64::MAX,
+                },
+                event: u32::try_from(frame.event).unwrap_or(u32::MAX),
+                wire_bytes: u32::try_from(frame.wire.len()).unwrap_or(u32::MAX),
+                rung: match result {
+                    Ok(_) => IngestRung::Accepted,
+                    Err(error) => rung_of(error),
+                },
+            });
+        }
+        if self.tracer.is_enabled() {
+            let t0 = frame.sent_at_us;
+            self.tracer.begin("ingest", "gateway", t0);
+            if result.is_ok() {
+                self.tracer.begin("decode", "encode", t0);
+                self.tracer.end(t0 + DECODE_SPAN_US);
+                self.tracer.begin("audit", "audit", t0 + DECODE_SPAN_US);
+                self.tracer.end(t0 + DECODE_SPAN_US + AUDIT_SPAN_US);
+                self.tracer.end(t0 + DECODE_SPAN_US + AUDIT_SPAN_US);
+            } else {
+                self.tracer.end(t0 + REJECT_SPAN_US);
+            }
+        }
     }
 
     fn ingest_inner(
@@ -285,9 +380,22 @@ impl Shard {
         if let Some(stats) = self.cohorts.get_mut(session.cohort) {
             stats.note(wire.len(), self.decoded.len());
         }
-        session.observe_accepted(frame.event, wire.len(), frame.sent_at_us);
+        let gap_us = session.observe_accepted(frame.event, wire.len(), frame.sent_at_us);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = gap_us;
         #[cfg(feature = "telemetry")]
-        self.nonces.observe(sensor_id, session.epoch, sequence);
+        {
+            self.nonces.observe(sensor_id, session.epoch, sequence);
+            if let Some(monitor) = self.monitor.as_mut() {
+                monitor.observe_accepted(
+                    session.cohort,
+                    frame.event,
+                    wire.len(),
+                    gap_us,
+                    frame.sent_at_us,
+                );
+            }
+        }
         Ok(sequence)
     }
 }

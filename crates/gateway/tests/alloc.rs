@@ -94,6 +94,61 @@ fn steady_state_ingest_is_allocation_free() {
     assert_eq!(report.stats.rejected(), 0);
 }
 
+/// The streaming monitor and flight recorder ride the same hot path,
+/// so arming them must not reintroduce heap traffic: the recorder ring
+/// is preallocated and the monitor's histogram keys are all created by
+/// the same warm-up that grows the session's. One giant window keeps
+/// the monitor from rolling (a roll allocates fresh window state, which
+/// is fine once per window but must not happen per frame).
+#[cfg(feature = "telemetry")]
+#[test]
+fn monitored_steady_state_ingest_is_allocation_free() {
+    use age_telemetry::MonitorConfig;
+
+    let mut config = GatewayConfig::new(
+        batch_cfg(),
+        vec![Cohort::new("AGE", Box::new(AgeEncoder::new(160)))],
+        SEED,
+        1,
+    );
+    config.monitor = Some(MonitorConfig {
+        // One window spans the whole trace: no mid-steady rolls.
+        window_us: 1 << 40,
+        ..MonitorConfig::default()
+    });
+    config.recorder_capacity = 256;
+    let mut gateway = Gateway::new(config);
+    gateway.provision(SENSOR, 0).unwrap();
+
+    let all = frames(4 + 30);
+    let (warmup, steady) = all.split_at(4);
+    for frame in warmup {
+        gateway.ingest(frame).expect("warm-up frame accepted");
+    }
+
+    let before = alloc::snapshot();
+    for frame in steady {
+        gateway.ingest(frame).expect("steady-state frame accepted");
+    }
+    let delta = alloc::snapshot().since(before);
+    assert_eq!(
+        delta.allocations,
+        0,
+        "monitored steady-state ingest allocated {} times ({} bytes) over {} frames",
+        delta.allocations,
+        delta.bytes,
+        steady.len(),
+    );
+
+    // The monitor and recorder really were live the whole time.
+    let monitor = gateway.monitor().expect("monitor armed");
+    let score = monitor.score(0, 0).expect("window 0 scored");
+    assert_eq!(score.observations, all.len() as u64);
+    let (records, dropped) = gateway.flight_records();
+    assert_eq!(records.len(), all.len());
+    assert_eq!(dropped, 0);
+}
+
 /// Rejections on the hot path must not allocate either: a flood of
 /// garbage datagrams is exactly when the gateway can least afford heap
 /// traffic.

@@ -52,6 +52,21 @@ pub struct FleetConfig {
     /// aggregated fleet traffic always carries the calibration cohort
     /// the leakage gate requires. 0 disables the baseline.
     pub baseline_every: u64,
+    /// Injected timing regression: once a defended (AGE) sensor's clock
+    /// passes this virtual time, each transmission is delayed by
+    /// `event × regression_stretch_us` — the event class bleeding back
+    /// into the send schedule, exactly the channel the paper's defense
+    /// closes. `None` (the default) injects nothing. Drives the
+    /// monitor-leg scenario proving a mid-run alarm fires *before* the
+    /// end-of-run gate.
+    pub regress_timing_after_us: Option<u64>,
+    /// Per-event-class delay for the injected timing regression.
+    pub regression_stretch_us: u64,
+    /// Injected corruption: frames from every third sensor sent at or
+    /// after this virtual time get one ciphertext byte flipped, so the
+    /// gateway rejects them at the auth rung — a rejection-rate flood
+    /// for the monitor. `None` (the default) injects nothing.
+    pub corrupt_after_us: Option<u64>,
 }
 
 impl FleetConfig {
@@ -64,6 +79,9 @@ impl FleetConfig {
             seed,
             events: 3,
             baseline_every: 5,
+            regress_timing_after_us: None,
+            regression_stretch_us: 40_000,
+            corrupt_after_us: None,
         }
     }
 
@@ -181,6 +199,17 @@ pub fn generate(config: &FleetConfig) -> FleetTraffic {
             clock.advance_samples(SENSING_WINDOW);
             clock.advance_encode();
             clock.advance_seal();
+            // Injected timing regression: a defended sensor whose clock
+            // crossed the threshold stalls in proportion to the event
+            // class before keying the radio, so its inter-transmission
+            // gaps become event-correlated from that point on.
+            if cohort == 0 {
+                if let Some(after) = config.regress_timing_after_us {
+                    if clock.now_us() >= after {
+                        clock.advance_us(event as u64 * config.regression_stretch_us);
+                    }
+                }
+            }
             let sequence = sensor.seal_into(&payload, &mut sealed);
             #[cfg(feature = "telemetry")]
             sealed_nonces.observe(sensor_id, 0, sequence);
@@ -188,10 +217,20 @@ pub fn generate(config: &FleetConfig) -> FleetTraffic {
             let _ = sequence;
             let frame = FleetFrame::encode(sensor_id, &sealed, event, 0);
             let sent_at_us = clock.advance_radio(frame.wire.len());
-            frames.push(FleetFrame {
+            let mut frame = FleetFrame {
                 sent_at_us,
                 ..frame
-            });
+            };
+            // Injected corruption: flip one ciphertext byte so the
+            // gateway's AEAD check rejects the frame at the auth rung.
+            if let Some(after) = config.corrupt_after_us {
+                if sensor_id % 3 == 0 && sent_at_us >= after {
+                    if let Some(byte) = frame.wire.get_mut(age_gateway::HEADER_LEN + 4) {
+                        *byte ^= 0x55;
+                    }
+                }
+            }
+            frames.push(frame);
         }
     }
 

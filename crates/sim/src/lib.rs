@@ -38,6 +38,8 @@
 
 pub mod clock;
 pub mod fleet;
+#[cfg(feature = "telemetry")]
+pub mod monitor;
 pub mod node;
 mod runner;
 pub mod sweep;

@@ -27,6 +27,12 @@
 //!   with online NMI and a seeded permutation test; behind the `audit`
 //!   feature, the [`LeakageAudit`]/[`LeakageSink`] pipeline and the
 //!   [`LeakageGate`] CI regression gate.
+//! - [`monitor`] — tumbling virtual-time windows scoring the same two
+//!   channels *mid-run*, raising deterministic [`Alarm`]s when a window
+//!   crosses the gate threshold (behind `audit`).
+//! - [`recorder`] — the fixed-capacity [`FlightRecorder`] ring of recent
+//!   ingest events backing the gateway's postmortem dumps (behind
+//!   `audit`).
 //! - [`rng`] — [`DetRng`], the deterministic SplitMix64/xoshiro256**
 //!   generator the rest of the workspace uses instead of an external `rand`
 //!   dependency.
@@ -39,8 +45,12 @@ pub mod alloc;
 pub mod leakage;
 pub mod metrics;
 #[cfg(feature = "audit")]
+pub mod monitor;
+#[cfg(feature = "audit")]
 pub mod nonce;
 pub mod record;
+#[cfg(feature = "audit")]
+pub mod recorder;
 pub mod rng;
 pub mod sink;
 pub mod span;
@@ -55,6 +65,8 @@ pub use leakage::{
 };
 pub use metrics::{Counter, Histogram};
 #[cfg(feature = "audit")]
+pub use monitor::{Alarm, AlarmKind, MonitorConfig, WindowScore, WindowTraffic, WindowedMonitor};
+#[cfg(feature = "audit")]
 pub use nonce::{
     begin_epoch, reset_epoch_counters, FleetNonceAudit, FleetNonceReuse, NonceAudit,
     NonceAuditSink, NonceReuse, SeqSet,
@@ -62,6 +74,8 @@ pub use nonce::{
 #[cfg(feature = "audit")]
 pub use record::WireRecord;
 pub use record::{BatchRecord, GroupRecord, StageTimings};
+#[cfg(feature = "audit")]
+pub use recorder::{FlightRecord, FlightRecorder, IngestRung};
 pub use rng::{DetRng, SliceShuffle};
 pub use sink::{
     active, clear_global, context_epoch, context_event, context_vtime, emit, install_global,
