@@ -1,5 +1,5 @@
 //! Encode-path, seal-path, and sweep benchmark, written to
-//! `BENCH_encode.json` (schema `age-bench/encode-v2`).
+//! `BENCH_encode.json` (schema `age-bench/encode-v3`).
 //!
 //! Measures, for every encoder: mean wall-clock per `encode_into` call on a
 //! full 50×6 batch, and heap traffic per call in steady state (which the
@@ -158,6 +158,17 @@ fn measure_stages(batch: &Batch, cfg: &BatchConfig) -> StageStats {
     }
 }
 
+/// Steady-state cost of one epoch-ratchet step (the HKDF-style derive a
+/// rekeying sensor pays at every rotation boundary).
+fn measure_kdf() -> f64 {
+    let mut ratchet = age_crypto::kdf::EpochRatchet::new([0x42; 32]);
+    time_steady(|| {
+        ratchet.advance();
+        std::hint::black_box(ratchet.key()[0]);
+    })
+    .ns_per_iter
+}
+
 struct CipherStats {
     name: &'static str,
     sealed_mb_per_s: f64,
@@ -303,6 +314,8 @@ fn main() {
         "stages ({}B target): quantize {:.0} ns, pack {:.0} ns, seal {:.0} ns",
         TARGET_BYTES, stages.quantize_ns, stages.pack_ns, stages.seal_ns
     );
+    let kdf_ns = measure_kdf();
+    println!("kdf: {kdf_ns:.0} ns per epoch-ratchet derive");
 
     println!("seal path, {TARGET_BYTES}B plaintext:");
     let ciphers: Vec<(&'static str, Box<dyn Cipher>)> = vec![
@@ -366,7 +379,7 @@ fn main() {
     println!("  deterministic across thread counts: {deterministic}");
 
     // Hand-rolled JSON (workspace policy: no external deps).
-    let mut json = String::from("{\n  \"schema\": \"age-bench/encode-v2\",\n");
+    let mut json = String::from("{\n  \"schema\": \"age-bench/encode-v3\",\n");
     let _ = writeln!(
         json,
         "  \"config\": {{\"max_len\": {k}, \"features\": {d}, \"width\": {}, \"target_bytes\": {TARGET_BYTES}}},",
@@ -387,6 +400,7 @@ fn main() {
         "  \"stages\": {{\"quantize_ns_per_batch\": {:.1}, \"pack_ns_per_batch\": {:.1}, \"seal_ns_per_message\": {:.1}}},",
         stages.quantize_ns, stages.pack_ns, stages.seal_ns
     );
+    let _ = writeln!(json, "  \"kdf\": {{\"kdf_ns_per_derive\": {kdf_ns:.1}}},");
     json.push_str("  \"ciphers\": [\n");
     for (i, st) in cipher_stats.iter().enumerate() {
         let _ = write!(

@@ -17,9 +17,11 @@
 //! `--check` is the CI perf-sanity mode: a reduced fleet re-measure that
 //! fails (non-zero exit) if steady-state ingest allocates at all, if
 //! `ns_per_frame` regressed to more than 3× the committed
-//! `BENCH_gateway.json` figure, or if arming the streaming leakage
-//! monitor costs more than 10% per frame (min-of-3 on both sides). It
-//! writes nothing.
+//! `BENCH_gateway.json` figure, if arming the streaming leakage
+//! monitor costs more than 10% per frame, or if staggered epoch
+//! rekeying costs more than 10% per frame (the absolute gate is a
+//! min-of-3; the overhead gates interleave paired rounds and take a
+//! low-quartile ratio to survive noisy CI boxes). It writes nothing.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -53,9 +55,11 @@ fn measure_steady(
     frames_per_sensor: usize,
     seed: u64,
     monitored: bool,
+    rekey_interval: Option<u64>,
 ) -> (f64, f64) {
     let fleet = FleetConfig {
         frames_per_sensor,
+        rekey_interval,
         ..FleetConfig::new(sensors, seed)
     };
     let traffic = generate(&fleet);
@@ -96,15 +100,97 @@ fn measure_steady(
 /// Min-of-N steady-state measure: the minimum ns/frame over `rounds`
 /// runs (robust to scheduler noise) and the *maximum* allocs/frame (an
 /// allocation on any round is a real regression).
-fn min_steady(sensors: u64, frames_per_sensor: usize, seed: u64, monitored: bool) -> (f64, f64) {
+fn min_steady(
+    sensors: u64,
+    frames_per_sensor: usize,
+    seed: u64,
+    monitored: bool,
+    rekey_interval: Option<u64>,
+) -> (f64, f64) {
     let mut best_ns = f64::INFINITY;
     let mut worst_allocs: f64 = 0.0;
     for _ in 0..3 {
-        let (ns, allocs) = measure_steady(sensors, frames_per_sensor, seed, monitored);
+        let (ns, allocs) =
+            measure_steady(sensors, frames_per_sensor, seed, monitored, rekey_interval);
         best_ns = best_ns.min(ns);
         worst_allocs = worst_allocs.max(allocs);
     }
     (best_ns, worst_allocs)
+}
+
+/// One timed ingest pass over pre-generated traffic: build a fresh
+/// provisioned gateway (replay windows forbid reusing one), warm it on
+/// the first 75% of the trace, time the rest. Returns ns/frame.
+fn timed_pass(fleet: &FleetConfig, traffic: &age_sim::fleet::FleetTraffic, monitored: bool) -> f64 {
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+    let mut gateway_config = fleet_gateway_config(fleet, 1);
+    #[cfg(feature = "telemetry")]
+    if monitored {
+        gateway_config.monitor = Some(MonitorConfig {
+            window_us: 500_000,
+            ..MonitorConfig::default()
+        });
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = monitored;
+    let mut gateway = Gateway::new(gateway_config);
+    for sensor_id in 0..fleet.sensors {
+        let _ = gateway.provision(sensor_id, fleet.cohort_of(sensor_id));
+    }
+    let split = traffic.frames.len() * 3 / 4;
+    for frame in &traffic.frames[..split] {
+        let _ = gateway.ingest(frame);
+    }
+    let steady = &traffic.frames[split..];
+    let start = Instant::now();
+    for frame in steady {
+        let _ = gateway.ingest(frame);
+    }
+    start.elapsed().as_nanos() as f64 / steady.len() as f64
+}
+
+/// Paired min-of-N for overhead gates: generates both traces once, then
+/// interleaves short baseline and variant ingest rounds so machine
+/// drift (thermal throttling, noisy neighbours) lands on both legs
+/// equally, and compares the two minima. A sequential min-of-N would
+/// attribute any slowdown between the two measurement windows to the
+/// variant.
+fn min_steady_paired(
+    sensors: u64,
+    frames_per_sensor: usize,
+    seed: u64,
+    variant_monitored: bool,
+    variant_rekey: Option<u64>,
+) -> (f64, f64) {
+    let base_fleet = FleetConfig {
+        frames_per_sensor,
+        ..FleetConfig::new(sensors, seed)
+    };
+    let base_traffic = generate(&base_fleet);
+    let variant_fleet = FleetConfig {
+        frames_per_sensor,
+        rekey_interval: variant_rekey,
+        ..FleetConfig::new(sensors, seed)
+    };
+    let variant_traffic = generate(&variant_fleet);
+    // Lower-quartile of per-round ratios: each round's base and variant
+    // passes are adjacent in time, so a slowdown burst inflates both
+    // sides of a round's ratio roughly equally, and the low quartile
+    // discards the rounds a burst straddles anyway. A true per-frame
+    // regression is deterministic — it inflates *every* round's ratio,
+    // quartile included — so the gate stays sensitive to real cost
+    // while shrugging off noisy-neighbour CI boxes. A min-of-mins
+    // across all rounds would compare two different time windows.
+    let mut base_ns = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for _ in 0..9 {
+        let b = timed_pass(&base_fleet, &base_traffic, false);
+        let v = timed_pass(&variant_fleet, &variant_traffic, variant_monitored);
+        base_ns = base_ns.min(b);
+        ratios.push(v / b.max(1e-9));
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    (base_ns, base_ns * ratios[ratios.len() / 4])
 }
 
 fn committed_ns_per_frame(report: &str) -> Option<f64> {
@@ -124,7 +210,7 @@ fn check_mode() -> ! {
     let committed = committed_ns_per_frame(&report)
         .unwrap_or_else(|| die("committed BENCH_gateway.json carries no ns_per_frame"));
 
-    let (ns_per_frame, allocs_per_frame) = min_steady(1_000, 40, 2022, false);
+    let (ns_per_frame, allocs_per_frame) = min_steady(1_000, 40, 2022, false, None);
     println!(
         "gateway perf check: {ns_per_frame:.0} ns/frame (committed {committed:.0}, \
          limit {:.0}), {allocs_per_frame:.4} allocs/frame",
@@ -143,8 +229,8 @@ fn check_mode() -> ! {
     }
     #[cfg(feature = "telemetry")]
     {
-        let (monitored_ns, _) = min_steady(1_000, 40, 2022, true);
-        let overhead = monitored_ns / ns_per_frame.max(1e-9);
+        let (base_ns, monitored_ns) = min_steady_paired(1_000, 40, 2022, true, None);
+        let overhead = monitored_ns / base_ns.max(1e-9);
         println!(
             "monitored ingest: {monitored_ns:.0} ns/frame ({:.1}% overhead, limit 10%)",
             (overhead - 1.0) * 100.0
@@ -156,6 +242,27 @@ fn check_mode() -> ! {
             );
             failed = true;
         }
+    }
+    // Staggered rekeying pays at each epoch boundary: the boundary frame
+    // fails trial-opens under the current and previous keys (two full AEAD
+    // verifies — the epoch is never on the wire) before the forward probe
+    // derives the next key and succeeds. Amortized over an 80-frame epoch
+    // (still far faster than any deployed cadence) that must fit in the
+    // same 10% envelope. Rotation swaps the session cipher through the
+    // factory Box, so the zero-alloc assertion deliberately does not
+    // apply to this leg.
+    let (rekey_base_ns, rekey_ns) = min_steady_paired(1_000, 80, 2022, false, Some(80));
+    let rekey_overhead = rekey_ns / rekey_base_ns.max(1e-9);
+    println!(
+        "staggered-rekey ingest: {rekey_ns:.0} ns/frame ({:.1}% overhead, limit 10%)",
+        (rekey_overhead - 1.0) * 100.0
+    );
+    if rekey_overhead > 1.10 {
+        eprintln!(
+            "FAIL: staggered rekeying costs {:.1}% per frame (limit 10%)",
+            (rekey_overhead - 1.0) * 100.0
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);
@@ -230,10 +337,10 @@ fn main() {
     let max_occupancy = run.occupancy.iter().copied().max().unwrap_or(0);
     let min_occupancy = run.occupancy.iter().copied().min().unwrap_or(0);
     let balance = max_occupancy as f64 / (min_occupancy.max(1)) as f64;
-    let (steady_ns, steady_allocs) = min_steady(1_000, 40, config.seed, false);
+    let (steady_ns, steady_allocs) = min_steady(1_000, 40, config.seed, false, None);
     #[cfg(feature = "telemetry")]
     let (monitored_ns, monitor_overhead) = {
-        let (ns, _) = min_steady(1_000, 40, config.seed, true);
+        let (ns, _) = min_steady(1_000, 40, config.seed, true, None);
         (ns, ns / steady_ns.max(1e-9))
     };
 

@@ -27,6 +27,11 @@
 //! — a reused nonce — the process exits non-zero. `--audit` arms the same
 //! auditor. Requires the `telemetry` feature.
 //!
+//! `--rekey-interval <n>` overrides the epoch length used by the `rekey`
+//! extension (the link ratchets to a fresh key every `n` sequence numbers)
+//! and arms the same run-wide nonce auditor, now keyed per key epoch: a
+//! rotation that re-seals an old counter under an old key exits non-zero.
+//!
 //! `--trace <path>` records every experiment's virtual-clock spans
 //! (sample → encode → seal → link attempts → ack) and writes them as
 //! Chrome `trace_event` JSON — load the file in `chrome://tracing` or
@@ -78,6 +83,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut fault_rate: Option<f64> = None;
     let mut power_fault_rate: Option<f64> = None;
+    let mut rekey_interval: Option<u64> = None;
     let mut audit = false;
     let mut audit_out = String::from("LEAKAGE.json");
     let mut trace_path: Option<String> = None;
@@ -171,6 +177,16 @@ fn main() {
                     }
                 }
             }
+            "--rekey-interval" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => rekey_interval = Some(n),
+                    _ => {
+                        eprintln!("--rekey-interval needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--telemetry" => {
                 i += 1;
                 match args.get(i) {
@@ -237,6 +253,9 @@ fn main() {
     if power_fault_rate.is_some() {
         settings.power_fault_rate = power_fault_rate;
     }
+    if rekey_interval.is_some() {
+        settings.rekey_interval = rekey_interval;
+    }
     // The monitored-run flags only make sense with the fleet experiment.
     if health_out.is_some() || postmortem_dir.is_some() || inject_regression_us.is_some() {
         gateway = true;
@@ -244,7 +263,7 @@ fn main() {
     if ids.is_empty() && !gateway {
         eprintln!(
             "usage: repro [--quick|--full] [--threads N] [--faults RATE] \
-             [--power-faults RATE] [--telemetry out.jsonl] [--audit] \
+             [--power-faults RATE] [--rekey-interval N] [--telemetry out.jsonl] [--audit] \
              [--audit-out LEAKAGE.json] [--trace TRACE.json] \
              [--gateway [--sensors N] [--shards K] [--gateway-out GATEWAY.json] \
              [--health HEALTH.jsonl] [--postmortem DIR] [--inject-regression US]] \
@@ -283,10 +302,10 @@ fn main() {
             );
             std::process::exit(2);
         }
-        if power_fault_rate.is_some() {
+        if power_fault_rate.is_some() || rekey_interval.is_some() {
             eprintln!(
-                "note: built without the `telemetry` feature — power faults still run, \
-                 but the nonce-uniqueness auditor is unavailable"
+                "note: built without the `telemetry` feature — power faults and rekeying \
+                 still run, but the nonce-uniqueness auditor is unavailable"
             );
         }
         let _ = audit_out;
@@ -318,9 +337,10 @@ fn main() {
             sink
         });
         // Nonce uniqueness is audited whenever wire frames are being
-        // watched anyway, and always when power faults are in play — a
-        // reboot that reuses a (key, nonce) pair must fail the run.
-        let nonce = (audit || power_fault_rate.is_some()).then(|| {
+        // watched anyway, and always when power faults or rekeying are in
+        // play — a reboot or rotation that reuses a (key, nonce) pair
+        // must fail the run.
+        let nonce = (audit || power_fault_rate.is_some() || rekey_interval.is_some()).then(|| {
             let sink = Arc::new(age_telemetry::NonceAuditSink::new());
             sinks.push(sink.clone());
             sink

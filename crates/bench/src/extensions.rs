@@ -9,8 +9,8 @@ use age_datasets::DatasetKind;
 use age_energy::{Battery, MilliJoules};
 use age_sampling::FeedbackPolicy;
 use age_sim::{
-    run_cells, run_multi_event, CipherChoice, Defense, FaultPlan, FaultSetup, PolicyKind,
-    PowerFaults, Runner, SweepCell, SweepOptions,
+    rekey_scenario, run_cells, run_multi_event, CipherChoice, Defense, FaultPlan, FaultSetup,
+    PolicyKind, PowerFaults, Runner, SweepCell, SweepOptions,
 };
 
 use crate::report::Settings;
@@ -21,6 +21,7 @@ pub const EXTENSIONS: &[&str] = &[
     "timing",
     "faults",
     "resets",
+    "rekey",
     "multievent",
     "refine",
     "feedback",
@@ -39,6 +40,7 @@ pub fn run_extension(id: &str, s: &Settings) -> Option<String> {
         "timing" => Some(timing(s)),
         "faults" => Some(faults(s)),
         "resets" => Some(resets(s)),
+        "rekey" => Some(rekey(s)),
         "multievent" => Some(multievent(s)),
         "refine" => Some(refine(s)),
         "feedback" => Some(feedback(s)),
@@ -267,6 +269,7 @@ pub fn resets(s: &Settings) -> String {
     } else {
         Some(std::sync::Arc::new(age_telemetry::NonceAuditSink::new()))
     };
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
     let mut options = SweepOptions {
         threads: s.threads,
         ..Default::default()
@@ -310,6 +313,99 @@ pub fn resets(s: &Settings) -> String {
                 out.push_str("   no (key, nonce) pair was ever used twice)\n");
             } else {
                 out.push_str("  NONCE AUDIT FAILED — reboot recovery reused a (key, nonce) pair\n");
+            }
+        }
+        None => {
+            out.push_str("  (sealed frames streamed to the process-wide nonce auditor;\n");
+            out.push_str("   the run fails at exit if any (key, nonce) pair repeated)\n");
+        }
+    }
+    out
+}
+
+/// Epoch rekeying under fire: the link ratchets to a fresh key every N
+/// sequence numbers while the channel drops and corrupts frames and
+/// brownouts cut power (torn NVM writes included). The receiver must
+/// follow every rotation, no (key, nonce) pair may repeat across epochs,
+/// and the wire must stay byte-constant through every boundary.
+/// `--rekey-interval <n>` overrides the 16-sequence epoch;
+/// `--power-faults <rate>` overrides the 5% cut rate.
+pub fn rekey(s: &Settings) -> String {
+    let interval = s.rekey_interval.unwrap_or(16);
+    let rate = s.power_fault_rate.unwrap_or(0.05);
+    let runner = Runner::new(DatasetKind::Epilepsy, s.scale, s.seed);
+    let mut out = format!(
+        "Extension: epoch rekeying under fire (interval {interval}, {:.1}% power cuts, \
+         5% drops + 2% corruption, AEAD)\n",
+        rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>9} {:>9} {:>8} {:>10} {:>11}",
+        "Defense", "rotations", "deferred", "reboots", "delivered", "fixed-size"
+    );
+    let cells: Vec<SweepCell> = [Defense::Standard, Defense::Age]
+        .iter()
+        .map(|&defense| {
+            let mut cell = SweepCell::new(PolicyKind::Linear, defense, 0.7);
+            cell.cipher = CipherChoice::ChaCha20Poly1305;
+            cell.enforce_budget = false;
+            cell.faults = Some(rekey_scenario(interval, rate, s.seed));
+            cell
+        })
+        .collect();
+
+    // Like `resets`: audit privately only when repro's process-global
+    // nonce auditor is not already listening.
+    #[cfg(feature = "telemetry")]
+    let sink = if age_telemetry::active() {
+        None
+    } else {
+        Some(std::sync::Arc::new(age_telemetry::NonceAuditSink::new()))
+    };
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+    let mut options = SweepOptions {
+        threads: s.threads,
+        ..Default::default()
+    };
+    #[cfg(feature = "telemetry")]
+    if let Some(sink) = &sink {
+        options.sink = Some(sink.clone());
+    }
+    let results = run_cells(&runner, &cells, &options);
+    for result in &results {
+        let t = result.transport.unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>9} {:>9} {:>8} {:>10} {:>11}",
+            result.defense,
+            t.link.rotations,
+            t.link.rotations_deferred,
+            t.link.sensor_reboots,
+            t.link.frames_delivered,
+            if t.channel.wire_lengths_constant() {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
+    #[cfg(feature = "telemetry")]
+    match sink {
+        Some(sink) => {
+            let audit = sink.take();
+            let _ = writeln!(
+                out,
+                "  nonce audit: {} sealed frames over {} key epochs, {} reused",
+                audit.frames(),
+                audit.epochs(),
+                audit.violations().len()
+            );
+            if audit.is_clean() {
+                out.push_str("  (every rotation moved to a fresh key with the counter intact —\n");
+                out.push_str("   no (key, nonce) pair was ever used twice)\n");
+            } else {
+                out.push_str("  NONCE AUDIT FAILED — a rotation reused a (key, nonce) pair\n");
             }
         }
         None => {

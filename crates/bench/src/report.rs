@@ -42,6 +42,10 @@ pub struct Settings {
     /// `--power-faults <rate>` repro knob); `None` uses the extension's
     /// default.
     pub power_fault_rate: Option<f64>,
+    /// Optional epoch length for the `rekey` extension (the
+    /// `--rekey-interval <n>` repro knob): the link rotates its ratchet
+    /// every `n` sequence numbers. `None` uses the extension's default.
+    pub rekey_interval: Option<u64>,
 }
 
 impl Settings {
@@ -56,6 +60,7 @@ impl Settings {
             threads: 0,
             fault_rate: None,
             power_fault_rate: None,
+            rekey_interval: None,
         }
     }
 
@@ -70,6 +75,7 @@ impl Settings {
             threads: 0,
             fault_rate: None,
             power_fault_rate: None,
+            rekey_interval: None,
         }
     }
 
@@ -84,6 +90,7 @@ impl Settings {
             threads: 0,
             fault_rate: None,
             power_fault_rate: None,
+            rekey_interval: None,
         }
     }
 

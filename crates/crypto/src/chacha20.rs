@@ -141,7 +141,9 @@ pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64
 }
 
 /// Assembles the 16-word initial state for (`key`, `counter`, `nonce`).
-fn base_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
+/// Shared with the `kdf` module, whose HChaCha20-style PRF runs the same
+/// permutation over the same state layout.
+pub(crate) fn base_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
     let mut state = [0u32; 16];
     // "expand 32-byte k"
     state[0] = 0x6170_7865;
@@ -167,6 +169,19 @@ fn base_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
 /// rotating rows b/c/d left by 1/2/3 lanes — exactly the shuffle an SIMD
 /// implementation uses, which the autovectorizer recognizes.
 fn block_words(state: &[u32; 16]) -> [u32; 16] {
+    let mut out = permuted_words(state);
+    for i in 0..16 {
+        out[i] = out[i].wrapping_add(state[i]);
+    }
+    out
+}
+
+/// The bare 20-round ChaCha permutation *without* the final feed-forward
+/// addition. This is the HChaCha20 core (RFC draft-irtf-cfrg-xchacha):
+/// omitting the addition makes the function invertible as a permutation but
+/// still one-way once half the output is discarded, which is exactly what
+/// the `kdf` module's extract/expand construction relies on.
+pub(crate) fn permuted_words(state: &[u32; 16]) -> [u32; 16] {
     let mut a: [u32; 4] = state[0..4].try_into().expect("row 0");
     let mut b: [u32; 4] = state[4..8].try_into().expect("row 1");
     let mut c: [u32; 4] = state[8..12].try_into().expect("row 2");
@@ -186,12 +201,10 @@ fn block_words(state: &[u32; 16]) -> [u32; 16] {
     }
 
     let mut out = [0u32; 16];
-    for i in 0..4 {
-        out[i] = a[i].wrapping_add(state[i]);
-        out[4 + i] = b[i].wrapping_add(state[4 + i]);
-        out[8 + i] = c[i].wrapping_add(state[8 + i]);
-        out[12 + i] = d[i].wrapping_add(state[12 + i]);
-    }
+    out[0..4].copy_from_slice(&a);
+    out[4..8].copy_from_slice(&b);
+    out[8..12].copy_from_slice(&c);
+    out[12..16].copy_from_slice(&d);
     out
 }
 

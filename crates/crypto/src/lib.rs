@@ -31,10 +31,12 @@ mod aead;
 mod aes;
 mod chacha20;
 mod cipher;
+pub mod kdf;
 mod poly1305;
 
 pub use aead::ChaCha20Poly1305;
 pub use aes::{Aes128, AesCbc, AesCtr};
 pub use chacha20::{chacha20_block, ChaCha20};
 pub use cipher::{Cipher, CipherKind, OpenError};
+pub use kdf::EpochRatchet;
 pub use poly1305::{poly1305, tags_equal, Poly1305};

@@ -56,6 +56,13 @@ pub struct GatewayConfig {
     pub fleet_seed: u64,
     /// Session-table shards (0 is treated as 1).
     pub shards: usize,
+    /// Fleet-wide staggered rekey: `Some(interval)` provisions every
+    /// session with an epoch ratchet rooted in the fleet secret, each
+    /// sensor rotating every `interval` sequence numbers at its own
+    /// [`stagger_phase`](crate::route::stagger_phase) (interval 0 =
+    /// ratchets with explicit rotation only). `None` (the default) keeps
+    /// the legacy static keys and byte-identical artifacts.
+    pub rekey_interval: Option<u64>,
     /// Datagrams longer than this are dropped before the cipher runs.
     pub max_datagram_len: usize,
     /// Record wall-clock ingest latency per frame. Off by default:
@@ -83,6 +90,7 @@ impl GatewayConfig {
             cohorts,
             fleet_seed,
             shards,
+            rekey_interval: None,
             max_datagram_len: 4096,
             record_latency: false,
             #[cfg(feature = "telemetry")]
@@ -138,10 +146,19 @@ impl Gateway {
         if cohort >= self.config.cohorts.len() {
             return Err(GatewayError::UnknownCohort { cohort });
         }
-        let key = derive_key(self.config.fleet_seed, sensor_id);
         let shard = shard_of(sensor_id, self.shards.len());
+        let session = match self.config.rekey_interval {
+            Some(interval) => {
+                let root = crate::route::derive_root(self.config.fleet_seed, sensor_id);
+                Session::with_rekey(root, interval, cohort)
+            }
+            None => {
+                let key = derive_key(self.config.fleet_seed, sensor_id);
+                Session::new(key, cohort, 0)
+            }
+        };
         if let Some(slot) = self.shards.get_mut(shard) {
-            slot.insert_session(sensor_id, Session::new(key, cohort, 0));
+            slot.insert_session(sensor_id, session);
         }
         Ok(())
     }
@@ -452,6 +469,7 @@ impl FleetReport {
             ("far_future", s.far_future),
             ("missing_sequence", s.missing_sequence),
             ("decode_failed", s.decode_failed),
+            ("rotations", s.rotations),
         ] {
             out.push_str(",\n  \"");
             out.push_str(key);
@@ -500,6 +518,13 @@ impl std::fmt::Display for FleetReport {
             self.stats.accepted,
             self.stats.rejected(),
         )?;
+        if self.stats.rotations > 0 {
+            writeln!(
+                f,
+                "  rekey: {} epoch rotations followed",
+                self.stats.rotations
+            )?;
+        }
         for cohort in &self.cohorts {
             let c = &cohort.stats;
             let min = if c.frames == 0 { 0 } else { c.min_wire_bytes };

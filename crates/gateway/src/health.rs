@@ -152,6 +152,11 @@ impl HealthSnapshot {
         for (key, value) in rung_counters(&self.stats) {
             out.push_str(&format!(",\"{key}\":{value}"));
         }
+        // Epoch rotations are not a rejection rung (rotated frames are
+        // counted in `accepted` too), so they render outside the rung
+        // block. Sum-merged like every other counter, the field is
+        // byte-identical at any shard count.
+        out.push_str(&format!(",\"rotations\":{}", self.stats.rotations));
         out.push_str(&format!(
             ",\"delta_frames\":{},\"frames_per_vsec\":{:.3},\"p50_ingest_ns\":{},\"p99_ingest_ns\":{}",
             self.delta_frames, self.frames_per_vsec, self.p50_ingest_ns, self.p99_ingest_ns,
@@ -208,6 +213,11 @@ impl HealthSnapshot {
                 "age_gateway_rejected_total{{rung=\"{rung}\"}} {value}\n"
             ));
         }
+        out.push_str("# TYPE age_gateway_rotations_total counter\n");
+        out.push_str(&format!(
+            "age_gateway_rotations_total {}\n",
+            self.stats.rotations
+        ));
         out.push_str("# TYPE age_gateway_frames_per_virtual_second gauge\n");
         out.push_str(&format!(
             "age_gateway_frames_per_virtual_second {:.3}\n",

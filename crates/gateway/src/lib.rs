@@ -84,5 +84,5 @@ pub use gateway::{Cohort, CohortReport, FleetReport, Gateway, GatewayConfig};
 pub use health::{render_postmortem, HealthSnapshot, StreamHealth};
 pub use health::{shard_table, ShardReport};
 pub use latency::LatencyHistogram;
-pub use route::{derive_key, shard_of};
+pub use route::{derive_key, derive_root, shard_of, stagger_phase};
 pub use shard::{CohortStats, ShardStats};

@@ -51,6 +51,30 @@ pub fn derive_key(fleet_seed: u64, sensor_id: u64) -> [u8; 32] {
     key
 }
 
+/// Derives the per-sensor *root* key for rekeying fleets: the real
+/// HKDF-style extract/expand chain (`age_crypto::kdf`) over the fleet
+/// secret, from which each sensor's per-epoch keys ratchet forward.
+/// Static fleets keep using [`derive_key`] so their artifacts are
+/// byte-for-byte unchanged.
+pub fn derive_root(fleet_seed: u64, sensor_id: u64) -> [u8; 32] {
+    age_crypto::kdf::sensor_root(&age_crypto::kdf::fleet_secret(fleet_seed), sensor_id)
+}
+
+/// The per-sensor rotation phase for a staggered fleet rekey.
+///
+/// If every sensor rotated at the same sequence watermark, a fleet-wide
+/// rekey would be one synchronized burst — a thundering herd on the
+/// gateway's forward-probe path and a glaring fleet-level timing
+/// artifact. Staggering spreads the boundaries uniformly across
+/// `0..interval`, purely as a function of `(fleet_seed, sensor_id)`, so
+/// the schedule survives restarts on both ends without coordination.
+pub fn stagger_phase(fleet_seed: u64, sensor_id: u64, interval: u64) -> u64 {
+    if interval == 0 {
+        return 0;
+    }
+    mix(mix(fleet_seed) ^ sensor_id ^ 0x5742_6001_c3a5_9d21) % interval
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +104,33 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, derive_key(1, 100), "derivation is deterministic");
+    }
+
+    #[test]
+    fn root_keys_come_from_the_kdf_and_differ_from_legacy_keys() {
+        let root = derive_root(1, 100);
+        assert_eq!(root, derive_root(1, 100), "derivation is deterministic");
+        assert_ne!(root, derive_root(1, 101));
+        assert_ne!(root, derive_root(2, 100));
+        assert_ne!(root, derive_key(1, 100), "rekey fleets get fresh roots");
+    }
+
+    #[test]
+    fn stagger_phases_spread_across_the_interval() {
+        let interval = 64u64;
+        let mut seen = [0u32; 64];
+        for id in 0..640u64 {
+            let phase = stagger_phase(7, id, interval);
+            assert!(phase < interval);
+            seen[phase as usize] += 1;
+        }
+        let hit = seen.iter().filter(|&&n| n > 0).count();
+        assert!(hit > 48, "only {hit}/64 phases used — rekeys would herd");
+        assert_eq!(stagger_phase(7, 11, 0), 0, "explicit-only fleets");
+        assert_eq!(
+            stagger_phase(7, 11, interval),
+            stagger_phase(7, 11, interval),
+            "phase is a pure function of (seed, id)"
+        );
     }
 }

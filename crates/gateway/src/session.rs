@@ -9,12 +9,12 @@
 use age_crypto::ChaCha20Poly1305;
 #[cfg(feature = "telemetry")]
 use age_telemetry::LeakageStream;
-use age_transport::Receiver;
+use age_transport::{chacha20poly1305_factory, epoch_skip_budget, Receiver};
 
-/// Sequence numbers a fresh receiver will tolerate skipping ahead —
-/// generous enough for lossy fleets, small enough that a corrupted
-/// header cannot slide the replay window out from under live traffic.
-pub(crate) const MAX_SKIP: u64 = 1024;
+/// The far-future skip tolerance, shared with every single-link receiver:
+/// one definition in `age-transport` ([`age_transport::MAX_SKIP`]) so the
+/// gateway and the link sims cannot drift apart.
+pub(crate) use age_transport::MAX_SKIP;
 
 /// Server-side state for one provisioned sensor.
 pub(crate) struct Session {
@@ -23,8 +23,11 @@ pub(crate) struct Session {
     /// Index into the gateway's cohort table (selects the decoder and
     /// the leakage stream name).
     pub(crate) cohort: usize,
-    /// Key epoch, forwarded into the nonce audit so reuse across a
-    /// rekey is distinguishable from reuse within one.
+    /// Latest key epoch the receiver has followed; rekeying sessions
+    /// refresh it after every accept, static sessions keep the
+    /// provisioned value (0). The nonce audit keys on the epoch each
+    /// frame actually *opened* under, so reuse across a rekey is
+    /// distinguishable from reuse within one.
     pub(crate) epoch: u64,
     /// Virtual send stamp of the last *accepted* frame; the anchor for
     /// per-sensor inter-transmission gaps. Kept per session because the
@@ -46,6 +49,27 @@ impl Session {
             receiver: Receiver::with_max_skip(Box::new(ChaCha20Poly1305::new(key)), MAX_SKIP),
             cohort,
             epoch,
+            last_send_us: None,
+            #[cfg(feature = "telemetry")]
+            sizes: LeakageStream::default(),
+            #[cfg(feature = "telemetry")]
+            gaps: LeakageStream::default(),
+        }
+    }
+
+    /// A rekey-capable session: keys ratchet from `root`, and the
+    /// receiver tolerates the epoch skew a sensor rotating every
+    /// `interval` sequence numbers can produce across brownouts.
+    pub(crate) fn with_rekey(root: [u8; 32], interval: u64, cohort: usize) -> Session {
+        Session {
+            receiver: Receiver::with_ratchet(
+                root,
+                MAX_SKIP,
+                epoch_skip_budget(MAX_SKIP, interval),
+                chacha20poly1305_factory,
+            ),
+            cohort,
+            epoch: 0,
             last_send_us: None,
             #[cfg(feature = "telemetry")]
             sizes: LeakageStream::default(),

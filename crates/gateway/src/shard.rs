@@ -85,6 +85,11 @@ pub struct ShardStats {
     pub missing_sequence: u64,
     /// Frames that authenticated but whose payload failed to decode.
     pub decode_failed: u64,
+    /// Key-epoch rotations receivers followed while accepting frames
+    /// (each may cross several epochs at once after a sensor brownout).
+    /// Informational, not a rejection rung: rotated frames are also
+    /// counted in `accepted`.
+    pub rotations: u64,
 }
 
 impl ShardStats {
@@ -115,6 +120,7 @@ impl ShardStats {
         self.far_future += other.far_future;
         self.missing_sequence += other.missing_sequence;
         self.decode_failed += other.decode_failed;
+        self.rotations += other.rotations;
     }
 }
 
@@ -192,6 +198,10 @@ pub(crate) struct Shard {
     /// collection before the gateway was built).
     #[cfg(feature = "telemetry")]
     tracer: Tracer,
+    /// The epoch a rotation during the current ingest landed on, handed
+    /// from the hot path to the flight recorder (`None` steady-state).
+    #[cfg(feature = "telemetry")]
+    rotated_to: Option<u64>,
     payload: Vec<u8>,
     decoded: Batch,
     scratch: EncodeScratch,
@@ -216,6 +226,8 @@ impl Shard {
             recorder: FlightRecorder::with_capacity(config.recorder_capacity),
             #[cfg(feature = "telemetry")]
             tracer: Tracer::new(&format!("gateway/shard-{index:02}")),
+            #[cfg(feature = "telemetry")]
+            rotated_to: None,
             payload: Vec::new(),
             decoded: Batch::empty(),
             scratch: EncodeScratch::new(),
@@ -300,7 +312,22 @@ impl Shard {
                     Err(error) => rung_of(error),
                 },
             });
+            // A followed rotation leaves a second record at the same
+            // stamp, carrying the *new epoch* in the sequence field (see
+            // `IngestRung::EpochRotated`) — the postmortem's view of when
+            // each sensor's keys turned over.
+            if let Some(epoch) = self.rotated_to {
+                self.recorder.record(FlightRecord {
+                    sent_at_us: frame.sent_at_us,
+                    sensor_id: sensor_id_of(&frame.wire).unwrap_or(0),
+                    sequence: epoch,
+                    event: u32::try_from(frame.event).unwrap_or(u32::MAX),
+                    wire_bytes: u32::try_from(frame.wire.len()).unwrap_or(u32::MAX),
+                    rung: IngestRung::EpochRotated,
+                });
+            }
         }
+        self.rotated_to = None;
         if self.tracer.is_enabled() {
             let t0 = frame.sent_at_us;
             self.tracer.begin("ingest", "gateway", t0);
@@ -344,6 +371,7 @@ impl Shard {
             self.stats.unknown_sensor += 1;
             return Err(GatewayError::UnknownSensor { sensor_id });
         };
+        let epoch_before = session.receiver.epoch();
         let sequence = session
             .receiver
             .receive_into(&wire[HEADER_LEN..], &mut self.payload)
@@ -380,12 +408,26 @@ impl Shard {
         if let Some(stats) = self.cohorts.get_mut(session.cohort) {
             stats.note(wire.len(), self.decoded.len());
         }
+        let epoch_now = session.receiver.epoch();
+        if epoch_now > epoch_before {
+            self.stats.rotations += 1;
+            session.epoch = epoch_now;
+            #[cfg(feature = "telemetry")]
+            {
+                self.rotated_to = Some(epoch_now);
+            }
+        }
         let gap_us = session.observe_accepted(frame.event, wire.len(), frame.sent_at_us);
         #[cfg(not(feature = "telemetry"))]
         let _ = gap_us;
         #[cfg(feature = "telemetry")]
         {
-            self.nonces.observe(sensor_id, session.epoch, sequence);
+            // Keyed on the epoch the frame actually *opened* under (a
+            // straggler opens one epoch behind the receiver's current) —
+            // on static sessions `last_epoch` is always 0, matching the
+            // provisioned epoch exactly.
+            self.nonces
+                .observe(sensor_id, session.receiver.last_epoch(), sequence);
             if let Some(monitor) = self.monitor.as_mut() {
                 monitor.observe_accepted(
                     session.cohort,

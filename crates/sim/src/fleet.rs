@@ -24,11 +24,13 @@
 use age_core::{AgeEncoder, Batch, BatchConfig, EncodeScratch, StandardEncoder};
 use age_crypto::ChaCha20Poly1305;
 use age_fixed::Format;
-use age_gateway::{derive_key, Cohort, FleetFrame, Gateway, GatewayConfig};
+use age_gateway::{
+    derive_key, derive_root, stagger_phase, Cohort, FleetFrame, Gateway, GatewayConfig,
+};
 use age_telemetry::DetRng;
 #[cfg(feature = "telemetry")]
 use age_telemetry::FleetNonceAudit;
-use age_transport::Sensor;
+use age_transport::{chacha20poly1305_factory, Sensor};
 
 use crate::clock::{ClockModel, VirtualClock};
 
@@ -67,6 +69,14 @@ pub struct FleetConfig {
     /// gateway rejects them at the auth rung — a rejection-rate flood
     /// for the monitor. `None` (the default) injects nothing.
     pub corrupt_after_us: Option<u64>,
+    /// Fleet-wide staggered rekey: `Some(interval)` gives every sensor
+    /// an epoch ratchet rooted in the fleet secret, rotating every
+    /// `interval` sequence numbers at its own [`stagger_phase`]. The
+    /// gateway config from [`fleet_gateway_config`] mirrors the same
+    /// setting, so both ends derive the same schedule from `(seed, id)`
+    /// alone. `None` (the default) keeps static keys and byte-identical
+    /// legacy artifacts.
+    pub rekey_interval: Option<u64>,
 }
 
 impl FleetConfig {
@@ -82,6 +92,7 @@ impl FleetConfig {
             regress_timing_after_us: None,
             regression_stretch_us: 40_000,
             corrupt_after_us: None,
+            rekey_interval: None,
         }
     }
 
@@ -120,7 +131,10 @@ pub fn fleet_cohorts() -> Vec<Cohort> {
 
 /// A ready-to-run gateway config for this fleet at `shards` shards.
 pub fn fleet_gateway_config(config: &FleetConfig, shards: usize) -> GatewayConfig {
-    GatewayConfig::new(fleet_batch_config(), fleet_cohorts(), config.seed, shards)
+    let mut gateway =
+        GatewayConfig::new(fleet_batch_config(), fleet_cohorts(), config.seed, shards);
+    gateway.rekey_interval = config.rekey_interval;
+    gateway
 }
 
 /// Builds a gateway for the fleet and provisions every sensor.
@@ -168,10 +182,18 @@ pub fn generate(config: &FleetConfig) -> FleetTraffic {
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(sensor_id),
         );
-        let mut sensor = Sensor::new(Box::new(ChaCha20Poly1305::new(derive_key(
-            config.seed,
-            sensor_id,
-        ))));
+        let mut sensor = match config.rekey_interval {
+            Some(interval) => Sensor::with_rekey(
+                derive_root(config.seed, sensor_id),
+                interval,
+                stagger_phase(config.seed, sensor_id, interval),
+                chacha20poly1305_factory,
+            ),
+            None => Sensor::new(Box::new(ChaCha20Poly1305::new(derive_key(
+                config.seed,
+                sensor_id,
+            )))),
+        };
         let mut clock = VirtualClock::new(ClockModel::default());
         // Random phase offset under one sensing window, so the fleet
         // interleaves instead of transmitting in lockstep.
@@ -211,8 +233,11 @@ pub fn generate(config: &FleetConfig) -> FleetTraffic {
                 }
             }
             let sequence = sensor.seal_into(&payload, &mut sealed);
+            // `seal_into` rotates *before* sealing when the watermark
+            // demands it, so the post-seal epoch is the one this frame
+            // was sealed under (always 0 for static fleets).
             #[cfg(feature = "telemetry")]
-            sealed_nonces.observe(sensor_id, 0, sequence);
+            sealed_nonces.observe(sensor_id, sensor.epoch(), sequence);
             #[cfg(not(feature = "telemetry"))]
             let _ = sequence;
             let frame = FleetFrame::encode(sensor_id, &sealed, event, 0);
@@ -290,5 +315,22 @@ mod tests {
         let traffic = generate(&FleetConfig::new(30, 3));
         assert!(traffic.sealed_nonces.is_clean());
         assert_eq!(traffic.sealed_nonces.sensors(), 30);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn rekeying_fleet_seals_across_epochs_without_reuse() {
+        let mut config = FleetConfig::new(30, 3);
+        config.frames_per_sensor = 20;
+        config.rekey_interval = Some(6);
+        let traffic = generate(&config);
+        assert!(traffic.sealed_nonces.is_clean());
+        assert_eq!(traffic.sealed_nonces.sensors(), 30);
+        assert!(
+            traffic.sealed_nonces.cells() > 30,
+            "every sensor should have sealed under more than one epoch"
+        );
+        let again = generate(&config);
+        assert_eq!(traffic.frames, again.frames, "rekey generation drifted");
     }
 }

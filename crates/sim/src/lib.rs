@@ -48,8 +48,8 @@ pub mod threats;
 pub use age_transport::{FaultPlan, NvmFaultPlan, RetryPolicy};
 pub use clock::{ClockModel, VirtualClock};
 pub use runner::{
-    CipherChoice, Defense, ExperimentResult, FaultSetup, PolicyKind, PowerFaults, Runner,
-    SequenceRecord, TransportSummary,
+    rekey_scenario, CipherChoice, Defense, ExperimentResult, FaultSetup, PolicyKind, PowerFaults,
+    Runner, SequenceRecord, TransportSummary,
 };
 pub use sweep::{default_threads, run_cells, SweepCell, SweepOptions};
 pub use threats::{run_multi_event, run_with_faults, FaultyRun, MultiEventRun};

@@ -18,8 +18,8 @@ use age_sampling::{
 };
 use age_telemetry::{DetRng, Tracer};
 use age_transport::{
-    ChannelStats, FaultChannel, FaultPlan, Link, LinkStats, NvmFaultPlan, NvmStore, RetryPolicy,
-    SequenceJournal,
+    chacha20poly1305_factory, epoch_skip_budget, ChannelStats, FaultChannel, FaultPlan, Link,
+    LinkStats, NvmFaultPlan, NvmStore, Receiver, RetryPolicy, Sensor, SequenceJournal, MAX_SKIP,
 };
 
 /// Which sampling policy to run.
@@ -170,6 +170,14 @@ pub struct FaultSetup {
     /// Brownout schedule; `None` leaves the sensor reset-free and
     /// journal-free (the pre-recovery behavior, byte-identical).
     pub power: Option<PowerFaults>,
+    /// Epoch rekeying: `Some(interval)` replaces the static session key
+    /// with a per-cell ratchet root, rotating every `interval` sequence
+    /// numbers (write-ahead journaled when `power` attaches a journal).
+    /// Rekeying always seals with the ChaCha20-Poly1305 AEAD — the
+    /// ratchet's epoch keys feed the cipher factory on both ends — so
+    /// pair it with [`CipherChoice::ChaCha20Poly1305`]. `None` keeps the
+    /// static single-key link, byte-identical to before.
+    pub rekey_interval: Option<u64>,
 }
 
 impl FaultSetup {
@@ -179,6 +187,7 @@ impl FaultSetup {
             plan,
             retry: RetryPolicy::default(),
             power: None,
+            rekey_interval: None,
         }
     }
 
@@ -193,6 +202,29 @@ impl FaultSetup {
         self.power = Some(power);
         self
     }
+
+    /// Enables epoch rekeying every `interval` sequence numbers.
+    pub fn with_rekey(mut self, interval: u64) -> Self {
+        self.rekey_interval = Some(interval);
+        self
+    }
+}
+
+/// The "rekey under fire" preset: scheduled rotations every `interval`
+/// sequence numbers interleaved with journal-backed brownouts (torn NVM
+/// writes included) and a dropping, corrupting channel. Used by the
+/// `rekey` repro extension and the CI soak leg, whose contract is that
+/// the nonce audit stays green and the wire stays byte-constant across
+/// every rotation this setup forces.
+pub fn rekey_scenario(interval: u64, reset_rate: f64, seed: u64) -> FaultSetup {
+    FaultSetup::new(FaultPlan {
+        drop_rate: 0.05,
+        corrupt_rate: 0.02,
+        seed,
+        ..FaultPlan::NONE
+    })
+    .with_power(PowerFaults::at_rate(reset_rate, seed))
+    .with_rekey(interval)
 }
 
 /// Transport-layer rollup of a fault-injected run. Deterministic per seed,
@@ -232,6 +264,10 @@ pub struct SequenceRecord {
     /// the send stamp a timing eavesdropper records. 0 if nothing ever
     /// went on the air (budget violation, or the journal died first).
     pub sent_at_us: u64,
+    /// Key epoch the frame was sealed under — always 0 on static-key
+    /// paths, so single-link runs audit `(sensor, epoch, sequence)`
+    /// exactly like fleet runs once rekeying is enabled.
+    pub epoch: u64,
 }
 
 /// Aggregated result of one (policy, defense, budget) run.
@@ -765,6 +801,10 @@ impl Runner {
         let mut clock = VirtualClock::new(ClockModel::default());
         let mut tracer = Tracer::new(&label);
         #[cfg(feature = "telemetry")]
+        let cell_epoch = age_telemetry::begin_epoch(&format!(
+            "{label}|{cipher_choice:?}|budget={enforce_budget}|limit={limit:?}|faults={faults:?}"
+        ));
+        #[cfg(feature = "telemetry")]
         {
             age_telemetry::set_context_label(&label);
             // The nonce audit keys on (epoch, sequence): every run of every
@@ -772,9 +812,9 @@ impl Runner {
             // one run — a broken reboot recovery — collides. The identity
             // includes every axis the label omits, because two cells that
             // differ only in cipher or budget still hold distinct keys.
-            age_telemetry::set_context_epoch(&age_telemetry::begin_epoch(&format!(
-                "{label}|{cipher_choice:?}|budget={enforce_budget}|limit={limit:?}|faults={faults:?}"
-            )));
+            // Rekeying cells later refine this base string with the link's
+            // key epoch, so a rotation also rotates the audit cell.
+            age_telemetry::set_context_epoch(&cell_epoch);
         }
 
         let mut records = Vec::with_capacity(test.len());
@@ -787,12 +827,34 @@ impl Runner {
         if let Some(setup) = faults {
             let channel_seed =
                 self.transport_seed(policy_kind, defense, rate, cipher_choice, setup.plan.seed);
-            let mut link = Link::with_channel(
-                cipher_choice.build(),
-                cipher_choice.build(),
-                FaultChannel::with_seed(setup.plan, channel_seed),
-                setup.retry,
-            );
+            let mut link = match setup.rekey_interval {
+                Some(interval) => {
+                    // Both endpoints ratchet from the same per-cell root;
+                    // the receiver's epoch-skip budget covers the jump a
+                    // journal-block brownout can produce.
+                    let root = age_crypto::kdf::sensor_root(
+                        &age_crypto::kdf::fleet_secret(channel_seed),
+                        0,
+                    );
+                    Link::with_parts(
+                        Sensor::with_rekey(root, interval, 0, chacha20poly1305_factory),
+                        Receiver::with_ratchet(
+                            root,
+                            MAX_SKIP,
+                            epoch_skip_budget(MAX_SKIP, interval),
+                            chacha20poly1305_factory,
+                        ),
+                        FaultChannel::with_seed(setup.plan, channel_seed),
+                        setup.retry,
+                    )
+                }
+                None => Link::with_channel(
+                    cipher_choice.build(),
+                    cipher_choice.build(),
+                    FaultChannel::with_seed(setup.plan, channel_seed),
+                    setup.retry,
+                ),
+            };
             // With a brownout schedule the sensor sends through the NVM
             // journal, and an independent seeded stream decides where the
             // power cuts fall. Both streams are pure functions of the cell
@@ -809,6 +871,11 @@ impl Runner {
                 ));
             }
             let mut nvm_writes = link.journal_write_attempts();
+            // The key epoch the wire-record audit currently attributes
+            // frames to; epoch 0 keeps the base cell string so static
+            // cells emit byte-identical records.
+            #[cfg(feature = "telemetry")]
+            let mut wire_epoch = 0u64;
 
             /// Sensor-side state of one sequence, pending the decode pass.
             struct Pending {
@@ -821,6 +888,7 @@ impl Runner {
                 energy_mj: f64,
                 violated: bool,
                 sent_at_us: u64,
+                epoch: u64,
             }
             // Pass 1 — transmit. Accepted payloads are keyed by sequence
             // number because a reordered frame can surface during a later
@@ -856,7 +924,13 @@ impl Runner {
                     .expect("experiment encoders are configured with feasible targets");
                 clock.advance_encode();
                 tracer.end(clock.now_us());
-                let frame_len = cipher.message_len(plaintext.len());
+                // Rekeying links always seal with the AEAD factory, so the
+                // energy model's frame length comes from the AEAD layout
+                // regardless of the cell's nominal cipher choice.
+                let frame_len = match setup.rekey_interval {
+                    Some(_) => ChaCha20Poly1305::new([0u8; 32]).message_len(plaintext.len()),
+                    None => cipher.message_len(plaintext.len()),
+                };
                 let base_cost =
                     self.energy
                         .sequence_cost(k, k * d, frame_len, defense.encoder_cost());
@@ -888,6 +962,7 @@ impl Runner {
                         energy_mj: 0.0,
                         violated: true,
                         sent_at_us: 0,
+                        epoch: link.sensor().epoch(),
                     });
                     tracer.end(clock.now_us());
                     continue;
@@ -898,7 +973,11 @@ impl Runner {
                 tracer.begin("seal", "crypto", clock.now_us());
                 clock.advance_seal();
                 tracer.end(clock.now_us());
-                let delivery = if link.has_journal() {
+                // Rekeying links route through `send` even without a
+                // journal: the RAM counter produces the same 0,1,2,…
+                // numbering as the evaluation index, and `send` is where
+                // the watermark rotation lives.
+                let delivery = if link.has_journal() || setup.rekey_interval.is_some() {
                     link.send(&plaintext)
                 } else {
                     link.send_as(i as u64, &plaintext)
@@ -943,6 +1022,15 @@ impl Runner {
                 // to observe.
                 if delivery.attempts > 0 {
                     debug_assert_eq!(delivery.frame_len, frame_len);
+                    // A rotation rotates the audit cell too: wire records
+                    // seal under the link's key epoch, so the run-wide
+                    // nonce audit keys on (cell, epoch, sequence) exactly
+                    // like the fleet's (sensor, epoch, sequence).
+                    #[cfg(feature = "telemetry")]
+                    if setup.rekey_interval.is_some() && delivery.epoch != wire_epoch {
+                        wire_epoch = delivery.epoch;
+                        age_telemetry::set_context_epoch(&format!("{cell_epoch}|e{wire_epoch}"));
+                    }
                     #[cfg(feature = "telemetry")]
                     if age_telemetry::active() {
                         age_telemetry::emit_wire(
@@ -986,6 +1074,7 @@ impl Runner {
                     energy_mj: base_cost.0 + retrans.0 + journal_mj.0,
                     violated: false,
                     sent_at_us,
+                    epoch: delivery.epoch,
                 });
                 tracer.end(clock.now_us());
             }
@@ -1011,6 +1100,7 @@ impl Runner {
                         attempts: 0,
                         lost: false,
                         sent_at_us: 0,
+                        epoch: info.epoch,
                     });
                     continue;
                 }
@@ -1041,6 +1131,7 @@ impl Runner {
                             attempts: info.attempts,
                             lost: false,
                             sent_at_us: info.sent_at_us,
+                            epoch: info.epoch,
                         });
                     }
                     None => {
@@ -1061,6 +1152,7 @@ impl Runner {
                             attempts: info.attempts,
                             lost: true,
                             sent_at_us: info.sent_at_us,
+                            epoch: info.epoch,
                         });
                     }
                 }
@@ -1120,6 +1212,7 @@ impl Runner {
                         attempts: 0,
                         lost: false,
                         sent_at_us: 0,
+                        epoch: 0,
                     });
                     tracer.end(clock.now_us());
                     continue;
@@ -1163,6 +1256,7 @@ impl Runner {
                     attempts: 1,
                     lost: false,
                     sent_at_us,
+                    epoch: 0,
                 });
                 tracer.end(clock.now_us());
             }

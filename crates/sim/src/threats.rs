@@ -76,6 +76,7 @@ pub fn run_with_faults(
             plan,
             retry,
             power: None,
+            rekey_interval: None,
         }),
     );
     let mut delivered = Vec::new();

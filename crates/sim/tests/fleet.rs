@@ -19,6 +19,15 @@ fn run_fleet(config: &FleetConfig, shards: usize, threads: usize) -> Gateway {
     gateway
 }
 
+/// The staggered-rekey fleet: long enough that every sensor crosses
+/// several epoch boundaries at its own splitmix phase.
+fn rekey_config() -> FleetConfig {
+    let mut config = FleetConfig::new(SENSORS, SEED);
+    config.frames_per_sensor = 10;
+    config.rekey_interval = Some(4);
+    config
+}
+
 #[test]
 fn fleet_report_is_byte_identical_across_shards_and_threads() {
     let config = FleetConfig::new(SENSORS, SEED);
@@ -28,6 +37,30 @@ fn fleet_report_is_byte_identical_across_shards_and_threads() {
         assert_eq!(
             report, reference,
             "fleet report diverged at {shards} shards / {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn rekeying_fleet_report_is_byte_identical_across_shards_and_threads() {
+    let config = rekey_config();
+    let reference_gateway = run_fleet(&config, 1, 1);
+    let reference = reference_gateway.fleet_report().to_json();
+    let stats = reference_gateway.fleet_stats();
+    assert_eq!(
+        stats.accepted, stats.frames,
+        "rekeying fleet fully accepted"
+    );
+    assert!(
+        stats.rotations >= 2 * SENSORS,
+        "interval 4 over 10 frames crosses ≥2 boundaries per sensor, saw {}",
+        stats.rotations
+    );
+    for (shards, threads) in [(4, 1), (4, 4), (8, 3)] {
+        let report = run_fleet(&config, shards, threads).fleet_report().to_json();
+        assert_eq!(
+            report, reference,
+            "rekeying fleet report diverged at {shards} shards / {threads} threads"
         );
     }
 }
@@ -120,6 +153,41 @@ mod telemetry_gated {
         assert!(outcome.passed, "fleet leakage gate failed:\n{report}",);
         assert!(outcome.defended_checked >= 1);
         assert!(outcome.baseline_checked >= 1);
+    }
+
+    #[test]
+    fn two_channel_gate_is_green_on_a_rekeying_fleet() {
+        // Rotations must be invisible to both leakage channels: same
+        // frame sizes, same send cadence, only the key material moves.
+        let config = rekey_config();
+        let gateway = run_fleet(&config, 4, 4);
+        let report = gateway.leakage_audit().report(PERMUTATIONS, SEED);
+        let gate = LeakageGate {
+            nmi_threshold: 0.05,
+            p_threshold: 0.05,
+            min_observations: 30,
+            defended: vec!["AGE".to_string()],
+            baseline: vec!["Std".to_string()],
+        };
+        let outcome = gate.evaluate(&report.entries);
+        assert!(outcome.passed, "rekeying fleet leaked:\n{report}");
+    }
+
+    #[test]
+    fn rekeying_nonce_audits_are_clean_on_both_sides() {
+        let config = rekey_config();
+        let traffic = generate(&config);
+        assert!(traffic.sealed_nonces.is_clean(), "seal-side audit");
+        assert!(
+            traffic.sealed_nonces.cells() > SENSORS as usize,
+            "sensors must seal under more than one epoch"
+        );
+        let mut gateway = provisioned_gateway(&config, 4);
+        gateway.run(&traffic.frames, 4);
+        let accepted_side = gateway.nonce_audit();
+        assert!(accepted_side.is_clean(), "gateway-side audit");
+        assert_eq!(accepted_side.distinct(), traffic.sealed_nonces.distinct());
+        assert_eq!(accepted_side.cells(), traffic.sealed_nonces.cells());
     }
 
     #[test]

@@ -191,6 +191,9 @@ pub mod global {
     /// Explicit-sequence seals at or below the session's high-water mark —
     /// each one risked reusing a (key, nonce) pair.
     pub static NONCE_REUSE_RISKED: Counter = Counter::new();
+    /// Epoch rotations committed by sensors (ratchet advanced, new key in
+    /// use).
+    pub static KEY_ROTATIONS: Counter = Counter::new();
 
     /// Resets every global metric (between experiment cells).
     pub fn reset() {
@@ -210,6 +213,7 @@ pub mod global {
         JOURNAL_FLUSHES.reset();
         SEQUENCES_SKIPPED.reset();
         NONCE_REUSE_RISKED.reset();
+        KEY_ROTATIONS.reset();
     }
 }
 

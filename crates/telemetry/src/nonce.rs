@@ -441,6 +441,14 @@ impl FleetNonceAudit {
         n
     }
 
+    /// Distinct `(sensor, epoch)` cells observed. A static fleet shows
+    /// exactly one cell per sensor; a rekeying fleet shows one per
+    /// epoch a sensor sealed under, so `cells() > sensors()` is the
+    /// audit-side fingerprint that rotations actually happened.
+    pub fn cells(&self) -> usize {
+        self.seen.len()
+    }
+
     /// Total distinct `(sensor, epoch, sequence)` triples observed.
     pub fn distinct(&self) -> u64 {
         self.seen

@@ -38,6 +38,12 @@ pub enum IngestRung {
     /// Authenticated but the payload failed to decode (includes a
     /// session pointing at a cohort the gateway does not have).
     DecodeFailed,
+    /// The session's receiver followed a key-epoch rotation while
+    /// accepting this frame. Not a pipeline stage: a rotation record is
+    /// emitted *in addition to* the frame's `Accepted` record, and its
+    /// `sequence` field carries the new epoch rather than a sequence
+    /// number.
+    EpochRotated,
 }
 
 impl IngestRung {
@@ -53,6 +59,7 @@ impl IngestRung {
             IngestRung::FarFuture => "far_future",
             IngestRung::MissingSequence => "missing_sequence",
             IngestRung::DecodeFailed => "decode_failed",
+            IngestRung::EpochRotated => "epoch_rotated",
         }
     }
 }

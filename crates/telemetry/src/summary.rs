@@ -339,6 +339,8 @@ pub struct TransportRollup {
     pub sequences_skipped: u64,
     /// Explicit-sequence seals that risked reusing a (key, nonce) pair.
     pub nonce_reuse_risked: u64,
+    /// Epoch rotations committed by sensors.
+    pub key_rotations: u64,
 }
 
 impl TransportRollup {
@@ -357,6 +359,7 @@ impl TransportRollup {
             journal_flushes: g::JOURNAL_FLUSHES.get(),
             sequences_skipped: g::SEQUENCES_SKIPPED.get(),
             nonce_reuse_risked: g::NONCE_REUSE_RISKED.get(),
+            key_rotations: g::KEY_ROTATIONS.get(),
         }
     }
 
@@ -388,7 +391,12 @@ impl fmt::Display for TransportRollup {
             self.journal_flushes,
             self.sequences_skipped,
             self.nonce_reuse_risked
-        )
+        )?;
+        // Elided when no rotation happened, keeping legacy rollups stable.
+        if self.key_rotations > 0 {
+            writeln!(f, "  rekey: {} epoch rotations", self.key_rotations)?;
+        }
+        Ok(())
     }
 }
 

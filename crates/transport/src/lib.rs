@@ -62,7 +62,8 @@ mod replay;
 
 pub use fault::{ChannelStats, FaultChannel, FaultPlan};
 pub use link::{
-    Delivery, Link, LinkStats, ReceiveError, Receiver, ReceiverStats, RetryPolicy, Sensor,
+    chacha20poly1305_factory, epoch_of, epoch_skip_budget, CipherFactory, Delivery, Link,
+    LinkStats, ReceiveError, Receiver, ReceiverStats, RetryPolicy, Sensor, MAX_SKIP,
 };
 pub use persist::{
     JournalError, JournalStats, NvmFaultPlan, NvmStats, NvmStore, RecoveredState, SequenceJournal,

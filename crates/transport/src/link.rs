@@ -1,7 +1,7 @@
 //! The framed sensor→server session: sealing, receive-side checks, and the
 //! retry/backoff loop.
 
-use age_crypto::{Cipher, OpenError};
+use age_crypto::{Cipher, EpochRatchet, OpenError};
 
 use crate::fault::{ChannelStats, FaultChannel, FaultPlan};
 use crate::persist::{JournalStats, SequenceJournal};
@@ -51,10 +51,89 @@ impl std::error::Error for ReceiveError {
     }
 }
 
+/// How far ahead of the highest accepted sequence number a frame may claim
+/// to be before the receiver rejects it as [`ReceiveError::FarFuture`].
+///
+/// This is the single shared definition: [`Receiver::MAX_SKIP`] re-exports
+/// it and the gateway's session layer imports it, so the transport guard
+/// and the fleet guard cannot drift apart.
+pub const MAX_SKIP: u64 = 1024;
+
+/// Builds a cipher from a 32-byte epoch key. Rekey-capable sensors and
+/// receivers re-key by deriving the next epoch key from their
+/// [`EpochRatchet`] and swapping in a fresh cipher from this factory. A
+/// plain `fn` pointer keeps the parts `Send` and trivially copyable.
+pub type CipherFactory = fn([u8; 32]) -> Box<dyn Cipher>;
+
+/// The workspace's default epoch-cipher factory (ChaCha20-Poly1305, the
+/// paper's AEAD).
+pub fn chacha20poly1305_factory(key: [u8; 32]) -> Box<dyn Cipher> {
+    Box::new(age_crypto::ChaCha20Poly1305::new(key))
+}
+
+/// The watermark rotation schedule: which key epoch covers `sequence`,
+/// given a rotation `interval` and a per-sensor stagger `phase`
+/// (`phase % interval`; epoch boundaries sit at `phase`,
+/// `phase + interval`, `phase + 2·interval`, …).
+///
+/// Sequence numbers are **global across epochs** — they never reset at a
+/// boundary — so this schedule is a pure function of the sequence number
+/// alone. That is the load-bearing property of the whole design: the epoch
+/// is derived state on both ends of the link, it never appears on the
+/// wire, and after any brownout both sides recompute it consistently from
+/// the recovered sequence position. An `interval` of 0 disables watermark
+/// rotation (epoch 0 forever, or explicit [`Sensor::rotate`] commands
+/// only).
+pub fn epoch_of(sequence: u64, interval: u64, phase: u64) -> u64 {
+    if interval == 0 {
+        return 0;
+    }
+    let phase = phase % interval;
+    if sequence < phase {
+        0
+    } else {
+        (sequence - phase) / interval + u64::from(phase > 0)
+    }
+}
+
+/// How many epochs ahead of its current one a receiver should be willing
+/// to probe: a post-brownout sensor may legitimately skip up to `max_skip`
+/// sequence numbers, which at watermark `interval` crosses up to
+/// `max_skip / interval` epoch boundaries at once (plus slack for an
+/// explicit rotation riding the same gap).
+pub fn epoch_skip_budget(max_skip: u64, interval: u64) -> u64 {
+    match max_skip.checked_div(interval) {
+        None => Receiver::DEFAULT_EPOCH_SKIP,
+        Some(crossings) => crossings.saturating_add(2),
+    }
+}
+
+/// Rekey state for a [`Sensor`]: the forward-secure chain plus the
+/// watermark schedule.
+struct SensorRekey {
+    /// The provisioning-time root, kept so a simulated reboot can rebuild
+    /// the ratchet at the journal-recovered epoch (a real device re-derives
+    /// from its provisioning secret the same way; a deployment wanting
+    /// sensor-side forward secrecy across *reboots* would persist the chain
+    /// value itself instead).
+    root: [u8; 32],
+    ratchet: EpochRatchet,
+    interval: u64,
+    phase: u64,
+    factory: CipherFactory,
+}
+
 /// The sensor half: seals payloads into framed messages with a
 /// monotonically increasing per-session sequence number. The nonce/IV is
 /// derived deterministically from that number by the cipher, so a frame is
 /// `message_len(payload)` bytes — a pure function of the payload length.
+///
+/// A rekey-capable sensor ([`Sensor::with_rekey`]) additionally carries a
+/// key epoch: the sealing key is the ratchet's key for the current epoch,
+/// and crossing a watermark boundary (or an explicit [`Sensor::rotate`])
+/// advances the ratchet and swaps the cipher. Nothing about the frame
+/// changes — same length, same layout — so rotation is invisible on the
+/// wire.
 pub struct Sensor {
     cipher: Box<dyn Cipher>,
     next_sequence: u64,
@@ -62,6 +141,9 @@ pub struct Sensor {
     /// cleared by [`Sensor::reboot_at`], exactly like the counter it
     /// guards).
     highest_sealed: Option<u64>,
+    /// Current key epoch (0 forever without rekey state).
+    epoch: u64,
+    rekey: Option<SensorRekey>,
 }
 
 impl Sensor {
@@ -71,7 +153,26 @@ impl Sensor {
             cipher,
             next_sequence: 0,
             highest_sealed: None,
+            epoch: 0,
+            rekey: None,
         }
+    }
+
+    /// A rekey-capable sensor: keys come from an [`EpochRatchet`] chained
+    /// off `root`, rotated every `interval` sequence numbers at stagger
+    /// `phase` (see [`epoch_of`]; `interval` 0 means explicit rotation
+    /// only), sealing with ciphers built by `factory`.
+    pub fn with_rekey(root: [u8; 32], interval: u64, phase: u64, factory: CipherFactory) -> Self {
+        let ratchet = EpochRatchet::new(root);
+        let mut sensor = Sensor::new(factory(ratchet.key()));
+        sensor.rekey = Some(SensorRekey {
+            root,
+            ratchet,
+            interval,
+            phase: if interval == 0 { 0 } else { phase % interval },
+            factory,
+        });
+        sensor
     }
 
     /// The sequence number the next [`Sensor::seal`] will use.
@@ -82,6 +183,52 @@ impl Sensor {
     /// The highest sequence number sealed this power cycle, if any.
     pub fn highest_sealed(&self) -> Option<u64> {
         self.highest_sealed
+    }
+
+    /// The key epoch the next seal will use (always 0 without rekey
+    /// state).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch the watermark schedule demands for `sequence`, when it is
+    /// ahead of the current one. `None` when no rotation is due (or the
+    /// sensor has no rekey state). Callers that journal their rotations
+    /// ([`Link`]) check this *before* sealing and write the epoch record
+    /// ahead of [`Sensor::rotate_to`].
+    pub fn rotation_due(&self, sequence: u64) -> Option<u64> {
+        let rekey = self.rekey.as_ref()?;
+        if rekey.interval == 0 {
+            return None;
+        }
+        let target = epoch_of(sequence, rekey.interval, rekey.phase);
+        (target > self.epoch).then_some(target)
+    }
+
+    /// Advances the ratchet to `epoch` and swaps in the new epoch key.
+    /// Targets at or below the current epoch, or calls on a sensor without
+    /// rekey state, are no-ops. Returns `true` if a rotation happened.
+    pub fn rotate_to(&mut self, epoch: u64) -> bool {
+        let Some(rekey) = self.rekey.as_mut() else {
+            return false;
+        };
+        if epoch <= self.epoch {
+            return false;
+        }
+        rekey.ratchet.seek(epoch);
+        self.cipher = (rekey.factory)(rekey.ratchet.key());
+        self.epoch = epoch;
+        #[cfg(feature = "telemetry")]
+        age_telemetry::metrics::global::KEY_ROTATIONS.add(1);
+        true
+    }
+
+    /// Explicit rotation command: advance one epoch regardless of the
+    /// watermark. Returns the epoch now in use (unchanged on a sensor
+    /// without rekey state).
+    pub fn rotate(&mut self) -> u64 {
+        self.rotate_to(self.epoch + 1);
+        self.epoch
     }
 
     /// Seals `payload` under the next sequence number.
@@ -97,6 +244,12 @@ impl Sensor {
     /// fixed frame length, sealing never touches the heap.
     pub fn seal_into(&mut self, payload: &[u8], frame: &mut Vec<u8>) -> u64 {
         let sequence = self.next_sequence;
+        // RAM-only watermark rotation: sensors that journal their sequence
+        // numbers seal through `seal_as_into` instead, with the owning
+        // [`Link`] committing the epoch record write-ahead.
+        if let Some(target) = self.rotation_due(sequence) {
+            self.rotate_to(target);
+        }
         self.next_sequence += 1;
         self.note_sealed(sequence);
         self.cipher.seal_into(sequence, payload, frame);
@@ -144,8 +297,32 @@ impl Sensor {
     /// says — [`Link::reboot_sensor`] passes the journal's recovered
     /// position, or 0 when there is no journal.
     pub fn reboot_at(&mut self, next_sequence: u64) {
+        self.resume(next_sequence, 0);
+    }
+
+    /// Power-loss recovery with an explicit journal-recovered epoch: RAM
+    /// state is gone, the counter restarts at `next_sequence`, and the
+    /// ratchet is rebuilt from the root at whichever is later of the
+    /// journal's committed epoch and the watermark epoch of the resumed
+    /// sequence position.
+    ///
+    /// The target can sit *below* the pre-brownout RAM epoch — a rotation
+    /// whose journal record tore never committed, so a real reboot resumes
+    /// on the previous key. That is safe precisely because sequence
+    /// numbers are global: the resumed counter is past everything ever
+    /// sealed, so re-keying "backwards" still never reuses a
+    /// `(key, nonce)` pair (and the receiver's epoch skew tolerance
+    /// absorbs the transient mismatch).
+    pub fn resume(&mut self, next_sequence: u64, journal_epoch: u64) {
         self.next_sequence = next_sequence;
         self.highest_sealed = None;
+        if let Some(rekey) = self.rekey.as_mut() {
+            let watermark = epoch_of(next_sequence, rekey.interval, rekey.phase);
+            let target = journal_epoch.max(watermark);
+            rekey.ratchet = EpochRatchet::at_epoch(rekey.root, target);
+            self.cipher = (rekey.factory)(rekey.ratchet.key());
+            self.epoch = target;
+        }
     }
 
     /// Exact on-air frame length for a payload of `payload_len` bytes.
@@ -178,6 +355,12 @@ pub struct ReceiverStats {
     pub far_future: u64,
     /// Frames too short to carry a sequence number.
     pub missing_sequence: u64,
+    /// Forward epoch steps taken after a frame opened under a later epoch
+    /// key (each step may cross several epochs at once post-brownout).
+    pub epoch_advances: u64,
+    /// Frames accepted under the *previous* epoch key — stragglers sealed
+    /// just before a rotation the receiver has already followed.
+    pub epoch_behind: u64,
 }
 
 impl ReceiverStats {
@@ -194,7 +377,24 @@ impl ReceiverStats {
         self.replay_rejected += other.replay_rejected;
         self.far_future += other.far_future;
         self.missing_sequence += other.missing_sequence;
+        self.epoch_advances += other.epoch_advances;
+        self.epoch_behind += other.epoch_behind;
     }
+}
+
+/// Rekey state for a [`Receiver`]: the ratchet at the current epoch plus
+/// the skew-tolerance machinery.
+struct ReceiverRekey {
+    ratchet: EpochRatchet,
+    /// Cipher for the previous epoch, kept so stragglers sealed just
+    /// before a rotation still open (the deliberate skew-tolerance
+    /// trade-off: one old epoch key stays in memory until the next
+    /// rotation retires it).
+    prev_cipher: Option<Box<dyn Cipher>>,
+    /// How many epochs ahead the receiver probes before giving up (see
+    /// [`epoch_skip_budget`]).
+    skip: u64,
+    factory: CipherFactory,
 }
 
 /// The server half: opens frames, enforces the replay window, and degrades
@@ -205,12 +405,23 @@ pub struct Receiver {
     window: ReplayWindow,
     max_skip: u64,
     stats: ReceiverStats,
+    /// Current key epoch (0 forever without rekey state).
+    epoch: u64,
+    /// Epoch the most recently accepted frame actually opened under —
+    /// `epoch - 1` for a straggler accepted via the previous-epoch cipher.
+    last_epoch: u64,
+    rekey: Option<ReceiverRekey>,
 }
 
 impl Receiver {
     /// How far ahead of the highest accepted sequence number a frame may
     /// claim to be before it is rejected as [`ReceiveError::FarFuture`].
-    pub const MAX_SKIP: u64 = 1024;
+    /// Re-exports the crate-wide [`MAX_SKIP`](crate::link::MAX_SKIP) so
+    /// existing call sites keep compiling.
+    pub const MAX_SKIP: u64 = crate::link::MAX_SKIP;
+
+    /// Default epoch probe budget when no watermark interval is known.
+    pub const DEFAULT_EPOCH_SKIP: u64 = 4;
 
     /// A receiver with an empty replay window.
     pub fn new(cipher: Box<dyn Cipher>) -> Self {
@@ -219,6 +430,9 @@ impl Receiver {
             window: ReplayWindow::new(),
             max_skip: Self::MAX_SKIP,
             stats: ReceiverStats::default(),
+            epoch: 0,
+            last_epoch: 0,
+            rekey: None,
         }
     }
 
@@ -231,9 +445,44 @@ impl Receiver {
         receiver
     }
 
+    /// A rekey-capable receiver: keys come from an [`EpochRatchet`]
+    /// chained off `root`, and a frame that fails to open under the
+    /// current epoch key is retried under the previous epoch's key and up
+    /// to `epoch_skip` future epochs' keys (see [`epoch_skip_budget`]) —
+    /// so lost rotation frames and post-brownout epoch jumps degrade into
+    /// one extra trial decryption instead of a bricked session.
+    pub fn with_ratchet(
+        root: [u8; 32],
+        max_skip: u64,
+        epoch_skip: u64,
+        factory: CipherFactory,
+    ) -> Self {
+        let ratchet = EpochRatchet::new(root);
+        let mut receiver = Receiver::with_max_skip(factory(ratchet.key()), max_skip);
+        receiver.rekey = Some(ReceiverRekey {
+            ratchet,
+            prev_cipher: None,
+            skip: epoch_skip.max(1),
+            factory,
+        });
+        receiver
+    }
+
     /// The replay window's highest accepted sequence number, if any.
     pub fn highest_sequence(&self) -> Option<u64> {
         self.window.highest()
+    }
+
+    /// The receiver's current key epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch the most recently accepted frame opened under (equals
+    /// [`epoch`](Self::epoch) except for stragglers from the previous
+    /// epoch).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
     }
 
     /// This receiver's accept/reject counters.
@@ -274,7 +523,7 @@ impl Receiver {
                 return Err(ReceiveError::MissingSequence);
             }
         };
-        self.cipher.open_into(frame, payload).map_err(|e| {
+        let opened_epoch = self.open_any(frame, payload).map_err(|e| {
             self.stats.auth_failed += 1;
             #[cfg(feature = "telemetry")]
             age_telemetry::metrics::global::FRAMES_AUTH_FAILED.add(1);
@@ -297,7 +546,54 @@ impl Receiver {
             ReceiveError::Replay(e)
         })?;
         self.stats.accepted += 1;
+        self.last_epoch = opened_epoch;
         Ok(sequence)
+    }
+
+    /// Opens `frame` under the current epoch key, then — on a
+    /// rekey-capable receiver — retries under the previous epoch's key
+    /// (straggler sealed just before a rotation) and finally probes up to
+    /// `skip` future epochs (the sensor rotated, perhaps several times
+    /// across a brownout; a successful forward open commits the receiver
+    /// to the new epoch). Returns the epoch the frame opened under.
+    ///
+    /// The replay window is shared across epochs — sequence numbers are
+    /// global — so skew handling needs no window surgery: whatever epoch a
+    /// frame opens under, its sequence number still has to clear the same
+    /// far-future guard and replay window as always.
+    fn open_any(&mut self, frame: &[u8], payload: &mut Vec<u8>) -> Result<u64, OpenError> {
+        let err = match self.cipher.open_into(frame, payload) {
+            Ok(()) => return Ok(self.epoch),
+            Err(err) => err,
+        };
+        let Some(rekey) = self.rekey.as_mut() else {
+            return Err(err);
+        };
+        // The straggler path first: one cheap trial, no key derivation.
+        if let Some(prev) = rekey.prev_cipher.as_ref() {
+            if prev.open_into(frame, payload).is_ok() {
+                self.stats.epoch_behind += 1;
+                return Ok(self.epoch - 1);
+            }
+        }
+        // Forward probes. Deriving a candidate key is a handful of
+        // permutations, and this path only runs for frames the current
+        // key already rejected — genuine rotations, not steady traffic.
+        let mut probe = rekey.ratchet.clone();
+        for _ in 0..rekey.skip {
+            let key_below = probe.key();
+            probe.advance();
+            let candidate = (rekey.factory)(probe.key());
+            if candidate.open_into(frame, payload).is_ok() {
+                rekey.prev_cipher = Some((rekey.factory)(key_below));
+                rekey.ratchet = probe;
+                self.epoch = rekey.ratchet.epoch();
+                self.cipher = candidate;
+                self.stats.epoch_advances += 1;
+                return Ok(self.epoch);
+            }
+        }
+        Err(err)
     }
 }
 
@@ -361,6 +657,9 @@ impl RetryPolicy {
 pub struct Delivery {
     /// The message's sequence number.
     pub sequence: u64,
+    /// The sensor epoch the frame was sealed under (0 on a non-rekeying
+    /// link).
+    pub epoch: u64,
     /// The sealed frame's on-air length (every attempt radiates exactly
     /// this many bytes).
     pub frame_len: usize,
@@ -404,6 +703,12 @@ pub struct LinkStats {
     pub journal_flushes: usize,
     /// Sequence numbers retired unused by conservative reboot recovery.
     pub sequences_skipped: usize,
+    /// Epoch rotations committed (journaled write-ahead when a journal is
+    /// attached, RAM-only otherwise).
+    pub rotations: usize,
+    /// Rotations the NVM refused to journal — the sensor stayed on its old
+    /// key rather than rotate without a recoverable record.
+    pub rotations_deferred: usize,
 }
 
 /// A full sensor→channel→server session with retries.
@@ -478,14 +783,45 @@ impl Link {
         }
     }
 
+    /// Assembles a session from pre-built endpoints — the constructor for
+    /// rekey-capable links ([`Sensor::with_rekey`] on one side,
+    /// [`Receiver::with_ratchet`] on the other) or any other custom
+    /// endpoint configuration.
+    pub fn with_parts(
+        sensor: Sensor,
+        receiver: Receiver,
+        channel: FaultChannel,
+        retry: RetryPolicy,
+    ) -> Self {
+        Link {
+            sensor,
+            channel,
+            receiver,
+            retry,
+            stats: LinkStats::default(),
+            journal: None,
+            frame_scratch: Vec::new(),
+        }
+    }
+
     /// Numbers frames from a persisted sequence-reservation journal instead
     /// of the RAM counter, so [`Link::reboot_sensor`] recovers without
     /// nonce reuse. The sensor resumes at the journal's position (0 for a
-    /// fresh store).
+    /// fresh store) and on the journal's recovered epoch.
     pub fn with_journal(mut self, journal: SequenceJournal) -> Self {
-        self.sensor.reboot_at(journal.next());
+        self.sensor.resume(journal.next(), journal.epoch());
         self.journal = Some(journal);
         self
+    }
+
+    /// The sending endpoint (epoch and seal state inspection).
+    pub fn sensor(&self) -> &Sensor {
+        &self.sensor
+    }
+
+    /// The receiving endpoint (epoch and window state inspection).
+    pub fn receiver(&self) -> &Receiver {
+        &self.receiver
     }
 
     /// Whether frames are numbered from a persisted journal.
@@ -528,13 +864,18 @@ impl Link {
     pub fn send(&mut self, payload: &[u8]) -> Delivery {
         if self.journal.is_none() {
             let mut frame = std::mem::take(&mut self.frame_scratch);
+            let epoch_before = self.sensor.epoch();
             let sequence = self.sensor.seal_into(payload, &mut frame);
+            if self.sensor.epoch() != epoch_before {
+                self.stats.rotations += 1;
+            }
             let delivery = self.drive(sequence, &frame);
             self.frame_scratch = frame;
             return delivery;
         }
         match self.journal_reserve() {
             Ok(sequence) => {
+                self.maybe_rotate(sequence);
                 let mut frame = std::mem::take(&mut self.frame_scratch);
                 self.sensor.seal_as_into(sequence, payload, &mut frame);
                 let delivery = self.drive(sequence, &frame);
@@ -545,6 +886,7 @@ impl Link {
                 self.stats.messages_lost += 1;
                 Delivery {
                     sequence: stuck_at,
+                    epoch: self.sensor.epoch(),
                     frame_len: 0,
                     attempts: 0,
                     delivered: false,
@@ -552,6 +894,54 @@ impl Link {
                     backoff_ms: 0.0,
                 }
             }
+        }
+    }
+
+    /// Write-ahead rotation: when the watermark schedule says `sequence`
+    /// belongs to a later epoch, journal the target epoch *before*
+    /// switching keys. If the NVM refuses the record, the rotation is
+    /// deferred and the sensor keeps sealing under its old key — a RAM-only
+    /// rotation would be forgotten by the next brownout, and recovery must
+    /// always land on a journaled epoch. Deferral is safe for nonce
+    /// uniqueness because sequence numbers are global: staying on the old
+    /// key only delays forward secrecy, it cannot reuse a (key, nonce)
+    /// pair.
+    fn maybe_rotate(&mut self, sequence: u64) {
+        let Some(target) = self.sensor.rotation_due(sequence) else {
+            return;
+        };
+        self.commit_rotation(target);
+    }
+
+    /// Rotates the sensor one epoch ahead by explicit command — the
+    /// out-of-band trigger (operator or server policy), as opposed to the
+    /// sequence-watermark schedule. The journaled write-ahead applies
+    /// exactly as for scheduled rotations. Returns the sensor's epoch
+    /// afterwards — unchanged when the NVM refused the journal record or
+    /// the sensor has no rekey state.
+    pub fn rotate_sensor(&mut self) -> u64 {
+        self.commit_rotation(self.sensor.epoch() + 1);
+        self.sensor.epoch()
+    }
+
+    fn commit_rotation(&mut self, target: u64) {
+        if target <= self.sensor.epoch() {
+            return;
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            let flushes_before = journal.stats().flushes;
+            let committed = journal.record_epoch(target).is_ok();
+            let flushed = journal.stats().flushes - flushes_before;
+            self.stats.journal_flushes += flushed;
+            #[cfg(feature = "telemetry")]
+            age_telemetry::metrics::global::JOURNAL_FLUSHES.add(flushed as u64);
+            if !committed {
+                self.stats.rotations_deferred += 1;
+                return;
+            }
+        }
+        if self.sensor.rotate_to(target) {
+            self.stats.rotations += 1;
         }
     }
 
@@ -563,13 +953,20 @@ impl Link {
     /// journal the seal still burns a RAM sequence number, which the
     /// reboot then forgets.
     pub fn abort_send(&mut self, payload: &[u8]) {
-        let mut frame = std::mem::take(&mut self.frame_scratch);
         if self.journal.is_none() {
+            let mut frame = std::mem::take(&mut self.frame_scratch);
             let _ = self.sensor.seal_into(payload, &mut frame);
+            self.frame_scratch = frame;
         } else if let Ok(sequence) = self.journal_reserve() {
+            // The rotation window is part of the brownout surface: power
+            // can die right after the epoch record commits, before (or
+            // after) the frame seals. Recovery must land on the journaled
+            // epoch either way.
+            self.maybe_rotate(sequence);
+            let mut frame = std::mem::take(&mut self.frame_scratch);
             self.sensor.seal_as_into(sequence, payload, &mut frame);
+            self.frame_scratch = frame;
         }
-        self.frame_scratch = frame;
         self.reboot_sensor();
     }
 
@@ -599,7 +996,8 @@ impl Link {
             }
             None => 0,
         };
-        self.sensor.reboot_at(next);
+        let epoch = self.journal.as_ref().map_or(0, SequenceJournal::epoch);
+        self.sensor.resume(next, epoch);
     }
 
     /// Draws the next number from the attached journal, folding any flush
@@ -643,6 +1041,7 @@ impl Link {
     fn drive(&mut self, sequence: u64, frame: &[u8]) -> Delivery {
         let mut delivery = Delivery {
             sequence,
+            epoch: self.sensor.epoch(),
             frame_len: frame.len(),
             attempts: 0,
             delivered: false,
@@ -1047,5 +1446,202 @@ mod tests {
             limit: 5,
         };
         assert!(e.to_string().contains('9'));
+    }
+
+    // --- epoch rekeying ------------------------------------------------
+
+    fn rekey_pair(interval: u64) -> (Sensor, Receiver) {
+        let root = age_crypto::kdf::sensor_root(&age_crypto::kdf::fleet_secret(77), 3);
+        (
+            Sensor::with_rekey(root, interval, 0, chacha20poly1305_factory),
+            Receiver::with_ratchet(
+                root,
+                MAX_SKIP,
+                epoch_skip_budget(MAX_SKIP, interval),
+                chacha20poly1305_factory,
+            ),
+        )
+    }
+
+    fn rekey_link(interval: u64, plan: FaultPlan, retry: RetryPolicy) -> Link {
+        let (sensor, receiver) = rekey_pair(interval);
+        Link::with_parts(sensor, receiver, FaultChannel::new(plan), retry)
+    }
+
+    #[test]
+    fn rotations_follow_the_watermark_schedule() {
+        let mut link = rekey_link(8, FaultPlan::NONE, RetryPolicy::none());
+        let mut frame_lens = std::collections::BTreeSet::new();
+        for i in 0..40u8 {
+            let d = link.send(&[i; 32]);
+            assert!(d.delivered);
+            assert_eq!(d.epoch, epoch_of(d.sequence, 8, 0));
+            frame_lens.insert(d.frame_len);
+        }
+        assert_eq!(link.sensor().epoch(), 4, "sequence 39 sits in epoch 4");
+        assert_eq!(link.receiver().last_epoch(), 4);
+        assert_eq!(link.stats().rotations, 4);
+        assert_eq!(link.receiver().stats().epoch_advances, 4);
+        assert_eq!(
+            frame_lens.len(),
+            1,
+            "an epoch boundary must not change the frame size"
+        );
+    }
+
+    #[test]
+    fn receiver_tracks_epochs_across_a_lossy_channel() {
+        let mut link = rekey_link(5, FaultPlan::drops(0.4, 21), RetryPolicy::default());
+        let mut delivered = 0;
+        for i in 0..60u8 {
+            let d = link.send(&[i; 24]);
+            if d.delivered {
+                delivered += 1;
+                assert_eq!(d.epoch, epoch_of(d.sequence, 5, 0));
+            }
+        }
+        assert!(delivered >= 50, "delivered only {delivered}/60");
+        assert_eq!(link.sensor().epoch(), 11);
+        assert!(
+            link.receiver().epoch() >= 10,
+            "the receiver must follow rotations despite drops, reached {}",
+            link.receiver().epoch()
+        );
+    }
+
+    #[test]
+    fn explicit_rotation_commands_rekey_without_a_schedule() {
+        let mut link = rekey_link(0, FaultPlan::NONE, RetryPolicy::none());
+        assert!(link.send(b"epoch zero").delivered);
+        assert_eq!(link.rotate_sensor(), 1);
+        let d = link.send(b"epoch one");
+        assert!(d.delivered);
+        assert_eq!(d.epoch, 1);
+        assert_eq!(link.receiver().last_epoch(), 1);
+        assert_eq!(link.stats().rotations, 1);
+        assert_eq!(link.receiver().stats().epoch_advances, 1);
+        // A rotation command on a rekey-less link is a visible no-op.
+        let mut plain = aead_link(FaultPlan::NONE, RetryPolicy::none());
+        assert_eq!(plain.rotate_sensor(), 0);
+        assert_eq!(plain.stats().rotations, 0);
+    }
+
+    #[test]
+    fn stragglers_from_the_previous_epoch_still_open() {
+        // Hold a frame sealed in epoch 0 in the reordering channel, rotate,
+        // deliver epoch-1 traffic, then release the straggler: it must open
+        // under the retired key and be counted as epoch_behind.
+        let plan = FaultPlan {
+            reorder_rate: 1.0,
+            ..FaultPlan::NONE
+        };
+        let (sensor, receiver) = rekey_pair(0);
+        let mut link = Link::with_parts(
+            sensor,
+            receiver,
+            FaultChannel::new(plan),
+            RetryPolicy::none(),
+        );
+        let held = link.send(b"sealed in epoch zero");
+        assert!(!held.delivered, "the reorder fault holds the frame");
+        link.rotate_sensor();
+        let late = link.flush();
+        assert_eq!(late.len(), 1, "the straggler must still open");
+        assert_eq!(late[0].1, b"sealed in epoch zero");
+        assert_eq!(
+            link.receiver().stats().epoch_behind,
+            0,
+            "receiver never advanced"
+        );
+    }
+
+    #[test]
+    fn brownout_across_an_epoch_boundary_recovers_without_reuse() {
+        // Reservation block 8, rekey interval 4: conservative reboot
+        // recovery skips the rest of the block, landing the resumed
+        // sequence in a *later* epoch than the journal ever recorded. The
+        // sensor must resume on the watermark epoch and the receiver must
+        // follow the multi-epoch jump.
+        let (sensor, receiver) = rekey_pair(4);
+        let mut link = Link::with_parts(
+            sensor,
+            receiver,
+            FaultChannel::new(FaultPlan::NONE),
+            RetryPolicy::none(),
+        )
+        .with_journal(SequenceJournal::new(
+            crate::persist::NvmStore::reliable(),
+            8,
+        ));
+        for i in 0..6u8 {
+            let d = link.send(&[i; 16]);
+            assert!(d.delivered);
+            assert_eq!(d.epoch, epoch_of(d.sequence, 4, 0));
+        }
+        assert_eq!(link.stats().rotations, 1, "sequence 4 crossed into epoch 1");
+        // Power dies right after the reservation (and any due rotation's
+        // journal write), before the frame radiates.
+        link.abort_send(b"browned out");
+        let d = link.send(b"after recovery");
+        assert!(
+            d.delivered,
+            "the receiver must follow the post-brownout jump"
+        );
+        assert_eq!(d.epoch, epoch_of(d.sequence, 4, 0));
+        assert!(d.epoch >= 2, "recovery skipped past an epoch boundary");
+        assert_eq!(link.receiver().last_epoch(), d.epoch);
+    }
+
+    #[test]
+    fn rekey_soak_with_faulty_nvm_and_channel_never_reuses_a_sequence() {
+        // Brownouts (some inside the rotation window via abort_send), torn
+        // and failing NVM writes, a lossy channel, and a rekey schedule all
+        // at once: every frame that radiates must still carry a fresh
+        // sequence number, and the link must keep making progress.
+        let nvm = crate::persist::NvmFaultPlan {
+            fail_rate: 0.1,
+            torn_rate: 0.3,
+            seed: 31,
+        };
+        let (sensor, receiver) = rekey_pair(6);
+        let mut link = Link::with_parts(
+            sensor,
+            receiver,
+            FaultChannel::new(FaultPlan::lossy(0.2, 8)),
+            RetryPolicy::default(),
+        )
+        .with_journal(SequenceJournal::new(crate::persist::NvmStore::new(nvm), 4));
+        let mut driver = age_telemetry::DetRng::seed_from_u64(5);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut delivered = 0usize;
+        for i in 0..400u32 {
+            if driver.gen_bool(0.06) {
+                if driver.gen_bool(0.5) {
+                    link.abort_send(&[0xAB; 12]);
+                } else {
+                    link.reboot_sensor();
+                }
+            }
+            let d = link.send(&[(i % 251) as u8; 12]);
+            if d.attempts > 0 {
+                assert!(
+                    seen.insert(d.sequence),
+                    "sequence {} radiated twice",
+                    d.sequence
+                );
+            }
+            delivered += usize::from(d.delivered);
+        }
+        let stats = *link.stats();
+        assert!(
+            stats.rotations > 10,
+            "the schedule must fire across the soak"
+        );
+        assert!(stats.sensor_reboots > 5, "the soak must actually brown out");
+        assert!(delivered >= 360, "delivered only {delivered}/400");
+        assert!(
+            link.receiver().stats().epoch_advances > 0,
+            "the receiver must have followed rotations"
+        );
     }
 }

@@ -94,6 +94,37 @@ pub struct RecoveredState {
     /// Torn records in the ring. Each one's mark is unreadable, so recovery
     /// must presume each reserved (and consumed) one full block.
     pub torn_records: usize,
+    /// The highest key epoch among records that checksum. A torn epoch
+    /// record leaves this untouched: the rotation never committed, so the
+    /// sensor resumes on the previous epoch and re-rotates from its
+    /// watermark (safe, because sequence numbers are global across epochs
+    /// and never reused).
+    pub highest_valid_epoch: Option<u64>,
+}
+
+/// Tag bit distinguishing an epoch-rotation record from a sequence
+/// reservation mark in the shared slot ring.
+const EPOCH_TAG: u64 = 1 << 63;
+/// Bits of the packed record carrying the sequence reservation end.
+const EPOCH_SEQ_BITS: u32 = 40;
+const EPOCH_SEQ_MASK: u64 = (1 << EPOCH_SEQ_BITS) - 1;
+/// Bits carrying the epoch number (the remaining 23 below the tag).
+const EPOCH_MASK: u64 = (1 << 23) - 1;
+
+/// Packs an epoch-rotation record. The record carries *both* the epoch and
+/// the journal's current reservation end: rotation records walk the same
+/// ring as sequence marks, so each must re-anchor the sequence high-water
+/// mark — otherwise a burst of rotations could evict every reservation
+/// record and recovery would resume at 0, the exact nonce-reuse disaster
+/// the journal exists to prevent. 40 bits of sequence and 23 bits of epoch
+/// are far beyond anything a deployment reaches before re-provisioning.
+fn pack_epoch_record(epoch: u64, reserved_end: u64) -> u64 {
+    debug_assert!(epoch <= EPOCH_MASK, "epoch {epoch} overflows the record");
+    debug_assert!(
+        reserved_end <= EPOCH_SEQ_MASK,
+        "reservation end {reserved_end} overflows the record"
+    );
+    EPOCH_TAG | (epoch.min(EPOCH_MASK) << EPOCH_SEQ_BITS) | (reserved_end & EPOCH_SEQ_MASK)
 }
 
 /// A small simulated flash region organised as a ring of journal slots.
@@ -189,6 +220,14 @@ impl NvmStore {
             match slot {
                 Slot::Blank => {}
                 Slot::Torn => state.torn_records += 1,
+                Slot::Valid(record) if record & EPOCH_TAG != 0 => {
+                    let epoch = (record >> EPOCH_SEQ_BITS) & EPOCH_MASK;
+                    let mark = record & EPOCH_SEQ_MASK;
+                    state.highest_valid_epoch =
+                        Some(state.highest_valid_epoch.map_or(epoch, |e| e.max(epoch)));
+                    state.highest_valid_mark =
+                        Some(state.highest_valid_mark.map_or(mark, |m| m.max(mark)));
+                }
                 Slot::Valid(mark) => {
                     state.highest_valid_mark =
                         Some(state.highest_valid_mark.map_or(*mark, |m| m.max(*mark)));
@@ -240,6 +279,9 @@ pub struct JournalStats {
     pub reboots: usize,
     /// Sequence numbers retired unused by conservative recovery.
     pub sequences_skipped: u64,
+    /// Epoch-rotation records successfully persisted (a subset of
+    /// `flushes`).
+    pub epoch_records: usize,
 }
 
 /// Write-ahead sequence number reservation over an [`NvmStore`].
@@ -273,6 +315,9 @@ pub struct SequenceJournal {
     reserved_end: u64,
     /// Next number to hand out (RAM only — lost on reboot).
     next: u64,
+    /// Highest key epoch committed to NVM (rebuilt from the store on
+    /// reboot, so a torn rotation record rolls back to the prior epoch).
+    epoch: u64,
     stats: JournalStats,
 }
 
@@ -290,12 +335,14 @@ impl SequenceJournal {
     /// sensor powering up mid-deployment — the journal resumes from them.
     pub fn new(nvm: NvmStore, block: u64) -> Self {
         let block = block.max(1);
-        let next = Self::resume_point(&nvm.recover(), block);
+        let recovered = nvm.recover();
+        let next = Self::resume_point(&recovered, block);
         SequenceJournal {
             nvm,
             block,
             reserved_end: next,
             next,
+            epoch: recovered.highest_valid_epoch.unwrap_or(0),
             stats: JournalStats::default(),
         }
     }
@@ -319,6 +366,35 @@ impl SequenceJournal {
     /// Exclusive end of the persisted reservation.
     pub fn reserved_end(&self) -> u64 {
         self.reserved_end
+    }
+
+    /// The highest key epoch committed to NVM.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Write-ahead commit of a key rotation: the epoch record is persisted
+    /// *before* the caller advances its ratchet or seals anything under
+    /// the new key, exactly like a sequence reservation. On failure the
+    /// rotation simply has not happened — the caller stays on the old
+    /// epoch, which is always safe because sequence numbers are global
+    /// across epochs (no `(key, nonce)` pair ever repeats either way).
+    ///
+    /// A target at or below the committed epoch is a no-op; epochs only
+    /// move forward.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NvmWriteFailed`] when every write attempt failed
+    /// its verify; the committed epoch is unchanged.
+    pub fn record_epoch(&mut self, epoch: u64) -> Result<(), JournalError> {
+        if epoch <= self.epoch {
+            return Ok(());
+        }
+        self.persist_mark(pack_epoch_record(epoch, self.reserved_end))?;
+        self.stats.epoch_records += 1;
+        self.epoch = epoch;
+        Ok(())
     }
 
     /// Journal counters so far.
@@ -346,7 +422,7 @@ impl SequenceJournal {
         }
         if self.next >= self.reserved_end {
             let new_end = self.reserved_end.saturating_add(self.block);
-            self.persist_mark(new_end)?;
+            self.persist_record(new_end)?;
             self.reserved_end = new_end;
         }
         let sequence = self.next;
@@ -360,7 +436,8 @@ impl SequenceJournal {
     /// retired unused.
     pub fn reboot(&mut self) -> u64 {
         self.nvm.power_loss();
-        let resumed = Self::resume_point(&self.nvm.recover(), self.block);
+        let recovered = self.nvm.recover();
+        let resumed = Self::resume_point(&recovered, self.block);
         // Never resume below the RAM position: with write-ahead reservation
         // recovery always lands at or past it, but the defensive max keeps
         // "never reuse" independent of the store's behavior.
@@ -368,12 +445,31 @@ impl SequenceJournal {
         let skipped = resumed - self.next;
         self.next = resumed;
         self.reserved_end = resumed;
+        // The epoch is *not* maxed against RAM: a torn rotation record
+        // means the rotation never committed, and a real reboot would lose
+        // the RAM view of it. Rolling back is safe — sequences are global,
+        // so resealing under the previous epoch key cannot reuse a nonce —
+        // and the caller re-derives its ratchet at the recovered epoch.
+        self.epoch = recovered.highest_valid_epoch.unwrap_or(0);
         self.stats.reboots += 1;
         self.stats.sequences_skipped += skipped;
         // Checkpoint; a failure here is survivable (recovery stays sound,
         // the next reservation will retry the NVM anyway).
-        let _ = self.persist_mark(resumed);
+        let _ = self.persist_record(resumed);
         skipped
+    }
+
+    /// Writes one reservation record carrying `mark`. Once the journal has
+    /// rotated past epoch 0, every reservation record is written in the
+    /// packed epoch format: rotation records share the slot ring, so plain
+    /// marks could otherwise evict the epoch from the ring entirely and a
+    /// much later reboot would recover epoch 0.
+    fn persist_record(&mut self, mark: u64) -> Result<(), JournalError> {
+        if self.epoch > 0 {
+            self.persist_mark(pack_epoch_record(self.epoch, mark))
+        } else {
+            self.persist_mark(mark)
+        }
     }
 
     /// Writes one journal record, retrying failed attempts up to
@@ -594,5 +690,120 @@ mod tests {
                 last = Some(seq);
             }
         }
+    }
+
+    #[test]
+    fn epoch_record_commits_and_survives_reboot() {
+        let mut journal = SequenceJournal::new(NvmStore::reliable(), 8);
+        for _ in 0..5 {
+            journal.reserve_next().unwrap();
+        }
+        journal.record_epoch(1).unwrap();
+        assert_eq!(journal.epoch(), 1);
+        assert_eq!(journal.stats().epoch_records, 1);
+        journal.reboot();
+        assert_eq!(journal.epoch(), 1, "committed rotation survives power loss");
+        assert_eq!(journal.next(), 8, "sequence recovery is unaffected");
+    }
+
+    #[test]
+    fn stale_epoch_targets_are_no_ops() {
+        let mut journal = SequenceJournal::new(NvmStore::reliable(), 8);
+        journal.record_epoch(3).unwrap();
+        let flushes = journal.stats().flushes;
+        journal.record_epoch(3).unwrap();
+        journal.record_epoch(1).unwrap();
+        assert_eq!(journal.epoch(), 3);
+        assert_eq!(journal.stats().flushes, flushes, "no redundant NVM writes");
+    }
+
+    #[test]
+    fn torn_rotation_record_rolls_back_to_the_previous_epoch() {
+        // The acceptance scenario: power dies *inside* the rotation
+        // journal write. The record tears, so recovery lands on the old
+        // epoch — and the sequence skip guarantees nothing sealed after
+        // recovery can collide with anything sealed before it.
+        let plan = NvmFaultPlan {
+            fail_rate: 0.0,
+            torn_rate: 1.0,
+            seed: 13,
+        };
+        let mut journal = SequenceJournal::new(NvmStore::new(plan), 8);
+        for _ in 0..3 {
+            journal.reserve_next().unwrap();
+        }
+        journal.record_epoch(1).unwrap();
+        assert_eq!(journal.epoch(), 1, "RAM sees the rotation pre-brownout");
+        let before = journal.next();
+        journal.reboot();
+        assert_eq!(journal.epoch(), 0, "torn rotation never committed");
+        assert!(
+            journal.next() >= before,
+            "recovery still resumes past every handed-out sequence"
+        );
+    }
+
+    #[test]
+    fn a_rotation_burst_cannot_evict_the_sequence_mark() {
+        // More rotation records than ring slots between two reservations:
+        // each rotation record re-anchors the reservation end, so recovery
+        // must still resume past it instead of falling back to 0.
+        let mut journal = SequenceJournal::new(NvmStore::reliable(), 8);
+        for _ in 0..9 {
+            journal.reserve_next().unwrap();
+        }
+        let reserved = journal.reserved_end();
+        for epoch in 1..=(NvmStore::DEFAULT_SLOTS as u64 + 2) {
+            journal.record_epoch(epoch).unwrap();
+        }
+        journal.reboot();
+        assert!(
+            journal.next() >= reserved,
+            "resumed at {} below the reservation end {reserved}",
+            journal.next()
+        );
+        assert_eq!(journal.epoch(), NvmStore::DEFAULT_SLOTS as u64 + 2);
+    }
+
+    #[test]
+    fn the_epoch_survives_ring_eviction_by_reservations() {
+        // After a rotation, enough reservation traffic wraps the ring and
+        // would evict a one-off epoch record; packed reservation records
+        // keep the epoch readable indefinitely.
+        let mut journal = SequenceJournal::new(NvmStore::reliable(), 4);
+        journal.record_epoch(3).unwrap();
+        for _ in 0..(4 * (NvmStore::DEFAULT_SLOTS as u64 + 4)) {
+            journal.reserve_next().unwrap();
+        }
+        journal.reboot();
+        assert_eq!(journal.epoch(), 3);
+    }
+
+    #[test]
+    fn no_sequence_reuse_across_reboots_with_rotations_interleaved() {
+        let plan = NvmFaultPlan {
+            fail_rate: 0.2,
+            torn_rate: 0.3,
+            seed: 17,
+        };
+        let mut journal = SequenceJournal::new(NvmStore::new(plan), 8);
+        let mut driver = DetRng::seed_from_u64(23);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut epoch = 0u64;
+        for _ in 0..2000 {
+            if driver.gen_bool(0.05) {
+                journal.reboot();
+                epoch = journal.epoch();
+            }
+            if driver.gen_bool(0.03) {
+                epoch += 1;
+                let _ = journal.record_epoch(epoch);
+                epoch = journal.epoch();
+            }
+            if let Ok(seq) = journal.reserve_next() {
+                assert!(seen.insert(seq), "sequence {seq} handed out twice");
+            }
+        }
+        assert!(seen.len() > 1000, "the soak must make real progress");
     }
 }

@@ -6,9 +6,13 @@
 
 use std::collections::BTreeSet;
 
+use age_crypto::kdf::{fleet_secret, sensor_root};
 use age_crypto::{AesCbc, ChaCha20Poly1305};
 use age_telemetry::{DetRng, SliceShuffle};
-use age_transport::{NvmFaultPlan, NvmStore, ReceiveError, Receiver, Sensor, SequenceJournal};
+use age_transport::{
+    chacha20poly1305_factory, epoch_skip_budget, NvmFaultPlan, NvmStore, ReceiveError, Receiver,
+    Sensor, SequenceJournal, MAX_SKIP,
+};
 
 const KEY: [u8; 32] = [0xC3; 32];
 
@@ -143,6 +147,144 @@ fn fuzz_round(seed: u64) {
 fn receiver_survives_shuffled_corrupt_frames_across_a_reboot() {
     for seed in 0..50 {
         fuzz_round(seed);
+    }
+}
+
+/// Seals a window through the journal with the link's write-ahead rotation
+/// protocol: any due epoch record is journaled *before* the key swap, and a
+/// refused record defers the rotation (the frame seals under the old key).
+fn seal_rotating_window(
+    sensor: &mut Sensor,
+    journal: &mut SequenceJournal,
+    count: usize,
+    rng: &mut DetRng,
+    cases: &mut Vec<Case>,
+) {
+    for _ in 0..count {
+        let Ok(sequence) = journal.reserve_next() else {
+            continue;
+        };
+        if let Some(target) = sensor.rotation_due(sequence) {
+            if journal.record_epoch(target).is_ok() {
+                sensor.rotate_to(target);
+            }
+        }
+        let len = rng.gen_range(8..=64);
+        let payload: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let frame = sensor.seal_as(sequence, &payload);
+        cases.push(Case {
+            frame,
+            genuine: true,
+            payload,
+        });
+    }
+}
+
+/// Fuzzes the rotation window itself: repeated brownouts land between the
+/// epoch journal write and the first seal under the new key (and everywhere
+/// else), on NVM that tears or refuses records. Frames arrive in order with
+/// corrupted mutants interleaved; the rekeying receiver must follow every
+/// epoch jump, accept every genuine frame exactly once with byte-exact
+/// payloads, and never authenticate a mutant.
+fn rotation_fuzz_round(seed: u64) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let root = sensor_root(&fleet_secret(seed), 1);
+    let interval = rng.gen_range(3..=9);
+    let mut sensor = Sensor::with_rekey(root, interval, 0, chacha20poly1305_factory);
+    let mut journal = SequenceJournal::new(
+        NvmStore::with_seed(
+            NvmFaultPlan {
+                fail_rate: 0.1,
+                torn_rate: 0.25,
+                seed: 0,
+            },
+            seed ^ 0x5A,
+        ),
+        4,
+    );
+    sensor.resume(journal.next(), journal.epoch());
+
+    let mut cases = Vec::new();
+    for _ in 0..12 {
+        let burst = rng.gen_range(2..=6);
+        seal_rotating_window(&mut sensor, &mut journal, burst, &mut rng, &mut cases);
+        // Half the brownouts strike *inside* the rotation window: the epoch
+        // record has just been journaled (perhaps torn on the way down) but
+        // no frame was ever sealed under the new key.
+        if rng.gen_bool(0.5) {
+            if let Some(target) = sensor.rotation_due(journal.next()) {
+                let _ = journal.record_epoch(target);
+            }
+        }
+        journal.reboot();
+        sensor.resume(journal.next(), journal.epoch());
+    }
+
+    // Interleave mutants in place (no shuffle: epoch tracking is forward-
+    // only, so this corpus models an ordered link with corruption).
+    let mut corpus: Vec<Case> = Vec::new();
+    for case in cases {
+        let mutate = case.genuine && rng.gen_bool(0.33);
+        let frame = case.frame.clone();
+        corpus.push(case);
+        if mutate {
+            mutants(&frame, &mut rng, &mut corpus);
+        }
+    }
+
+    // The journal's block size (4) bounds how far a brownout can jump the
+    // sequence counter, so the epoch skip budget is sized to that bound
+    // rather than the far-future horizon — it also keeps the per-mutant
+    // probe cost (each failed open walks the whole budget) proportionate.
+    let mut receiver = Receiver::with_ratchet(
+        root,
+        MAX_SKIP,
+        epoch_skip_budget(16, interval),
+        chacha20poly1305_factory,
+    );
+    let mut accepted = BTreeSet::new();
+    let genuine = corpus.iter().filter(|c| c.genuine).count();
+    for case in &corpus {
+        match receiver.receive(&case.frame) {
+            Ok((sequence, payload)) => {
+                assert!(
+                    accepted.insert(sequence),
+                    "sequence {sequence} accepted twice (seed {seed})"
+                );
+                assert!(
+                    case.genuine,
+                    "a corrupted frame authenticated (seed {seed})"
+                );
+                assert_eq!(payload, case.payload, "payload mangled (seed {seed})");
+            }
+            Err(
+                ReceiveError::Cipher(_)
+                | ReceiveError::MissingSequence
+                | ReceiveError::Replay(_)
+                | ReceiveError::FarFuture { .. },
+            ) => {
+                assert!(
+                    !case.genuine,
+                    "in-order genuine frame rejected across a rotation (seed {seed})"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        accepted.len(),
+        genuine,
+        "a genuine frame went missing (seed {seed})"
+    );
+    assert!(
+        receiver.stats().epoch_advances > 0,
+        "the corpus must actually cross epoch boundaries (seed {seed})"
+    );
+}
+
+#[test]
+fn rekeying_receiver_survives_brownouts_inside_the_rotation_window() {
+    for seed in 0..50 {
+        rotation_fuzz_round(seed);
     }
 }
 
